@@ -1,0 +1,80 @@
+// E11 (extension) -- the paper's Section 1 argument against Goodrich
+// [1997], quantified end-to-end: "this algorithm has a superlinear total
+// cost (log n per item) and is not work-optimal."
+//
+// We run both parallel permutation pipelines on the virtual machine --
+// Algorithm 1 and the sort-random-keys baseline (sample sort + rebalance)
+// -- and compare total work per item, communication per item, model time
+// under the Origin calibration, and the PRO conformance verdict.  The
+// baseline's ops/item column must grow like log n while Algorithm 1's
+// stays flat, and PRO must reject the baseline's work ratio at scale.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "cgm/cost.hpp"
+#include "cgm/machine.hpp"
+#include "cgm/pro.hpp"
+#include "core/permute.hpp"
+#include "core/sort_permute.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cgp;
+
+struct row {
+  double ops_item;
+  double words_item;
+  double model_ms;
+  cgm::pro_assessment pro;
+};
+
+row run_one(std::uint32_t p, std::uint64_t n, bool baseline, const cgm::cost_model& model) {
+  cgm::machine mach(p, 0xE11);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    std::vector<std::uint64_t> local(n / p, ctx.id());
+    if (baseline) {
+      (void)core::parallel_sort_permutation(ctx, std::move(local));
+    } else {
+      (void)core::parallel_random_permutation(ctx, std::move(local));
+    }
+  });
+  row r;
+  r.ops_item = static_cast<double>(stats.total_compute()) / static_cast<double>(n);
+  r.words_item = static_cast<double>(stats.total_words()) / static_cast<double>(n);
+  r.model_ms = stats.model_seconds(model) * 1e3;
+  r.pro = cgm::assess_pro(stats, n, p, n, model, 8.0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E11 (extension): Algorithm 1 vs the sorting-based baseline "
+               "(Goodrich [1997])\n\n";
+
+  const cgm::cost_model model = cgm::cost_model::origin2000();
+  table t({"p", "n", "algorithm", "ops/item", "words/item", "T_model [ms]", "work ratio",
+           "PRO verdict"});
+
+  for (const std::uint32_t p : {4u, 16u}) {
+    for (const std::uint64_t n : {1ull << 12, 1ull << 16, 1ull << 20}) {
+      for (const bool baseline : {false, true}) {
+        const row r = run_one(p, n, baseline, model);
+        t.add_row({std::to_string(p), fmt_count(n),
+                   baseline ? "sort-keys (Goodrich)" : "Algorithm 1", fmt(r.ops_item, 2),
+                   fmt(r.words_item, 2), fmt(r.model_ms, 2), fmt(r.pro.work_ratio, 2),
+                   r.pro.admissible() ? "admissible" : "REJECTED"});
+      }
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape checks: Algorithm 1's ops/item is ~2 at every n (work-optimal);\n"
+               "the baseline's grows with log n and its work ratio breaches the PRO\n"
+               "bound at the larger sizes -- the quantitative form of the paper's\n"
+               "Section 1 critique.  (Where both are admissible, the small-n rows, the\n"
+               "grain condition p <= sqrt(n) does the gatekeeping.)\n";
+  return 0;
+}

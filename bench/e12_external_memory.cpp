@@ -1,0 +1,64 @@
+// E12 (extension) -- the paper's closing outlook, quantified: "In view of
+// the idea to use efficient coarse grained algorithms also for the context
+// of external memory (Cormen & Goodrich 1996, Dehne et al. 1997) ... there
+// is also hope that the parallel algorithms can give rise to sequential
+// algorithms and implementations that avoid part of the cache misses of
+// the straight forward algorithm."
+//
+// In the I/O model the effect is dramatic rather than subtle: the
+// coarse-grained scan shuffle needs O((n/B) log_{M/B}(n/M)) block
+// transfers while the straightforward Fisher-Yates through a buffer pool
+// needs Theta(n).  The table sweeps n and (M, B) and reports transfers,
+// transfers per block, and the speedup factor -- which must grow linearly
+// in B (here: items per block).
+#include <cstdint>
+#include <iostream>
+
+#include "em/block_device.hpp"
+#include "em/shuffle.hpp"
+#include "rng/philox.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace cgp;
+}
+
+int main() {
+  std::cout << "E12 (extension): external-memory shuffle, scan-based (coarse grained)\n"
+               "vs naive Fisher-Yates through an LRU pool\n\n";
+
+  table t({"n", "B (items)", "M (items)", "scan transfers", "scan/block", "levels",
+           "naive transfers", "naive/item", "speedup"});
+
+  rng::philox4x64 e(0xE12, 0);
+  for (const std::uint64_t n : {1ull << 13, 1ull << 15, 1ull << 17}) {
+    for (const std::uint32_t b : {16u, 64u}) {
+      const std::uint64_t mem = 16ull * b;  // M/B = 16 frames
+
+      em::block_device dev1(n, b);
+      for (std::uint64_t i = 0; i < n; ++i) dev1.poke(i, i);
+      const auto scan = em::em_shuffle(e, dev1, n, mem);
+
+      em::block_device dev2(n, b);
+      for (std::uint64_t i = 0; i < n; ++i) dev2.poke(i, i);
+      const auto naive = em::naive_em_fisher_yates(e, dev2, n, 16);
+
+      t.add_row({fmt_count(n), std::to_string(b), fmt_count(mem),
+                 fmt_count(scan.block_transfers),
+                 fmt(static_cast<double>(scan.block_transfers) / (static_cast<double>(n) / b), 1),
+                 std::to_string(scan.levels), fmt_count(naive.block_transfers),
+                 fmt(static_cast<double>(naive.block_transfers) / static_cast<double>(n), 2),
+                 fmt(static_cast<double>(naive.block_transfers) /
+                         static_cast<double>(scan.block_transfers),
+                     1) +
+                     "x"});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape checks: naive/item -> ~2 once n >> M (every swap misses);\n"
+               "scan/block stays ~5-7 per level (a few streaming passes); the speedup\n"
+               "grows ~linearly with the block size B -- exactly the I/O-model gap\n"
+               "between Theta(n) and O((n/B) log_{M/B}(n/M)) the outlook predicts.\n";
+  return 0;
+}

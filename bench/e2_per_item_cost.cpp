@@ -1,0 +1,104 @@
+// E2 -- the paper's introduction measurements: "to permute a vector of
+// long int's, we observed an average cost per item of about 60 to 100 clock
+// cycles ... the running time of a permutation program is more or less
+// bound to the cpu-memory bandwidth; this bottleneck amounts to about 33%
+// (Sparc) and 80% (Pentium) of the wall clock time."
+//
+// Measured here: cycles/item of Fisher-Yates across sizes (cache-resident
+// to RAM-resident), the random-access "memory-only" kernel (the shuffle's
+// memory access pattern without its arithmetic), and the memory-bound
+// fraction of the shuffle estimated as the kernel/shuffle time ratio.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "rng/uniform.hpp"
+#include "rng/xoshiro.hpp"
+#include "seq/fisher_yates.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace cgp;
+
+void bm_fisher_yates(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  rng::xoshiro256ss e(42);
+  for (auto _ : state) {
+    seq::fisher_yates(e, std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  // cycles/item = hz / (items/sec); expressed as an inverted rate counter.
+  state.counters["cycles_per_item"] =
+      benchmark::Counter(static_cast<double>(n) / estimated_cpu_hz(),
+                         benchmark::Counter::kIsIterationInvariantRate |
+                             benchmark::Counter::kInvert);
+}
+BENCHMARK(bm_fisher_yates)->RangeMultiplier(4)->Range(1 << 14, 1 << 24)->Unit(benchmark::kMillisecond);
+
+// The shuffle's memory behaviour without its arithmetic: one random read-
+// modify-write per item (same address stream shape as Fisher-Yates swaps).
+void bm_random_touch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  rng::xoshiro256ss e(43);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng::uniform_below(e, i));
+      acc ^= v[j];
+      v[j] = acc;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["cycles_per_item"] =
+      benchmark::Counter(static_cast<double>(n) / estimated_cpu_hz(),
+                         benchmark::Counter::kIsIterationInvariantRate |
+                             benchmark::Counter::kInvert);
+}
+BENCHMARK(bm_random_touch)->RangeMultiplier(4)->Range(1 << 14, 1 << 24)->Unit(benchmark::kMillisecond);
+
+// RNG-only control: the arithmetic cost floor of the shuffle.
+void bm_rng_only(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::xoshiro256ss e(44);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = n; i > 1; --i) acc ^= rng::uniform_below(e, i);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["cycles_per_item"] =
+      benchmark::Counter(static_cast<double>(n) / estimated_cpu_hz(),
+                         benchmark::Counter::kIsIterationInvariantRate |
+                             benchmark::Counter::kInvert);
+}
+BENCHMARK(bm_rng_only)->Arg(1 << 22)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E2: sequential per-item cost (paper intro: 60..100 cycles/item on a\n"
+      "300 MHz Sparc / 800 MHz Pentium III; memory-bound fraction 33%%..80%%).\n"
+      "Read cycles_per_item of bm_fisher_yates: the cache-resident sizes give\n"
+      "the pure compute cost, the largest (RAM-resident) size the full cost;\n"
+      "1 - small/large is the memory-bound share of the wall clock (the paper's\n"
+      "33%%..80%%).  bm_random_touch isolates the memory+RNG kernel and\n"
+      "bm_rng_only the arithmetic floor.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

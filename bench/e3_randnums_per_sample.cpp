@@ -1,0 +1,101 @@
+// E3 -- the paper's Section 3 measurement: "the amount of random numbers
+// per sample of h(.,.) was always less than 1.5 on average and 10 for the
+// worst case."
+//
+// We count 64-bit draws per sample with the counting adaptor, for each
+// sampler (HIN inversion, HRUA ratio-of-uniforms, and the dispatcher) over
+// the parameter regimes the matrix samplers actually generate (block splits
+// at p in {8..512}, plus extreme shapes), and print mean / p99 / max.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "hyp/hin.hpp"
+#include "hyp/hrua.hpp"
+#include "hyp/sample.hpp"
+#include "rng/counting.hpp"
+#include "rng/philox.hpp"
+#include "stats/moments.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cgp;
+using engine_t = rng::counting_engine<rng::philox4x64>;
+
+struct regime {
+  hyp::params p;
+  const char* label;
+};
+
+struct draw_stats {
+  double mean;
+  double p99;
+  double max;
+};
+
+template <typename Fn>
+draw_stats measure(Fn&& fn, const hyp::params& p, int samples, std::uint64_t seed) {
+  engine_t e{rng::philox4x64(seed, 0xE3)};
+  std::vector<double> draws;
+  draws.reserve(samples);
+  stats::running_moments m;
+  for (int i = 0; i < samples; ++i) {
+    e.reset_count();
+    (void)fn(e, p);
+    m.add(static_cast<double>(e.count()));
+    draws.push_back(static_cast<double>(e.count()));
+  }
+  std::sort(draws.begin(), draws.end());
+  return {m.mean(), draws[static_cast<std::size_t>(0.99 * draws.size())], m.max()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E3: random numbers per call to h(.,.) "
+               "(paper Section 3: < 1.5 average, 10 worst case)\n\n";
+
+  // Regimes: the splits Algorithm 6 actually draws (t ~ half the block
+  // total, classes ~ M), plus stress shapes.
+  const std::uint64_t M = 100'000;
+  const std::vector<regime> regimes = {
+      {{4 * M, 4 * M, 4 * M}, "p=8 top split"},
+      {{M, M, 6 * M}, "p=8 leaf split"},
+      {{32 * M, 32 * M, 32 * M}, "p=64 top split"},
+      {{M, M, 62 * M}, "p=64 leaf split"},
+      {{256 * M, 256 * M, 256 * M}, "p=512 top split"},
+      {{M / 64, M, 511 * M}, "p=512 sparse"},
+      {{1000, 10, 5000}, "tiny w"},
+      {{37, 2000, 4000}, "small t"},
+  };
+
+  const int samples = 40000;
+  table t({"regime", "sampler", "mean draws", "p99", "max"});
+  stats::running_moments dispatcher_all;
+  double dispatcher_max = 0.0;
+
+  for (const auto& r : regimes) {
+    const auto hin =
+        measure([](engine_t& e, const hyp::params& p) { return hyp::sample_hin(e, p); }, r.p,
+                samples, 1);
+    const auto hrua =
+        measure([](engine_t& e, const hyp::params& p) { return hyp::sample_hrua(e, p); }, r.p,
+                samples, 2);
+    const auto disp =
+        measure([](engine_t& e, const hyp::params& p) { return hyp::sample(e, p); }, r.p,
+                samples, 3);
+    t.add_row({r.label, "HIN", fmt(hin.mean, 3), fmt(hin.p99, 0), fmt(hin.max, 0)});
+    t.add_row({r.label, "HRUA", fmt(hrua.mean, 3), fmt(hrua.p99, 0), fmt(hrua.max, 0)});
+    t.add_row({r.label, "dispatch", fmt(disp.mean, 3), fmt(disp.p99, 0), fmt(disp.max, 0)});
+    dispatcher_all.add(disp.mean);
+    dispatcher_max = std::max(dispatcher_max, disp.max);
+  }
+  t.print(std::cout);
+
+  std::cout << "\ndispatcher grand mean over regimes: " << fmt(dispatcher_all.mean(), 3)
+            << " (paper: < 1.5); worst case: " << fmt(dispatcher_max, 0)
+            << " (paper: 10)\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E9 -- the related-work comparison of Section 1: the methods the paper
+// argues against, measured on the same inputs as the reference algorithm.
+//
+//   * sort-random-keys (Goodrich): uniform but Theta(n log n) -- the
+//     ns/item column must GROW with n while Fisher-Yates stays flat.
+//   * dart throwing: uniform, expected O(n), but needs slack*n extra
+//     memory and more random numbers per item.
+//   * iterated riffle: each round is linear, but Theta(log n) rounds are
+//     needed for near-uniformity, so the honest configuration (log2 n
+//     rounds) also carries a log factor; few-round configurations are
+//     cheaper but provably non-uniform (tests demonstrate the bias).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "rng/counting.hpp"
+#include "rng/xoshiro.hpp"
+#include "seq/baselines.hpp"
+#include "seq/fisher_yates.hpp"
+
+namespace {
+
+using namespace cgp;
+using engine_t = rng::counting_engine<rng::xoshiro256ss>;
+
+template <typename Fn>
+void run_with_counters(benchmark::State& state, Fn&& shuffle) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  engine_t e{rng::xoshiro256ss(7)};
+  for (auto _ : state) {
+    shuffle(e, std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["ns_per_item"] =
+      benchmark::Counter(static_cast<double>(n) * 1e-9,
+                         benchmark::Counter::kIsIterationInvariantRate |
+                             benchmark::Counter::kInvert);
+  state.counters["rng_per_item"] = benchmark::Counter(
+      static_cast<double>(e.count()) / (static_cast<double>(n) * state.iterations()));
+}
+
+void bm_fisher_yates(benchmark::State& state) {
+  run_with_counters(state, [](engine_t& e, std::span<std::uint64_t> s) {
+    seq::fisher_yates(e, s);
+  });
+}
+BENCHMARK(bm_fisher_yates)->RangeMultiplier(4)->Range(1 << 16, 1 << 22)->Unit(benchmark::kMillisecond);
+
+void bm_sort_keys(benchmark::State& state) {
+  run_with_counters(state, [](engine_t& e, std::span<std::uint64_t> s) {
+    seq::shuffle_by_sorting(e, s);
+  });
+}
+BENCHMARK(bm_sort_keys)->RangeMultiplier(4)->Range(1 << 16, 1 << 22)->Unit(benchmark::kMillisecond);
+
+void bm_dart_throwing(benchmark::State& state) {
+  run_with_counters(state, [](engine_t& e, std::span<std::uint64_t> s) {
+    seq::dart_throwing_shuffle(e, s, 2.0);
+  });
+}
+BENCHMARK(bm_dart_throwing)->RangeMultiplier(4)->Range(1 << 16, 1 << 22)->Unit(benchmark::kMillisecond);
+
+void bm_riffle_logn_rounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rounds = static_cast<unsigned>(std::ceil(1.5 * std::log2(static_cast<double>(n))));
+  run_with_counters(state, [rounds](engine_t& e, std::span<std::uint64_t> s) {
+    seq::riffle_shuffle(e, s, rounds);
+  });
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(bm_riffle_logn_rounds)->RangeMultiplier(4)->Range(1 << 16, 1 << 22)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E9: baseline shuffles vs the reference algorithm (paper Section 1).\n"
+      "Shape to observe: bm_fisher_yates ns_per_item ~flat in n; bm_sort_keys\n"
+      "and bm_riffle_logn_rounds grow with n (the log factor the paper's\n"
+      "algorithm avoids); bm_dart_throwing is linear but with a larger\n"
+      "constant and rng_per_item ~1.39 (2 ln 2) vs 1.0.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

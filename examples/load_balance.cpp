@@ -1,0 +1,76 @@
+// load_balance: the paper's first motivation -- "achieve a distribution of
+// the data to avoid load imbalances in parallel and distributed computing".
+//
+// Scenario: a distributed join/aggregation receives records whose
+// processing cost is heavily skewed AND arrives sorted by cost (a classic
+// worst case: the last processor owns all the expensive records).  We
+// measure the makespan (max per-processor work) before and after one
+// parallel random permutation, against the ideal balanced makespan.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/api.hpp"
+#include "util/prefix.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Per-record processing cost: Zipf-ish skew, sorted ascending (adversarial
+// placement: the whole heavy tail lands on the last blocks).
+std::vector<std::uint64_t> skewed_costs(std::uint64_t n) {
+  std::vector<std::uint64_t> cost(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double rank = static_cast<double>(n - i);
+    cost[i] = 1 + static_cast<std::uint64_t>(1e6 / (rank * rank));  // ~ 1/rank^2 tail
+  }
+  return cost;
+}
+
+std::uint64_t makespan(const std::vector<std::uint64_t>& cost, std::uint32_t p) {
+  const std::uint64_t n = cost.size();
+  std::uint64_t worst = 0;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    const std::uint64_t off = cgp::balanced_block_offset(n, p, i);
+    const std::uint64_t len = cgp::balanced_block_size(n, p, i);
+    std::uint64_t work = 0;
+    for (std::uint64_t k = off; k < off + len; ++k) work += cost[k];
+    worst = std::max(worst, work);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t p = 16;
+  const std::uint64_t n = 1 << 20;
+
+  std::cout << "load_balance: randomized data distribution for skewed workloads\n"
+            << "records: " << cgp::fmt_count(n) << ", processors: " << p << "\n\n";
+
+  std::vector<std::uint64_t> cost = skewed_costs(n);
+  const std::uint64_t total = cgp::span_sum(cost);
+  const std::uint64_t ideal = total / p;
+
+  const std::uint64_t before = makespan(cost, p);
+
+  cgp::cgm::machine mach(p, 7);
+  const std::vector<std::uint64_t> shuffled = cgp::core::permute_global(mach, cost);
+  const std::uint64_t after = makespan(shuffled, p);
+
+  cgp::table t({"placement", "makespan", "vs ideal"});
+  t.add_row({"sorted (adversarial)", cgp::fmt_count(before),
+             cgp::fmt(static_cast<double>(before) / static_cast<double>(ideal), 2) + "x"});
+  t.add_row({"after random permutation", cgp::fmt_count(after),
+             cgp::fmt(static_cast<double>(after) / static_cast<double>(ideal), 2) + "x"});
+  t.add_row({"ideal (perfect split)", cgp::fmt_count(ideal), "1.00x"});
+  t.print(std::cout);
+
+  std::cout << "\nOne uniform shuffle turns the adversarial layout into a near-ideal\n"
+               "one with high probability -- and because the shuffle itself is\n"
+               "balanced and work-optimal (Theorem 1), the fix costs O(n/p) per\n"
+               "processor, not a sort.\n";
+  return 0;
+}

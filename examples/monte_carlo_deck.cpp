@@ -1,0 +1,77 @@
+// monte_carlo_deck: the paper's "computer games" and "statistical tests"
+// motivations in one example.
+//
+// Shuffle a 52-card deck many times with the parallel pipeline and compare
+// three classical combinatorial laws against theory:
+//   * P[no card in its original position] -> 1/e        (derangements)
+//   * E[#fixed points] -> 1, Var -> 1                    (matching problem)
+//   * E[#cycles] -> H_52 ~ 4.538                         (records / cycles)
+// A biased shuffler fails these laws; the uniform one must match.  For
+// contrast we also run a 3-round riffle -- visibly off on all three.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "core/api.hpp"
+#include "rng/xoshiro.hpp"
+#include "seq/baselines.hpp"
+#include "stats/lehmer.hpp"
+#include "stats/moments.hpp"
+#include "util/table.hpp"
+
+int main() {
+  const std::uint64_t deck = 52;
+  const int reps = 20000;
+
+  double h52 = 0.0;
+  for (std::uint64_t k = 1; k <= deck; ++k) h52 += 1.0 / static_cast<double>(k);
+
+  std::cout << "monte_carlo_deck: " << reps << " shuffles of a 52-card deck\n\n";
+
+  cgp::stats::running_moments fixed_uniform;
+  cgp::stats::running_moments cycles_uniform;
+  int derangements_uniform = 0;
+
+  cgp::cgm::machine mach(4, 0);
+  for (int rep = 0; rep < reps; ++rep) {
+    mach.reseed(0xDECC + rep);
+    const auto pi = cgp::core::random_permutation_global(mach, deck);
+    const auto fp = cgp::stats::count_fixed_points(pi);
+    fixed_uniform.add(static_cast<double>(fp));
+    cycles_uniform.add(static_cast<double>(cgp::stats::count_cycles(pi)));
+    if (fp == 0) ++derangements_uniform;
+  }
+
+  cgp::stats::running_moments fixed_riffle;
+  cgp::stats::running_moments cycles_riffle;
+  int derangements_riffle = 0;
+  cgp::rng::xoshiro256ss e(99);
+  std::vector<std::uint64_t> v(deck);
+  for (int rep = 0; rep < reps; ++rep) {
+    std::iota(v.begin(), v.end(), 0);
+    cgp::seq::riffle_shuffle(e, std::span<std::uint64_t>(v), 3);  // under-shuffled!
+    const auto fp = cgp::stats::count_fixed_points(v);
+    fixed_riffle.add(static_cast<double>(fp));
+    cycles_riffle.add(static_cast<double>(cgp::stats::count_cycles(v)));
+    if (fp == 0) ++derangements_riffle;
+  }
+
+  cgp::table t({"statistic", "theory (uniform)", "parallel pipeline", "3-round riffle"});
+  t.add_row({"P[derangement]", cgp::fmt(std::exp(-1.0), 4),
+             cgp::fmt(static_cast<double>(derangements_uniform) / reps, 4),
+             cgp::fmt(static_cast<double>(derangements_riffle) / reps, 4)});
+  t.add_row({"E[#fixed points]", "1.0000", cgp::fmt(fixed_uniform.mean(), 4),
+             cgp::fmt(fixed_riffle.mean(), 4)});
+  t.add_row({"Var[#fixed points]", "1.0000", cgp::fmt(fixed_uniform.variance(), 4),
+             cgp::fmt(fixed_riffle.variance(), 4)});
+  t.add_row({"E[#cycles]", cgp::fmt(h52, 4), cgp::fmt(cycles_uniform.mean(), 4),
+             cgp::fmt(cycles_riffle.mean(), 4)});
+  t.print(std::cout);
+
+  std::cout << "\nThe parallel pipeline matches all uniform-permutation laws; the\n"
+               "under-iterated riffle (the 'balanced but non-uniform, so iterate'\n"
+               "approach the paper criticizes, stopped early) deviates sharply.\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// random_test_inputs: the paper's second motivation -- "good generation of
+// random samples to test algorithms and their implementations".
+//
+// Scenario: benchmarking a sorting routine.  Feeding it already-sorted or
+// pattern-structured inputs wildly misrepresents its behaviour; uniform
+// random permutations are the canonical neutral input.  We generate inputs
+// three ways (sorted, riffle-2 "pseudo-random", uniform via the parallel
+// pipeline) and show how the measured comparison counts of introsort-style
+// quicksort differ -- structured inputs systematically mislead.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "core/api.hpp"
+#include "rng/xoshiro.hpp"
+#include "seq/baselines.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Instrumented quicksort (median-of-3), counting comparisons.
+std::uint64_t comparisons = 0;
+bool less_counted(std::uint64_t a, std::uint64_t b) {
+  ++comparisons;
+  return a < b;
+}
+
+void quicksort(std::vector<std::uint64_t>& v, std::int64_t lo, std::int64_t hi) {
+  while (lo < hi) {
+    if (hi - lo < 16) {
+      for (std::int64_t i = lo + 1; i <= hi; ++i)
+        for (std::int64_t j = i; j > lo && less_counted(v[j], v[j - 1]); --j)
+          std::swap(v[j], v[j - 1]);
+      return;
+    }
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    // median of three
+    if (less_counted(v[mid], v[lo])) std::swap(v[mid], v[lo]);
+    if (less_counted(v[hi], v[lo])) std::swap(v[hi], v[lo]);
+    if (less_counted(v[hi], v[mid])) std::swap(v[hi], v[mid]);
+    const std::uint64_t pivot = v[mid];
+    std::int64_t i = lo;
+    std::int64_t j = hi;
+    while (i <= j) {
+      while (less_counted(v[i], pivot)) ++i;
+      while (less_counted(pivot, v[j])) --j;
+      if (i <= j) std::swap(v[i++], v[j--]);
+    }
+    if (j - lo < hi - i) {
+      quicksort(v, lo, j);
+      lo = i;
+    } else {
+      quicksort(v, i, hi);
+      hi = j;
+    }
+  }
+}
+
+double measure(std::vector<std::uint64_t> input) {
+  comparisons = 0;
+  quicksort(input, 0, static_cast<std::int64_t>(input.size()) - 1);
+  const double n = static_cast<double>(input.size());
+  return static_cast<double>(comparisons) / (n * std::log2(n));
+}
+
+// Number of maximal ascending runs -- what adaptive (timsort-family) sorts
+// exploit.  A uniform permutation has ~n/2 runs; structured inputs have
+// drastically fewer, so benchmarking an adaptive sort on them understates
+// its cost by orders of magnitude.
+std::uint64_t ascending_runs(const std::vector<std::uint64_t>& v) {
+  if (v.empty()) return 0;
+  std::uint64_t runs = 1;
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] < v[i - 1]) ++runs;
+  return runs;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t n = 1 << 18;
+  std::cout << "random_test_inputs: benchmarking quicksort on differently generated\n"
+            << "inputs (n = " << cgp::fmt_count(n) << "; cost in comparisons / n log2 n)\n\n";
+
+  std::vector<std::uint64_t> base(n);
+  std::iota(base.begin(), base.end(), 0);
+
+  // (a) sorted: looks great for this quicksort (median-of-3 loves it).
+  const double sorted_cost = measure(base);
+
+  // (b) the tempting-but-wrong "parallel shuffle": deal the sorted data
+  // into 1024 chunks and permute only the CHUNK order (what you get if
+  // every worker shuffles nothing and the coordinator shuffles block ids).
+  // Looks random from afar; inside each chunk the data is fully sorted.
+  std::vector<std::uint64_t> blocky(n);
+  {
+    const std::uint64_t chunks = 1024;
+    const std::uint64_t chunk_len = n / chunks;
+    std::vector<std::uint64_t> order(chunks);
+    std::iota(order.begin(), order.end(), 0);
+    cgp::rng::xoshiro256ss e(5);
+    cgp::seq::fisher_yates(e, std::span<std::uint64_t>(order));
+    for (std::uint64_t c = 0; c < chunks; ++c)
+      for (std::uint64_t k = 0; k < chunk_len; ++k)
+        blocky[c * chunk_len + k] = base[order[c] * chunk_len + k];
+  }
+  const double blocky_cost = measure(blocky);
+
+  // (c) uniform: the parallel pipeline (what you should benchmark on).
+  cgp::cgm::machine mach(8, 1234);
+  const auto uniform = cgp::core::permute_global(mach, base);
+  const double uniform_cost = measure(uniform);
+
+  cgp::table t({"input generator", "quicksort cmp/(n log2 n)", "vs uniform", "ascending runs",
+                "adaptive-sort passes"});
+  const auto passes = [](std::uint64_t runs) {
+    return cgp::fmt(std::log2(static_cast<double>(std::max<std::uint64_t>(runs, 1))), 1);
+  };
+  const std::uint64_t runs_sorted = ascending_runs(base);
+  const std::uint64_t runs_blocky = ascending_runs(blocky);
+  const std::uint64_t runs_uniform = ascending_runs(uniform);
+  t.add_row({"already sorted", cgp::fmt(sorted_cost, 3),
+             cgp::fmt(sorted_cost / uniform_cost, 2) + "x", cgp::fmt_count(runs_sorted),
+             passes(runs_sorted)});
+  t.add_row({"chunk-permuted (naive)", cgp::fmt(blocky_cost, 3),
+             cgp::fmt(blocky_cost / uniform_cost, 2) + "x", cgp::fmt_count(runs_blocky),
+             passes(runs_blocky)});
+  t.add_row({"uniform permutation", cgp::fmt(uniform_cost, 3), "1.00x",
+             cgp::fmt_count(runs_uniform), passes(runs_uniform)});
+  t.print(std::cout);
+
+  std::cout << "\nStructured inputs understate the real average-case cost -- mildly for\n"
+               "a randomized quicksort (left columns), catastrophically for adaptive\n"
+               "run-merging sorts (right columns: merge passes ~ log2 of the run\n"
+               "count; the chunk-permuted input has ~1024 runs where a uniform\n"
+               "permutation has ~n/2).  Permuting block ids is exactly the shortcut a\n"
+               "naive parallel shuffle takes -- the non-uniformity this paper's\n"
+               "algorithm exists to avoid.  A uniform permutation is the defensible\n"
+               "benchmark input, and generating it at scale is what this library\n"
+               "parallelizes.\n";
+  return 0;
+}

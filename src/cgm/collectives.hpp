@@ -1,0 +1,134 @@
+// cgm/collectives.hpp
+//
+// The collective operations coarse-grained algorithms are written in, built
+// on the machine's point-to-point superstep primitive.  Each collective
+// costs exactly one superstep (they are "one h-relation" operations in BSP
+// terms); the all-to-all is the communication phase of Algorithm 1.
+//
+// All payload types must be trivially copyable -- the machine moves raw
+// bytes, like a real interconnect.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::cgm {
+
+/// Reserved tag block for collectives (user code should tag below 0xC011).
+inline constexpr std::uint32_t kTagAllToAll = 0xC011'0001;
+inline constexpr std::uint32_t kTagBroadcast = 0xC011'0002;
+inline constexpr std::uint32_t kTagGather = 0xC011'0003;
+inline constexpr std::uint32_t kTagScatter = 0xC011'0004;
+inline constexpr std::uint32_t kTagAllGather = 0xC011'0005;
+inline constexpr std::uint32_t kTagReduce = 0xC011'0006;
+inline constexpr std::uint32_t kTagScan = 0xC011'0007;
+
+/// Personalized all-to-all ("v" variant): `chunks[d]` goes to processor d;
+/// returns the p received chunks indexed by source.  One superstep.
+template <typename T>
+[[nodiscard]] std::vector<std::vector<T>> all_to_all_v(context& ctx,
+                                                       std::span<const std::vector<T>> chunks) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CGP_EXPECTS(chunks.size() == ctx.nprocs());
+  for (std::uint32_t d = 0; d < ctx.nprocs(); ++d)
+    ctx.send(d, kTagAllToAll, std::span<const T>(chunks[d]));
+  ctx.sync();
+  std::vector<std::vector<T>> received(ctx.nprocs());
+  for (auto& msg : ctx.take_all(kTagAllToAll)) received[msg.source] = msg.template as<T>();
+  return received;
+}
+
+/// Broadcast `data` (significant at `root`) to all processors.
+template <typename T>
+[[nodiscard]] std::vector<T> broadcast(context& ctx, std::uint32_t root,
+                                       std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CGP_EXPECTS(root < ctx.nprocs());
+  if (ctx.id() == root)
+    for (std::uint32_t d = 0; d < ctx.nprocs(); ++d) ctx.send(d, kTagBroadcast, data);
+  ctx.sync();
+  auto msg = ctx.take(root, kTagBroadcast);
+  CGP_ENSURES(msg.has_value());
+  return msg->template as<T>();
+}
+
+/// Broadcast a single value.
+template <typename T>
+[[nodiscard]] T broadcast_value(context& ctx, std::uint32_t root, const T& value) {
+  return broadcast(ctx, root, std::span<const T>(&value, 1)).front();
+}
+
+/// Gather every processor's `data` at `root`; result (at root only) is the
+/// concatenation in processor order, plus the per-source slice sizes.
+template <typename T>
+[[nodiscard]] std::vector<std::vector<T>> gather(context& ctx, std::uint32_t root,
+                                                 std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CGP_EXPECTS(root < ctx.nprocs());
+  ctx.send(root, kTagGather, data);
+  ctx.sync();
+  std::vector<std::vector<T>> out;
+  if (ctx.id() == root) {
+    out.resize(ctx.nprocs());
+    for (auto& msg : ctx.take_all(kTagGather)) out[msg.source] = msg.template as<T>();
+  }
+  return out;
+}
+
+/// Scatter `chunks` (significant at root; chunks[d] for processor d) and
+/// return this processor's chunk.
+template <typename T>
+[[nodiscard]] std::vector<T> scatter(context& ctx, std::uint32_t root,
+                                     std::span<const std::vector<T>> chunks) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CGP_EXPECTS(root < ctx.nprocs());
+  if (ctx.id() == root) {
+    CGP_EXPECTS(chunks.size() == ctx.nprocs());
+    for (std::uint32_t d = 0; d < ctx.nprocs(); ++d)
+      ctx.send(d, kTagScatter, std::span<const T>(chunks[d]));
+  }
+  ctx.sync();
+  auto msg = ctx.take(root, kTagScatter);
+  CGP_ENSURES(msg.has_value());
+  return msg->template as<T>();
+}
+
+/// All-gather: every processor receives every processor's `data`.
+template <typename T>
+[[nodiscard]] std::vector<std::vector<T>> all_gather(context& ctx, std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  for (std::uint32_t d = 0; d < ctx.nprocs(); ++d) ctx.send(d, kTagAllGather, data);
+  ctx.sync();
+  std::vector<std::vector<T>> out(ctx.nprocs());
+  for (auto& msg : ctx.take_all(kTagAllGather)) out[msg.source] = msg.template as<T>();
+  return out;
+}
+
+/// Sum-reduction to every processor (u64).
+[[nodiscard]] inline std::uint64_t all_reduce_sum(context& ctx, std::uint64_t value) {
+  for (std::uint32_t d = 0; d < ctx.nprocs(); ++d) ctx.send_value(d, kTagReduce, value);
+  ctx.sync();
+  std::uint64_t total = 0;
+  for (auto& msg : ctx.take_all(kTagReduce)) total += msg.as<std::uint64_t>().front();
+  return total;
+}
+
+/// Exclusive prefix sum across processors: processor i receives
+/// sum_{k<i} value_k.  (Coarse-grained: one all-gather superstep, O(p)
+/// local work -- optimal at PRO granularity since p <= sqrt(n).)
+[[nodiscard]] inline std::uint64_t exclusive_scan_sum(context& ctx, std::uint64_t value) {
+  for (std::uint32_t d = 0; d < ctx.nprocs(); ++d) ctx.send_value(d, kTagScan, value);
+  ctx.sync();
+  std::uint64_t below = 0;
+  for (auto& msg : ctx.take_all(kTagScan))
+    if (msg.source < ctx.id()) below += msg.as<std::uint64_t>().front();
+  ctx.charge(ctx.nprocs());
+  return below;
+}
+
+}  // namespace cgp::cgm

@@ -1,0 +1,189 @@
+#include "cgm/machine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+#include "rng/stream.hpp"
+
+namespace cgp::cgm {
+
+namespace {
+constexpr std::uint64_t words_of_bytes(std::size_t bytes) noexcept {
+  return (bytes + 7) / 8;  // h-relations are counted in 8-byte words
+}
+}  // namespace
+
+void context::send_bytes(std::uint32_t dest, std::uint32_t tag,
+                         std::span<const std::byte> bytes) {
+  CGP_EXPECTS(dest < nprocs_);
+  message msg;
+  msg.source = dest;  // holds the *destination* while staged; fixed on routing
+  msg.tag = tag;
+  msg.payload.assign(bytes.begin(), bytes.end());
+  inflight_bytes_ += msg.payload.size();
+  if (inflight_bytes_ > peak_memory_) peak_memory_ = inflight_bytes_;
+  const std::uint64_t words = words_of_bytes(msg.payload.size());
+  words_sent_ += words;
+  step_words_out_ += words;
+  ++messages_sent_;
+  outbox_.push_back(std::move(msg));
+}
+
+void context::sync() {
+  CGP_EXPECTS(machine_ != nullptr);
+  machine_->barrier_wait();
+}
+
+std::uint64_t context::shared_seed() const noexcept {
+  CGP_ASSERT(machine_ != nullptr);
+  return machine_->seed();
+}
+
+std::optional<message> context::take(std::uint32_t source, std::uint32_t tag) {
+  for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+    if (it->source == source && it->tag == tag) {
+      message out = std::move(*it);
+      inbox_.erase(it);
+      inflight_bytes_ -= std::min<std::uint64_t>(inflight_bytes_, out.payload.size());
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<message> context::take_all(std::uint32_t tag) {
+  std::vector<message> out;
+  for (auto it = inbox_.begin(); it != inbox_.end();) {
+    if (it->tag == tag) {
+      inflight_bytes_ -= std::min<std::uint64_t>(inflight_bytes_, it->payload.size());
+      out.push_back(std::move(*it));
+      it = inbox_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+machine::machine(std::uint32_t nprocs, std::uint64_t seed) : nprocs_(nprocs), seed_(seed) {
+  CGP_EXPECTS(nprocs >= 1);
+  contexts_.reserve(nprocs);
+  for (std::uint32_t i = 0; i < nprocs; ++i)
+    contexts_.emplace_back(std::unique_ptr<context>(new context()));
+}
+
+machine::~machine() = default;
+
+void machine::barrier_wait() { barrier_->arrive_and_wait(); }
+
+void machine::route_and_record() {
+  // Runs inside the barrier's completion step: every virtual processor is
+  // parked, so touching all contexts is race-free.  Routing in processor
+  // order makes delivery order deterministic.
+  superstep_record rec;
+  for (auto& src : contexts_) {
+    for (auto& staged : src->outbox_) {
+      const std::uint32_t dest = staged.source;
+      message delivered;
+      delivered.source = src->id_;
+      delivered.tag = staged.tag;
+      delivered.payload = std::move(staged.payload);
+      const std::uint64_t words = words_of_bytes(delivered.payload.size());
+      auto& dst = *contexts_[dest];
+      dst.words_received_ += words;
+      dst.step_words_in_ += words;
+      rec.total_words += words;
+      if (&dst != src.get()) {
+        dst.inflight_bytes_ += delivered.payload.size();
+        if (dst.inflight_bytes_ > dst.peak_memory_) dst.peak_memory_ = dst.inflight_bytes_;
+      }
+      dst.pending_.push_back(std::move(delivered));
+    }
+    src->outbox_.clear();
+  }
+  for (auto& ctx : contexts_) {
+    rec.max_compute = std::max(rec.max_compute, ctx->step_ops_);
+    rec.max_words_out = std::max(rec.max_words_out, ctx->step_words_out_);
+    rec.max_words_in = std::max(rec.max_words_in, ctx->step_words_in_);
+    ctx->step_ops_ = 0;
+    ctx->step_words_out_ = 0;
+    ctx->step_words_in_ = 0;
+    ctx->inbox_ = std::move(ctx->pending_);
+    ctx->pending_.clear();
+    ++ctx->supersteps_;
+  }
+  records_.push_back(rec);
+}
+
+run_stats machine::run(const std::function<void(context&)>& program) {
+  // Fresh per-run state: contexts, streams, accounting.
+  for (std::uint32_t i = 0; i < nprocs_; ++i) {
+    auto& ctx = *contexts_[i];
+    ctx.id_ = i;
+    ctx.nprocs_ = nprocs_;
+    ctx.machine_ = this;
+    ctx.engine_ = context::engine_type(rng::processor_stream(seed_, i));
+    ctx.compute_ops_ = ctx.hyp_calls_ = ctx.words_sent_ = ctx.words_received_ = 0;
+    ctx.messages_sent_ = ctx.peak_memory_ = ctx.inflight_bytes_ = ctx.supersteps_ = 0;
+    ctx.step_ops_ = ctx.step_words_out_ = ctx.step_words_in_ = 0;
+    ctx.extra_rng_draws_ = 0;
+    ctx.outbox_.clear();
+    ctx.pending_.clear();
+    ctx.inbox_.clear();
+  }
+  records_.clear();
+  barrier_ = std::make_unique<std::barrier<std::function<void()>>>(
+      static_cast<std::ptrdiff_t>(nprocs_), std::function<void()>([this] { route_and_record(); }));
+
+  std::vector<std::thread> threads;
+  threads.reserve(nprocs_);
+  for (std::uint32_t i = 0; i < nprocs_; ++i) {
+    threads.emplace_back([this, i, &program] {
+      try {
+        program(*contexts_[i]);
+      } catch (const std::exception& e) {
+        // A throwing SPMD program would deadlock the barrier, exactly like
+        // a crashed rank wedges an MPI job; fail fast and loudly instead.
+        std::fprintf(stderr, "cgmperm: uncaught exception on virtual processor %u: %s\n", i,
+                     e.what());
+        std::abort();
+      } catch (...) {
+        std::fprintf(stderr, "cgmperm: uncaught exception on virtual processor %u\n", i);
+        std::abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Tail segment after the last sync() (compute-only by construction:
+  // sends without a following sync are a program bug and stay undelivered).
+  superstep_record tail;
+  bool tail_used = false;
+  for (auto& ctx : contexts_) {
+    if (ctx->step_ops_ > 0) {
+      tail.max_compute = std::max(tail.max_compute, ctx->step_ops_);
+      tail_used = true;
+    }
+  }
+  if (tail_used) records_.push_back(tail);
+
+  run_stats stats;
+  stats.per_proc.resize(nprocs_);
+  for (std::uint32_t i = 0; i < nprocs_; ++i) {
+    auto& ctx = *contexts_[i];
+    auto& ps = stats.per_proc[i];
+    ps.compute_ops = ctx.compute_ops_;
+    ps.words_sent = ctx.words_sent_;
+    ps.words_received = ctx.words_received_;
+    ps.messages_sent = ctx.messages_sent_;
+    ps.rng_draws = ctx.engine_.count() + ctx.extra_rng_draws_;
+    ps.hyp_calls = ctx.hyp_calls_;
+    ps.peak_memory_bytes = ctx.peak_memory_;
+    ps.supersteps = ctx.supersteps_;
+  }
+  stats.supersteps = records_;
+  return stats;
+}
+
+}  // namespace cgp::cgm

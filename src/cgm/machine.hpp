@@ -1,0 +1,201 @@
+// cgm/machine.hpp
+//
+// The coarse-grained parallel machine: our stand-in for SSCRAP (Essaidi,
+// Guerin Lassous & Gustedt 2002), the environment the paper's experiments
+// ran in.  `machine` executes an SPMD program on `p` *virtual processors*
+// (std::thread each) under BSP superstep semantics:
+//
+//   * between two `sync()` calls a processor computes locally and enqueues
+//     point-to-point messages;
+//   * `sync()` is a global barrier; all messages posted in the superstep
+//     are delivered, atomically and deterministically (routed in processor
+//     order), becoming visible after the barrier.
+//
+// Substitution note (see DESIGN.md): the physical host may have a single
+// core -- the paper's machine quantities (per-processor work, h-relations,
+// random numbers, memory) are *counted exactly* per virtual processor and
+// converted to predicted wall-clock through `cost_model`, so every claim of
+// Theorems 1 and 2 is measurable regardless of physical parallelism.
+// Because each virtual processor draws from its own counter-based Philox
+// stream, runs are bit-reproducible for any thread schedule.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cgm/cost.hpp"
+#include "rng/counting.hpp"
+#include "rng/philox.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::cgm {
+
+/// A delivered point-to-point message.
+struct message {
+  std::uint32_t source = 0;
+  std::uint32_t tag = 0;
+  std::vector<std::byte> payload;
+
+  /// Reinterpret the payload as a vector of trivially copyable T.
+  template <typename T>
+  [[nodiscard]] std::vector<T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CGP_EXPECTS(payload.size() % sizeof(T) == 0);
+    std::vector<T> out(payload.size() / sizeof(T));
+    std::memcpy(out.data(), payload.data(), payload.size());
+    return out;
+  }
+};
+
+class machine;
+
+/// Per-processor handle an SPMD program receives: identity, the processor's
+/// private random stream, messaging, and cost charging.
+class context {
+ public:
+  using engine_type = rng::counting_engine<rng::philox4x64>;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint32_t nprocs() const noexcept { return nprocs_; }
+
+  /// This processor's private random stream (draws are counted into the
+  /// run's `proc_stats::rng_draws`).
+  [[nodiscard]] engine_type& rng() noexcept { return engine_; }
+
+  /// The machine-wide seed: lets SPMD code derive *shared* deterministic
+  /// streams (every processor drawing the identical sequence), used by the
+  /// replicated matrix-sampling variant.
+  [[nodiscard]] std::uint64_t shared_seed() const noexcept;
+
+  /// Account random draws made outside `rng()` (e.g. from a shared stream).
+  void charge_rng_draws(std::uint64_t draws) noexcept { extra_rng_draws_ += draws; }
+
+  /// Charge `ops` units of local computation (1 unit ~ one per-item step of
+  /// the reference sequential algorithm).
+  void charge(std::uint64_t ops) noexcept {
+    compute_ops_ += ops;
+    step_ops_ += ops;
+  }
+
+  /// Record one call into the hypergeometric sampler (Theorem 2 counts
+  /// these explicitly).
+  void charge_hyp_call(std::uint64_t calls = 1) noexcept { hyp_calls_ += calls; }
+
+  /// Tell the accountant this processor currently holds `bytes` of user
+  /// data; the per-processor peak is reported in `proc_stats`.
+  void note_memory(std::uint64_t bytes) noexcept {
+    const std::uint64_t total = bytes + inflight_bytes_;
+    if (total > peak_memory_) peak_memory_ = total;
+  }
+
+  /// Post a message delivered after the next `sync()`.
+  void send_bytes(std::uint32_t dest, std::uint32_t tag, std::span<const std::byte> bytes);
+
+  /// Typed convenience: send a span of trivially copyable values.
+  template <typename T>
+  void send(std::uint32_t dest, std::uint32_t tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               std::span<const std::byte>(reinterpret_cast<const std::byte*>(values.data()),
+                                          values.size_bytes()));
+  }
+
+  /// Send a single value.
+  template <typename T>
+  void send_value(std::uint32_t dest, std::uint32_t tag, const T& value) {
+    send(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Superstep barrier: deliver all posted messages, then continue.
+  void sync();
+
+  /// Messages delivered by the last `sync()`, ordered by (source, post
+  /// order).  The vector is invalidated by the next `sync()`.
+  [[nodiscard]] const std::vector<message>& inbox() const noexcept { return inbox_; }
+
+  /// Remove and return the first inbox message matching (source, tag);
+  /// nullopt if absent.
+  [[nodiscard]] std::optional<message> take(std::uint32_t source, std::uint32_t tag);
+
+  /// Remove and return all inbox messages with the given tag, in source
+  /// order.
+  [[nodiscard]] std::vector<message> take_all(std::uint32_t tag);
+
+  context(const context&) = delete;
+  context& operator=(const context&) = delete;
+
+ private:
+  friend class machine;
+  context() = default;
+
+  std::uint32_t id_ = 0;
+  std::uint32_t nprocs_ = 1;
+  engine_type engine_{};
+  machine* machine_ = nullptr;
+
+  // Accumulated totals.
+  std::uint64_t compute_ops_ = 0;
+  std::uint64_t hyp_calls_ = 0;
+  std::uint64_t words_sent_ = 0;
+  std::uint64_t words_received_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t peak_memory_ = 0;
+  std::uint64_t inflight_bytes_ = 0;  // queued message payloads
+  std::uint64_t supersteps_ = 0;
+  std::uint64_t extra_rng_draws_ = 0;
+
+  // Per-superstep deltas (reset by the barrier's completion step).
+  std::uint64_t step_ops_ = 0;
+  std::uint64_t step_words_out_ = 0;
+  std::uint64_t step_words_in_ = 0;
+
+  std::vector<message> outbox_;   // staged sends (message.source = dest here)
+  std::vector<message> pending_;  // routed by the barrier completion
+  std::vector<message> inbox_;    // visible to the program after sync()
+};
+
+/// The virtual machine.  Construct with the processor count and a seed;
+/// `run` executes the SPMD program once and returns the measured stats.
+class machine {
+ public:
+  explicit machine(std::uint32_t nprocs, std::uint64_t seed = 0xC0A2537E5EEDull);
+  ~machine();
+
+  machine(const machine&) = delete;
+  machine& operator=(const machine&) = delete;
+
+  [[nodiscard]] std::uint32_t nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Change the seed for subsequent runs (tests re-run the same program
+  /// under many seeds to collect statistics).
+  void reseed(std::uint64_t seed) noexcept { seed_ = seed; }
+
+  /// Execute `program(ctx)` on every virtual processor (one std::thread
+  /// each), wait for completion, and return the resource accounting.
+  /// Programs must reach the same number of `sync()` calls on every
+  /// processor (BSP discipline); violations deadlock by construction, as on
+  /// a real machine.
+  run_stats run(const std::function<void(context&)>& program);
+
+ private:
+  friend class context;
+  void barrier_wait();           // arrive at the superstep barrier
+  void route_and_record();       // completion step: deliver messages
+
+  std::uint32_t nprocs_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<context>> contexts_;
+  std::unique_ptr<std::barrier<std::function<void()>>> barrier_;
+  std::vector<superstep_record> records_;
+};
+
+}  // namespace cgp::cgm

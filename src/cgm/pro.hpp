@@ -1,0 +1,70 @@
+// cgm/pro.hpp
+//
+// Conformance checking against the PRO model (Gebremedhin, Guerin Lassous,
+// Gustedt & Telle 2002), the framework the paper states Theorem 1 in.  PRO
+// admits an algorithm only if, relative to a fixed reference sequential
+// algorithm, it is simultaneously
+//
+//   * work-optimal  -- total cost (compute + communication) is O(T_seq),
+//   * space-optimal -- every processor uses O(n/p) memory,
+//   * within grain  -- p <= sqrt(n) (coarseness; guarantees linear
+//                      speedup relative to the reference),
+//
+// all measurable on a `run_stats`.  The assessment is used by the tests
+// (Theorem 1 conformance) and printed by the benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "cgm/cost.hpp"
+
+namespace cgp::cgm {
+
+/// PRO conformance of one run against a reference sequential cost.
+struct pro_assessment {
+  double work_ratio = 0.0;    ///< weighted total cost / sequential cost
+  double speedup = 0.0;       ///< T_seq / T_par under the model
+  double efficiency = 0.0;    ///< speedup / p
+  double space_ratio = 0.0;   ///< max per-proc memory words / (n/p)
+  bool within_grain = false;  ///< p <= sqrt(n)
+  bool work_optimal = false;  ///< work_ratio <= tolerance
+  bool space_optimal = false; ///< space_ratio <= tolerance
+
+  [[nodiscard]] bool admissible() const noexcept {
+    return within_grain && work_optimal && space_optimal;
+  }
+};
+
+/// Assess a run of a parallel algorithm on `n` items over `p` processors
+/// against a reference sequential algorithm costing `seq_ops` charged
+/// operations.  `tolerance` bounds the constants allowed by the O(.)
+/// (PRO itself only demands asymptotic constants; callers pick what
+/// "constant" means for their test).
+[[nodiscard]] inline pro_assessment assess_pro(const run_stats& stats, std::uint64_t n,
+                                               std::uint32_t p, std::uint64_t seq_ops,
+                                               const cost_model& model,
+                                               double tolerance = 8.0) {
+  pro_assessment a;
+  const double seq_cost = model.sec_per_op * static_cast<double>(seq_ops);
+  const double total_cost =
+      model.sec_per_op * static_cast<double>(stats.total_compute()) +
+      model.sec_per_word * static_cast<double>(stats.total_words());
+  a.work_ratio = seq_cost > 0 ? total_cost / seq_cost : 0.0;
+
+  const double par_time = stats.model_seconds(model);
+  a.speedup = par_time > 0 ? seq_cost / par_time : 0.0;
+  a.efficiency = p > 0 ? a.speedup / p : 0.0;
+
+  const double block_words = static_cast<double>(n) / p;
+  a.space_ratio = block_words > 0
+                      ? static_cast<double>(stats.max_peak_memory_per_proc()) / 8.0 / block_words
+                      : 0.0;
+
+  a.within_grain = static_cast<double>(p) * p <= static_cast<double>(n);
+  a.work_optimal = a.work_ratio <= tolerance;
+  a.space_optimal = a.space_ratio <= tolerance;
+  return a;
+}
+
+}  // namespace cgp::cgm

@@ -1,0 +1,173 @@
+// cgm/sample_sort.hpp
+//
+// Parallel sorting by regular sampling (Shi & Schaeffer 1992) on the
+// coarse-grained machine, plus exact rank rebalancing.  This is the
+// substrate the sorting-based permutation of Goodrich [1997] runs on (the
+// related-work baseline the paper's work-optimality argument targets), and
+// a classic CGM/PRO algorithm in its own right: one local sort, one
+// all-gather of p^2 samples, one all-to-all, one local merge -- O((n/p)
+// log n) time per processor and O(1) supersteps at PRO granularity
+// (p <= sqrt(n) keeps the p^2 sample set within a block).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "cgm/collectives.hpp"
+#include "cgm/machine.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::cgm {
+
+namespace detail {
+
+inline std::uint64_t log2_ceil(std::uint64_t v) noexcept {
+  return v <= 1 ? 1 : std::bit_width(v - 1);
+}
+
+}  // namespace detail
+
+/// Exact rank rebalancing: the concatenation-in-processor-order of all
+/// `local` vectors is preserved, but re-cut so this processor ends up with
+/// exactly `target_size` items.  Requires sum(local sizes) ==
+/// sum(target_size) over processors.  One superstep, O(local + target)
+/// work; each processor exchanges only with the processors whose rank
+/// ranges overlap its own (contiguous, so at most O(p) messages of total
+/// volume = data moved).
+template <typename T>
+[[nodiscard]] std::vector<T> rebalance(context& ctx, const std::vector<T>& local,
+                                       std::uint64_t target_size) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  constexpr std::uint32_t kTagRebal = 0x5EBA'0001;
+  const std::uint32_t p = ctx.nprocs();
+
+  // Global offsets of my current slice and of every target block.
+  const std::uint64_t sizes[2] = {local.size(), target_size};
+  const auto all = all_gather(ctx, std::span<const std::uint64_t>(sizes, 2));
+  std::uint64_t my_off = 0;
+  std::vector<std::uint64_t> target_off(p + 1, 0);
+  std::uint64_t total_src = 0;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    if (i < ctx.id()) my_off += all[i][0];
+    total_src += all[i][0];
+    target_off[i + 1] = target_off[i] + all[i][1];
+  }
+  CGP_EXPECTS(total_src == target_off[p]);
+  ctx.charge(p);
+
+  // Send each overlapping slice to its target owner.
+  const std::uint64_t my_end = my_off + local.size();
+  for (std::uint32_t t = 0; t < p && !local.empty(); ++t) {
+    const std::uint64_t lo = std::max<std::uint64_t>(my_off, target_off[t]);
+    const std::uint64_t hi = std::min<std::uint64_t>(my_end, target_off[t + 1]);
+    if (lo >= hi) continue;
+    ctx.send(t, kTagRebal,
+             std::span<const T>(local.data() + (lo - my_off), static_cast<std::size_t>(hi - lo)));
+  }
+  ctx.sync();
+
+  // Messages arrive ordered by source id == ordered by global rank.
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(target_size));
+  for (const auto& msg : ctx.take_all(kTagRebal)) {
+    const auto chunk = msg.template as<T>();
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  ctx.charge(out.size());
+  CGP_ENSURES(out.size() == target_size);
+  return out;
+}
+
+/// Parallel sort by regular sampling.  Returns this processor's slice of
+/// the globally sorted sequence (slice sizes may differ from the input
+/// sizes by up to ~2x; follow with `rebalance` for exact blocks).
+/// `less` must be a strict weak ordering, identical on every processor.
+template <typename T, typename Less = std::less<T>>
+[[nodiscard]] std::vector<T> sample_sort(context& ctx, std::vector<T> local, Less less = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint32_t p = ctx.nprocs();
+
+  // (1) local sort.
+  std::sort(local.begin(), local.end(), less);
+  ctx.charge(local.size() * detail::log2_ceil(local.size() + 1));
+  if (p == 1) return local;
+
+  // (2) regular samples: p per processor, evenly spaced.
+  std::vector<T> samples;
+  samples.reserve(p);
+  if (!local.empty()) {
+    for (std::uint32_t i = 0; i < p; ++i) {
+      const std::size_t pos = static_cast<std::size_t>(
+          (static_cast<std::uint64_t>(i) * local.size() + local.size() / 2) / p);
+      samples.push_back(local[std::min(pos, local.size() - 1)]);
+    }
+  }
+
+  // (3) everyone receives everyone's samples and derives identical
+  // splitters (deterministic: same data, same code).
+  const auto gathered = all_gather(ctx, std::span<const T>(samples));
+  std::vector<T> pool;
+  for (const auto& g : gathered) pool.insert(pool.end(), g.begin(), g.end());
+  std::sort(pool.begin(), pool.end(), less);
+  ctx.charge(pool.size() * detail::log2_ceil(pool.size() + 1));
+  std::vector<T> splitters;
+  splitters.reserve(p - 1);
+  for (std::uint32_t j = 1; j < p && !pool.empty(); ++j)
+    splitters.push_back(pool[std::min(pool.size() - 1,
+                                      static_cast<std::size_t>(
+                                          static_cast<std::uint64_t>(j) * pool.size() / p))]);
+
+  // (4) partition the (sorted) local block by the splitters and exchange.
+  std::vector<std::vector<T>> buckets(p);
+  {
+    std::size_t begin = 0;
+    for (std::uint32_t j = 0; j < p; ++j) {
+      const std::size_t end =
+          (j + 1 < p && j < splitters.size())
+              ? static_cast<std::size_t>(
+                    std::upper_bound(local.begin() + static_cast<std::ptrdiff_t>(begin),
+                                     local.end(), splitters[j], less) -
+                    local.begin())
+              : local.size();
+      buckets[j].assign(local.begin() + static_cast<std::ptrdiff_t>(begin),
+                        local.begin() + static_cast<std::ptrdiff_t>(end));
+      begin = end;
+    }
+  }
+  ctx.charge(local.size());
+  const auto received = all_to_all_v(ctx, std::span<const std::vector<T>>(buckets));
+
+  // (5) merge the p sorted runs (simple binary merge cascade via sort of
+  // runs would be O(m log m); do an explicit k-way merge by repeated
+  // two-way merges, O(m log p)).
+  std::vector<std::vector<T>> runs;
+  runs.reserve(p);
+  for (const auto& r : received)
+    if (!r.empty()) runs.push_back(r);
+  while (runs.size() > 1) {
+    std::vector<std::vector<T>> next;
+    next.reserve((runs.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+      std::vector<T> merged(runs[i].size() + runs[i + 1].size());
+      std::merge(runs[i].begin(), runs[i].end(), runs[i + 1].begin(), runs[i + 1].end(),
+                 merged.begin(), less);
+      ctx.charge(merged.size());
+      next.push_back(std::move(merged));
+    }
+    if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
+    runs = std::move(next);
+  }
+  return runs.empty() ? std::vector<T>{} : std::move(runs.front());
+}
+
+/// Convenience: sample_sort followed by rebalance back to `target_size`.
+template <typename T, typename Less = std::less<T>>
+[[nodiscard]] std::vector<T> sample_sort_balanced(context& ctx, std::vector<T> local,
+                                                  std::uint64_t target_size, Less less = {}) {
+  auto sorted = sample_sort(ctx, std::move(local), less);
+  return rebalance(ctx, sorted, target_size);
+}
+
+}  // namespace cgp::cgm

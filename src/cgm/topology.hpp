@@ -1,0 +1,88 @@
+// cgm/topology.hpp
+//
+// Interconnect-aware cost evaluation.  PRO assumes "the coarse grained
+// communication cost only depends on p and the bandwidth of the considered
+// point-to-point interconnection network" -- this module makes that
+// dependence explicit so the same measured run can be priced on different
+// networks.  Each topology is reduced to a standard congestion model: a
+// superstep moving `total` words with h-relation `h` costs
+//
+//     T_comm = g * max( h ,  total * mean_route_length / usable_links )
+//
+// i.e. the larger of the end-point bottleneck and the bisection/links
+// bottleneck.  The constants per topology are the classical ones:
+//
+//   crossbar   route 1,        p links    (ideal: pure BSP h-relation)
+//   hypercube  route log2(p)/2, p*log2(p)/2 links
+//   mesh2d     route ~sqrt(p)/2, 2p links
+//   ring       route p/4,       p links
+//   bus        route 1,         1 link    (shared medium: total words)
+//
+// Bench e13 re-prices the paper's scaling experiment on all five; tests
+// check the dominance ordering and the crossbar == BSP reduction.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "cgm/cost.hpp"
+
+namespace cgp::cgm {
+
+enum class interconnect : std::uint8_t { crossbar, hypercube, mesh2d, ring, bus };
+
+[[nodiscard]] constexpr const char* interconnect_name(interconnect k) noexcept {
+  switch (k) {
+    case interconnect::crossbar: return "crossbar";
+    case interconnect::hypercube: return "hypercube";
+    case interconnect::mesh2d: return "mesh2d";
+    case interconnect::ring: return "ring";
+    case interconnect::bus: return "bus";
+  }
+  return "?";
+}
+
+/// Cost parameters of a topology-aware machine.
+struct topology_model {
+  interconnect kind = interconnect::crossbar;
+  double sec_per_op = 2.5e-9;    ///< c
+  double sec_per_word = 8.0e-8;  ///< g of one link
+  double latency = 1.0e-4;       ///< L per superstep
+
+  /// Congestion multiplier: mean route length / usable links, times p to
+  /// normalize against the per-processor h-relation scale.
+  [[nodiscard]] double link_load_factor(std::uint32_t p) const noexcept {
+    const double dp = p;
+    const double lg = dp > 1 ? std::log2(dp) : 1.0;
+    switch (kind) {
+      case interconnect::crossbar:
+        return 1.0 / dp;  // total/p: injection-limited only
+      case interconnect::hypercube:
+        return (lg / 2.0) / (dp * lg / 2.0);  // = 1/p
+      case interconnect::mesh2d:
+        return (std::sqrt(dp) / 2.0) / (2.0 * dp);
+      case interconnect::ring:
+        return (dp / 4.0) / dp;
+      case interconnect::bus:
+        return 1.0;
+    }
+    return 1.0;
+  }
+
+  /// Seconds for one superstep's communication.
+  [[nodiscard]] double comm_seconds(const superstep_record& s, std::uint32_t p) const noexcept {
+    const double endpoint = static_cast<double>(s.h_relation());
+    const double links = static_cast<double>(s.total_words) * link_load_factor(p);
+    return sec_per_word * (endpoint > links ? endpoint : links);
+  }
+
+  /// Whole-run model time on this network.
+  [[nodiscard]] double model_seconds(const run_stats& stats, std::uint32_t p) const noexcept {
+    double t = 0.0;
+    for (const auto& s : stats.supersteps)
+      t += sec_per_op * static_cast<double>(s.max_compute) + comm_seconds(s, p) + latency;
+    return t;
+  }
+};
+
+}  // namespace cgp::cgm

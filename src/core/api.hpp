@@ -1,0 +1,32 @@
+// core/api.hpp
+//
+// Umbrella header: the public API of cgmperm.
+//
+//   #include "core/api.hpp"
+//
+//   cgp::cgm::machine mach(/*p=*/8);
+//   std::vector<std::uint64_t> v = ...;
+//   auto shuffled = cgp::core::permute_global(mach, v);
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+#pragma once
+
+#include "cgm/collectives.hpp"   // IWYU pragma: export
+#include "cgm/cost.hpp"          // IWYU pragma: export
+#include "cgm/pro.hpp"           // IWYU pragma: export
+#include "cgm/sample_sort.hpp"   // IWYU pragma: export
+#include "cgm/machine.hpp"       // IWYU pragma: export
+#include "core/comm_matrix.hpp"  // IWYU pragma: export
+#include "core/driver.hpp"       // IWYU pragma: export
+#include "core/parallel_matrix.hpp"  // IWYU pragma: export
+#include "core/permute.hpp"      // IWYU pragma: export
+#include "core/repeat.hpp"       // IWYU pragma: export
+#include "core/routing.hpp"      // IWYU pragma: export
+#include "core/sample_matrix.hpp"  // IWYU pragma: export
+#include "core/sort_permute.hpp"  // IWYU pragma: export
+#include "hyp/multivariate.hpp"  // IWYU pragma: export
+#include "hyp/sample.hpp"        // IWYU pragma: export
+#include "seq/blocked_shuffle.hpp"  // IWYU pragma: export
+#include "seq/fisher_yates.hpp"  // IWYU pragma: export
+#include "seq/rao_sandelius.hpp"  // IWYU pragma: export

@@ -1,0 +1,91 @@
+// core/comm_matrix.hpp
+//
+// The communication matrix A = (a_ij) of the paper's Section 2: a_ij is the
+// number of items source block B_i sends to target block B'_j.  Legal
+// matrices satisfy the conservation laws (paper eqs. (2), (3))
+//
+//     sum_j a_ij = m_i      (row sums: everything B_i holds is sent)
+//     sum_i a_ij = m'_j     (column sums: B'_j is filled exactly)
+//
+// and under a uniform random permutation A is distributed with
+//
+//     P(A) = (prod_i m_i!) (prod_j m'_j!) / ( n!  prod_ij a_ij! )
+//
+// (the number of permutations realizing A over n!) -- the "generalization
+// of the multivariate hypergeometric distribution" of Section 3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/span2d.hpp"
+
+namespace cgp::core {
+
+class comm_matrix {
+ public:
+  comm_matrix() = default;
+  comm_matrix(std::uint32_t rows, std::uint32_t cols)
+      : rows_(rows), cols_(cols), a_(static_cast<std::size_t>(rows) * cols, 0) {}
+
+  [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] std::uint64_t& operator()(std::uint32_t i, std::uint32_t j) noexcept {
+    return a_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  [[nodiscard]] std::uint64_t operator()(std::uint32_t i, std::uint32_t j) const noexcept {
+    return a_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  [[nodiscard]] std::span<std::uint64_t> row(std::uint32_t i) noexcept {
+    return {a_.data() + static_cast<std::size_t>(i) * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> row(std::uint32_t i) const noexcept {
+    return {a_.data() + static_cast<std::size_t>(i) * cols_, cols_};
+  }
+
+  [[nodiscard]] span2d<std::uint64_t> view() noexcept { return {a_.data(), rows_, cols_}; }
+  [[nodiscard]] span2d<const std::uint64_t> view() const noexcept {
+    return {a_.data(), rows_, cols_};
+  }
+
+  /// Total items n = sum of all entries.
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  [[nodiscard]] std::vector<std::uint64_t> row_sums() const;
+  [[nodiscard]] std::vector<std::uint64_t> col_sums() const;
+
+  /// Check the conservation laws (2) and (3) against the given margins.
+  [[nodiscard]] bool satisfies_margins(std::span<const std::uint64_t> row_margins,
+                                       std::span<const std::uint64_t> col_margins) const;
+
+  /// log P(A) under the uniform-permutation-induced distribution (the
+  /// margins are read off the matrix itself).
+  [[nodiscard]] double log_probability() const;
+
+  /// Proposition 4 (self-similarity): merge consecutive row groups and
+  /// column groups given by boundary indices (0 = i_0 < i_1 < ... < i_q =
+  /// rows, same for columns); the result is distributed as the coarser
+  /// problem's communication matrix.
+  [[nodiscard]] comm_matrix merge(std::span<const std::uint32_t> row_bounds,
+                                  std::span<const std::uint32_t> col_bounds) const;
+
+  friend bool operator==(const comm_matrix&, const comm_matrix&) = default;
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<std::uint64_t> a_;
+};
+
+/// Build the communication matrix a permutation *realizes*: item at global
+/// source position g moves to global target position perm[g]; positions are
+/// blocked by the given margins.  This is the "a posteriori" matrix of
+/// Problem 2 and the reference against which sampled matrices are tested.
+[[nodiscard]] comm_matrix matrix_of_permutation(std::span<const std::uint64_t> perm,
+                                                std::span<const std::uint64_t> row_margins,
+                                                std::span<const std::uint64_t> col_margins);
+
+}  // namespace cgp::core

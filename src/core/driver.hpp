@@ -1,0 +1,64 @@
+// core/driver.hpp
+//
+// Whole-vector convenience drivers: scatter a global vector over the
+// machine's processors, run Algorithm 1, gather the permuted vector back.
+// This is the entry point the examples and most tests use; production
+// SPMD code would call `parallel_random_permutation` directly on
+// already-distributed data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "core/permute.hpp"
+#include "util/prefix.hpp"
+
+namespace cgp::core {
+
+/// Permute `data` uniformly at random using machine `mach` (p virtual
+/// processors; data is dealt into balanced blocks).  Returns the permuted
+/// vector; `stats_out`, if given, receives the run's resource accounting.
+template <typename T>
+[[nodiscard]] std::vector<T> permute_global(cgm::machine& mach, const std::vector<T>& data,
+                                            const permute_options& opt = {},
+                                            cgm::run_stats* stats_out = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint32_t p = mach.nprocs();
+  const std::uint64_t n = data.size();
+  std::vector<T> result(data.size());
+
+  // Equal blocks are required by the parallel matrix samplers; fall back to
+  // the general-margins pipeline when p does not divide n.
+  const bool equal = (n % p == 0);
+
+  auto stats = mach.run([&](cgm::context& ctx) {
+    const std::uint64_t off = balanced_block_offset(n, p, ctx.id());
+    const std::uint64_t len = balanced_block_size(n, p, ctx.id());
+    std::vector<T> local(data.begin() + static_cast<std::ptrdiff_t>(off),
+                         data.begin() + static_cast<std::ptrdiff_t>(off + len));
+
+    std::vector<T> permuted =
+        equal ? parallel_random_permutation(ctx, std::move(local), opt)
+              : parallel_random_permutation_general(ctx, std::move(local), len, opt.sampling);
+
+    // Blocks are disjoint slices of `result`, so direct writes are
+    // race-free (this is the "gather" of the driver, free of charge).
+    std::copy(permuted.begin(), permuted.end(),
+              result.begin() + static_cast<std::ptrdiff_t>(off));
+  });
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+  return result;
+}
+
+/// Sample a uniform random permutation pi of {0..n-1} with the parallel
+/// pipeline; returns pi as a vector (pi[i] = image of i).
+[[nodiscard]] inline std::vector<std::uint64_t> random_permutation_global(
+    cgm::machine& mach, std::uint64_t n, const permute_options& opt = {},
+    cgm::run_stats* stats_out = nullptr) {
+  std::vector<std::uint64_t> iota(n);
+  for (std::uint64_t i = 0; i < n; ++i) iota[i] = i;
+  return permute_global(mach, iota, opt, stats_out);
+}
+
+}  // namespace cgp::core

@@ -1,0 +1,212 @@
+#include "core/parallel_matrix.hpp"
+
+#include <array>
+
+#include "hyp/multivariate.hpp"
+#include "rng/stream.hpp"
+#include "util/assert.hpp"
+#include "util/prefix.hpp"
+
+namespace cgp::core {
+
+namespace {
+
+// Message tags private to this translation unit.
+constexpr std::uint32_t kTagBeta = 0x0A15'0001;   // Algorithm 5 hand-off
+constexpr std::uint32_t kTagHand = 0x0A16'0001;   // Algorithm 6: delta-dim quotas
+constexpr std::uint32_t kTagSplit = 0x0A16'0002;  // Algorithm 6: nabla-dim split
+constexpr std::uint32_t kTagRow = 0x0A16'0003;    // Algorithm 6: row redistribution
+
+std::uint32_t levels_for(std::uint32_t p) noexcept {
+  std::uint32_t levels = 0;
+  while ((std::uint64_t{1} << levels) < p) ++levels;
+  return levels;
+}
+
+// One multivariate hypergeometric draw on the processor's own stream, with
+// the cost accounting Theorem 2 tracks (ops linear in the class count, one
+// univariate h(.,.) call per internal node of the splitting tree).
+void draw_group(cgm::context& ctx, std::span<const std::uint64_t> classes, std::uint64_t marks,
+                std::span<std::uint64_t> out, const matrix_options& opt) {
+  if (opt.recursive_rows) {
+    hyp::sample_multivariate_recursive(ctx.rng(), classes, marks, out, opt.pol);
+  } else {
+    hyp::sample_multivariate_chain(ctx.rng(), classes, marks, out, opt.pol);
+  }
+  ctx.charge(classes.size());
+  ctx.charge_hyp_call(classes.size() - 1);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> sample_matrix_logp(cgm::context& ctx, std::uint64_t block,
+                                              const matrix_options& opt) {
+  const std::uint32_t p = ctx.nprocs();
+  const std::uint32_t id = ctx.id();
+
+  // `beta` = column quotas of this head's current row range [r, s); only
+  // range heads hold a non-empty beta.
+  std::vector<std::uint64_t> beta;
+  if (id == 0) beta.assign(p, block);
+  std::uint32_t r = 0;
+  std::uint32_t s = p;
+
+  // Fixed level count keeps every processor in barrier lockstep even when
+  // odd range sizes make some ranges bottom out a level early.
+  const std::uint32_t levels = levels_for(p);
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    if (s - r > 1) {
+      const std::uint32_t q = r + (s - r) / 2;
+      if (id == r) {
+        // The upper half [q, s) holds (s-q)*M items; draw how much of every
+        // column's quota it takes (Proposition 6) and hand that to the new
+        // head P_q.
+        const std::uint64_t upper_total = static_cast<std::uint64_t>(s - q) * block;
+        std::vector<std::uint64_t> to_upper(beta.size());
+        draw_group(ctx, beta, upper_total, to_upper, opt);
+        ctx.send(q, kTagBeta, std::span<const std::uint64_t>(to_upper));
+        for (std::size_t j = 0; j < beta.size(); ++j) beta[j] -= to_upper[j];
+        ctx.charge(beta.size());
+      }
+      ctx.sync();
+      if (id == q) {
+        auto msg = ctx.take(r, kTagBeta);
+        CGP_ASSERT(msg.has_value());
+        beta = msg->as<std::uint64_t>();
+      }
+      if (id >= q) {
+        r = q;
+      } else {
+        s = q;
+      }
+    } else {
+      ctx.sync();  // idle superstep: stay in lockstep
+    }
+  }
+
+  CGP_ENSURES(beta.size() == p);
+  CGP_ENSURES(span_sum(beta) == block);
+  ctx.note_memory(beta.size() * sizeof(std::uint64_t));
+  return beta;
+}
+
+std::vector<std::uint64_t> sample_matrix_optimal(cgm::context& ctx, std::uint64_t block,
+                                                 const matrix_options& opt) {
+  const std::uint32_t p = ctx.nprocs();
+  const std::uint32_t id = ctx.id();
+
+  // beta[d] holds dimension d's quotas over the index range [rd[d], sd[d])
+  // of this processor's current block (d = 0: rows, d = 1: columns); only
+  // range heads hold non-empty vectors.
+  std::array<std::vector<std::uint64_t>, 2> beta;
+  if (id == 0) {
+    beta[0].assign(p, block);
+    beta[1].assign(p, block);
+  }
+  std::uint32_t r = 0;
+  std::uint32_t s = p;
+  std::array<std::uint32_t, 2> rd{0, 0};
+  std::array<std::uint32_t, 2> sd{p, p};
+  std::uint32_t delta = 0;  // dimension split this level; the other is nabla
+
+  const std::uint32_t levels = levels_for(p);
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    if (s - r > 1) {
+      const std::uint32_t nabla = 1 - delta;
+      const std::uint32_t q = r + (s - r) / 2;
+      const std::uint32_t qd = rd[delta] + (sd[delta] - rd[delta]) / 2;
+      if (id == r) {
+        // Hand the upper part [qd, sd) of dimension delta to P_q ...
+        const std::size_t keep = qd - rd[delta];
+        const std::span<const std::uint64_t> hand =
+            std::span<const std::uint64_t>(beta[delta]).subspan(keep);
+        const std::uint64_t handed_total = span_sum(hand);
+        ctx.send(q, kTagHand, hand);
+        // ... together with the conditional split of the other dimension's
+        // quotas between the kept and the handed part (Proposition 6).
+        std::vector<std::uint64_t> to_upper(beta[nabla].size());
+        draw_group(ctx, beta[nabla], handed_total, to_upper, opt);
+        ctx.send(q, kTagSplit, std::span<const std::uint64_t>(to_upper));
+        for (std::size_t j = 0; j < beta[nabla].size(); ++j) beta[nabla][j] -= to_upper[j];
+        beta[delta].resize(keep);
+        ctx.charge(beta[nabla].size());
+      }
+      ctx.sync();
+      if (id == q) {
+        auto hand_msg = ctx.take(r, kTagHand);
+        auto split_msg = ctx.take(r, kTagSplit);
+        CGP_ASSERT(hand_msg.has_value() && split_msg.has_value());
+        beta[delta] = hand_msg->as<std::uint64_t>();
+        beta[nabla] = split_msg->as<std::uint64_t>();
+      }
+      if (id >= q) {
+        r = q;
+        rd[delta] = qd;
+      } else {
+        s = q;
+        sd[delta] = qd;
+      }
+      delta = nabla;
+    } else {
+      ctx.sync();
+    }
+  }
+
+  // Every processor now owns the margins of the submatrix
+  // [rd[0], sd[0]) x [rd[1], sd[1]) (both extents O(sqrt p), eq. (9));
+  // sample it sequentially (Section 4 machinery).
+  CGP_ASSERT(beta[0].size() == sd[0] - rd[0]);
+  CGP_ASSERT(beta[1].size() == sd[1] - rd[1]);
+  CGP_ASSERT(span_sum(beta[0]) == span_sum(beta[1]));
+  const comm_matrix sub = sample_matrix_recursive(ctx.rng(), beta[0], beta[1], opt);
+  ctx.charge(static_cast<std::uint64_t>(sub.rows()) * sub.cols());
+  if (sub.rows() > 1 && sub.cols() > 1)
+    ctx.charge_hyp_call(matrix_hyp_call_count(sub.rows(), sub.cols()));
+  ctx.note_memory((beta[0].size() + beta[1].size() +
+                   static_cast<std::uint64_t>(sub.rows()) * sub.cols()) *
+                  sizeof(std::uint64_t));
+
+  // Redistribute: the owner of global row i is processor i; prepend the
+  // column offset so the receiver can place each segment.
+  for (std::uint32_t i = 0; i < sub.rows(); ++i) {
+    std::vector<std::uint64_t> seg;
+    seg.reserve(sub.cols() + 1);
+    seg.push_back(rd[1]);
+    const auto row = sub.row(i);
+    seg.insert(seg.end(), row.begin(), row.end());
+    ctx.send(rd[0] + i, kTagRow, std::span<const std::uint64_t>(seg));
+  }
+  ctx.sync();
+
+  std::vector<std::uint64_t> my_row(p, 0);
+  for (const auto& msg : ctx.take_all(kTagRow)) {
+    const auto seg = msg.as<std::uint64_t>();
+    CGP_ASSERT(!seg.empty());
+    const auto off = static_cast<std::size_t>(seg[0]);
+    CGP_ASSERT(off + (seg.size() - 1) <= p);
+    for (std::size_t j = 1; j < seg.size(); ++j) my_row[off + j - 1] = seg[j];
+  }
+  ctx.charge(p);
+
+  CGP_ENSURES(span_sum(my_row) == block);
+  return my_row;
+}
+
+std::vector<std::uint64_t> sample_matrix_replicated(cgm::context& ctx,
+                                                    std::span<const std::uint64_t> row_margins,
+                                                    std::span<const std::uint64_t> col_margins,
+                                                    const matrix_options& opt) {
+  CGP_EXPECTS(row_margins.size() == ctx.nprocs());
+  // Every processor draws the *same* matrix from a shared stream: zero
+  // communication, Theta(p p') local work each.
+  rng::counting_engine<rng::philox4x64> shared(
+      rng::phase_stream(ctx.shared_seed(), 0xFFFF'FFFF, 0x5EED));
+  const comm_matrix a = sample_matrix_recursive(shared, row_margins, col_margins, opt);
+  ctx.charge(static_cast<std::uint64_t>(a.rows()) * a.cols());
+  ctx.charge_rng_draws(shared.count());
+  if (a.rows() > 1 && a.cols() > 1) ctx.charge_hyp_call(matrix_hyp_call_count(a.rows(), a.cols()));
+  const auto row = a.row(ctx.id());
+  return {row.begin(), row.end()};
+}
+
+}  // namespace cgp::core

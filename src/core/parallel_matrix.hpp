@@ -1,0 +1,54 @@
+// core/parallel_matrix.hpp
+//
+// Parallel sampling of the communication matrix on the coarse-grained
+// machine, for the symmetric case the paper focuses on (p' = p processors,
+// every block of size M):
+//
+//  * `sample_matrix_logp`    -- Algorithm 5: the processor range is halved
+//    repeatedly; the head of each range holds the column quotas of its row
+//    range and splits them with one multivariate hypergeometric sample per
+//    level, handing the upper half to a new head.  Theta(p log p) time,
+//    communication and h(.,.) calls per processor (Proposition 8).
+//  * `sample_matrix_optimal` -- Algorithm 6: the same halving, but applied
+//    to the *matrix dimensions alternately* (row ranges and column ranges
+//    swap roles each level), so the vectors a head handles shrink
+//    geometrically; every processor finishes with the row/column margins of
+//    an O(sqrt p) x O(sqrt p) submatrix, samples it sequentially, and one
+//    final superstep redistributes rows.  Theta(p) per processor --
+//    cost-optimal (Proposition 9, Theorem 2).
+//  * `sample_matrix_replicated` -- every processor samples the whole matrix
+//    from a *shared* stream (Theta(p^2) work each, zero communication);
+//    the simplest correct baseline, useful when p is tiny and as a
+//    differential-testing oracle for the other two.
+//
+// Each returns this processor's row a_{id,*} of the sampled matrix.  All
+// three draw from the same exact distribution (Problem 2); the tests verify
+// that by chi-squaring each against the closed-form law.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "core/sample_matrix.hpp"
+#include "hyp/sample.hpp"
+
+namespace cgp::core {
+
+/// Algorithm 5.  `block` is M, the per-processor block size.
+[[nodiscard]] std::vector<std::uint64_t> sample_matrix_logp(cgm::context& ctx,
+                                                            std::uint64_t block,
+                                                            const matrix_options& opt = {});
+
+/// Algorithm 6.  `block` is M, the per-processor block size.
+[[nodiscard]] std::vector<std::uint64_t> sample_matrix_optimal(cgm::context& ctx,
+                                                               std::uint64_t block,
+                                                               const matrix_options& opt = {});
+
+/// Replicated sequential sampling from a shared stream (general margins
+/// are supported: every processor passes the same two margin vectors).
+[[nodiscard]] std::vector<std::uint64_t> sample_matrix_replicated(
+    cgm::context& ctx, std::span<const std::uint64_t> row_margins,
+    std::span<const std::uint64_t> col_margins, const matrix_options& opt = {});
+
+}  // namespace cgp::core

@@ -1,0 +1,163 @@
+// core/permute.hpp
+//
+// Algorithm 1 of the paper -- the headline result: a uniform random
+// permutation of n = p*M items distributed over p processors, with O(M + p)
+// memory, time, random numbers and bandwidth per processor (Theorem 1).
+//
+//   1. every source processor shuffles its block locally (Fisher-Yates);
+//   2. the processors cooperatively sample a random communication matrix A
+//      from the exact permutation-induced distribution (Problem 2;
+//      Algorithm 5, Algorithm 6, or replicated sequential sampling);
+//   3. one all-to-all superstep routes a_{i,j} items from P_i to P'_j;
+//   4. every target processor shuffles what it received.
+//
+// The two local shuffles make every permutation *realizing* A equally
+// likely; the matrix law makes every A correctly likely; together the
+// result is exactly uniform over all n! permutations (Propositions 1, 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cgm/collectives.hpp"
+#include "cgm/machine.hpp"
+#include "core/parallel_matrix.hpp"
+#include "core/sample_matrix.hpp"
+#include "seq/fisher_yates.hpp"
+#include "util/assert.hpp"
+#include "util/prefix.hpp"
+
+namespace cgp::core {
+
+/// Which algorithm samples the communication matrix.
+enum class matrix_algorithm : std::uint8_t {
+  optimal,     ///< Algorithm 6: Theta(p) per processor (the paper's result)
+  logp,        ///< Algorithm 5: Theta(p log p) per processor
+  replicated,  ///< shared-stream sequential sampling: Theta(p^2) per processor
+};
+
+/// Options for the parallel permutation.
+struct permute_options {
+  matrix_algorithm matrix = matrix_algorithm::optimal;
+  matrix_options sampling{};  ///< sequential sampling knobs (split rule, policy)
+};
+
+/// Sample this processor's row of the communication matrix for equal block
+/// size `block` using the selected algorithm.
+[[nodiscard]] inline std::vector<std::uint64_t> sample_matrix_row(cgm::context& ctx,
+                                                                  std::uint64_t block,
+                                                                  const permute_options& opt) {
+  switch (opt.matrix) {
+    case matrix_algorithm::logp:
+      return sample_matrix_logp(ctx, block, opt.sampling);
+    case matrix_algorithm::replicated: {
+      const std::vector<std::uint64_t> margins(ctx.nprocs(), block);
+      return sample_matrix_replicated(ctx, margins, margins, opt.sampling);
+    }
+    case matrix_algorithm::optimal:
+    default:
+      return sample_matrix_optimal(ctx, block, opt.sampling);
+  }
+}
+
+/// Algorithm 1 (SPMD body; equal blocks).  `local` is this processor's
+/// block B_id of M items; returns the processor's block of the globally
+/// uniformly permuted vector (also M items).  Collective: every processor
+/// of the machine must call it with the same options and block size.
+template <typename T>
+[[nodiscard]] std::vector<T> parallel_random_permutation(cgm::context& ctx, std::vector<T> local,
+                                                         const permute_options& opt = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint32_t p = ctx.nprocs();
+  const std::uint64_t block = local.size();
+  ctx.note_memory(local.size() * sizeof(T));
+
+  // (1) local pre-shuffle: makes "which a_ij items go to P_j" a uniform
+  // choice without any further randomness.
+  seq::fisher_yates(ctx.rng(), std::span<T>(local));
+  ctx.charge(block);
+
+  // (2) the communication matrix row a_{id, *}.
+  const std::vector<std::uint64_t> row = sample_matrix_row(ctx, block, opt);
+  CGP_ASSERT(row.size() == p);
+  CGP_ASSERT(span_sum(row) == block);
+
+  // (3) all-to-all: consecutive segments of the shuffled block, sized by
+  // the row.  (Proposition 1: row/column sums keep this balanced.)
+  std::vector<std::vector<T>> chunks(p);
+  {
+    std::uint64_t off = 0;
+    for (std::uint32_t d = 0; d < p; ++d) {
+      const auto len = static_cast<std::size_t>(row[d]);
+      chunks[d].assign(local.begin() + static_cast<std::ptrdiff_t>(off),
+                       local.begin() + static_cast<std::ptrdiff_t>(off + len));
+      off += len;
+    }
+    CGP_ASSERT(off == block);
+  }
+  const std::vector<std::vector<T>> received =
+      cgm::all_to_all_v(ctx, std::span<const std::vector<T>>(chunks));
+
+  // (4) concatenate in source order and post-shuffle: mixes the received
+  // segments uniformly.
+  std::vector<T> result;
+  result.reserve(block);
+  for (const auto& seg : received) result.insert(result.end(), seg.begin(), seg.end());
+  CGP_ASSERT(result.size() == block);
+  ctx.note_memory(2 * result.size() * sizeof(T));
+  seq::fisher_yates(ctx.rng(), std::span<T>(result));
+  ctx.charge(block);
+
+  return result;
+}
+
+/// General-margins variant (Problem 1 with arbitrary source/target blocks
+/// m_i, m'_j).  The matrix is sampled with the replicated algorithm (the
+/// parallel samplers cover the symmetric case the paper focuses on).
+/// `target_size` is this processor's m'_id.
+template <typename T>
+[[nodiscard]] std::vector<T> parallel_random_permutation_general(cgm::context& ctx,
+                                                                 std::vector<T> local,
+                                                                 std::uint64_t target_size,
+                                                                 const matrix_options& opt = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint32_t p = ctx.nprocs();
+
+  // Collect both margin vectors (O(p) words per processor: within budget).
+  const std::uint64_t sizes[2] = {local.size(), target_size};
+  const auto all_sizes = cgm::all_gather(ctx, std::span<const std::uint64_t>(sizes, 2));
+  std::vector<std::uint64_t> row_margins(p);
+  std::vector<std::uint64_t> col_margins(p);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    row_margins[i] = all_sizes[i][0];
+    col_margins[i] = all_sizes[i][1];
+  }
+  CGP_ASSERT(span_sum(row_margins) == span_sum(col_margins));
+
+  seq::fisher_yates(ctx.rng(), std::span<T>(local));
+  ctx.charge(local.size());
+
+  const std::vector<std::uint64_t> row = sample_matrix_replicated(ctx, row_margins, col_margins, opt);
+
+  std::vector<std::vector<T>> chunks(p);
+  std::uint64_t off = 0;
+  for (std::uint32_t d = 0; d < p; ++d) {
+    const auto len = static_cast<std::size_t>(row[d]);
+    chunks[d].assign(local.begin() + static_cast<std::ptrdiff_t>(off),
+                     local.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+  }
+  CGP_ASSERT(off == local.size());
+  const auto received = cgm::all_to_all_v(ctx, std::span<const std::vector<T>>(chunks));
+
+  std::vector<T> result;
+  result.reserve(target_size);
+  for (const auto& seg : received) result.insert(result.end(), seg.begin(), seg.end());
+  CGP_ASSERT(result.size() == target_size);
+  seq::fisher_yates(ctx.rng(), std::span<T>(result));
+  ctx.charge(result.size());
+  return result;
+}
+
+}  // namespace cgp::core

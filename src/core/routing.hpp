@@ -1,0 +1,199 @@
+// core/routing.hpp
+//
+// Permutation ROUTING -- deliberately separate from permutation
+// GENERATION.  The paper's Section 1 warns that its problem is "not to be
+// confounded with the permutation routing problem" (Kruskal/Rudolph/Snir
+// and the BSP h-relation literature): routing moves data along a *given*
+// permutation; the paper's contribution is sampling the permutation
+// itself.  This module provides the routing side so the two can be
+// composed: generate pi with Algorithm 1's machinery, then route payloads
+// by pi, or invert pi, all in one balanced h-relation each.
+//
+// Layout convention: a "distributed permutation" pi is a vector of n
+// distinct global indices stored blockwise (processor i holds
+// pi[off_i .. off_i + m_i)), like every other distributed vector here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/collectives.hpp"
+#include "cgm/machine.hpp"
+#include "util/assert.hpp"
+#include "util/prefix.hpp"
+
+namespace cgp::core {
+
+namespace detail {
+
+/// Gather the blockwise layout of a distributed vector: every processor
+/// announces its local size; returns the global offsets (size p+1).
+inline std::vector<std::uint64_t> layout_offsets(cgm::context& ctx, std::uint64_t local_size) {
+  const std::uint64_t mine[1] = {local_size};
+  const auto all = cgm::all_gather(ctx, std::span<const std::uint64_t>(mine, 1));
+  std::vector<std::uint64_t> off(ctx.nprocs() + 1, 0);
+  for (std::uint32_t i = 0; i < ctx.nprocs(); ++i) off[i + 1] = off[i] + all[i][0];
+  ctx.charge(ctx.nprocs());
+  return off;
+}
+
+inline std::uint32_t owner_of(const std::vector<std::uint64_t>& off, std::uint64_t g) noexcept {
+  std::uint32_t lo = 0;
+  auto hi = static_cast<std::uint32_t>(off.size() - 1);
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (off[mid] <= g) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace detail
+
+/// Route `local_data` along the distributed permutation `local_pi`
+/// (same local length): the item at global position g moves to global
+/// position pi[g].  Returns this processor's block of the routed vector.
+/// One all-to-all superstep; the h-relation is exactly the communication
+/// matrix pi realizes (Section 2's a_ij, a posteriori).
+template <typename T>
+[[nodiscard]] std::vector<T> route_by_permutation(cgm::context& ctx,
+                                                  const std::vector<T>& local_data,
+                                                  const std::vector<std::uint64_t>& local_pi) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CGP_EXPECTS(local_data.size() == local_pi.size());
+  constexpr std::uint32_t kTagRoute = 0x4009'0001;
+  const std::uint32_t p = ctx.nprocs();
+
+  const auto off = detail::layout_offsets(ctx, local_pi.size());
+  const std::uint64_t my_off = off[ctx.id()];
+  const std::uint64_t n = off[p];
+
+  // Stage (destination, value) pairs per owner.
+  struct slot {
+    std::uint64_t pos;
+    T value;
+  };
+  std::vector<std::vector<slot>> outgoing(p);
+  for (std::size_t i = 0; i < local_pi.size(); ++i) {
+    const std::uint64_t dest = local_pi[i];
+    CGP_EXPECTS(dest < n);
+    outgoing[detail::owner_of(off, dest)].push_back(slot{dest, local_data[i]});
+    (void)my_off;
+  }
+  ctx.charge(local_pi.size());
+  for (std::uint32_t d = 0; d < p; ++d)
+    ctx.send(d, kTagRoute, std::span<const slot>(outgoing[d]));
+  ctx.sync();
+
+  std::vector<T> out(local_pi.size());
+  std::uint64_t received = 0;
+  for (const auto& msg : ctx.take_all(kTagRoute)) {
+    for (const auto& s : msg.template as<slot>()) {
+      const std::uint64_t local_pos = s.pos - off[ctx.id()];
+      CGP_ASSERT(local_pos < out.size());
+      out[static_cast<std::size_t>(local_pos)] = s.value;
+      ++received;
+    }
+  }
+  ctx.charge(received);
+  CGP_ENSURES(received == out.size());
+  return out;
+}
+
+/// Invert a distributed permutation: returns this processor's block of
+/// pi^-1 (same layout).  One all-to-all superstep: the pair (g -> pi[g])
+/// is sent to the owner of position pi[g], which records pi^-1[pi[g]] = g.
+[[nodiscard]] inline std::vector<std::uint64_t> invert_permutation(
+    cgm::context& ctx, const std::vector<std::uint64_t>& local_pi) {
+  constexpr std::uint32_t kTagInv = 0x4009'0002;
+  const std::uint32_t p = ctx.nprocs();
+  const auto off = detail::layout_offsets(ctx, local_pi.size());
+  const std::uint64_t my_off = off[ctx.id()];
+  const std::uint64_t n = off[p];
+
+  struct pair64 {
+    std::uint64_t image;   // pi[g]
+    std::uint64_t source;  // g
+  };
+  std::vector<std::vector<pair64>> outgoing(p);
+  for (std::size_t i = 0; i < local_pi.size(); ++i) {
+    const std::uint64_t image = local_pi[i];
+    CGP_EXPECTS(image < n);
+    outgoing[detail::owner_of(off, image)].push_back(pair64{image, my_off + i});
+  }
+  ctx.charge(local_pi.size());
+  for (std::uint32_t d = 0; d < p; ++d)
+    ctx.send(d, kTagInv, std::span<const pair64>(outgoing[d]));
+  ctx.sync();
+
+  std::vector<std::uint64_t> inv(local_pi.size());
+  std::uint64_t received = 0;
+  for (const auto& msg : ctx.take_all(kTagInv)) {
+    for (const auto& pr : msg.as<pair64>()) {
+      const std::uint64_t local_pos = pr.image - off[ctx.id()];
+      CGP_ASSERT(local_pos < inv.size());
+      inv[static_cast<std::size_t>(local_pos)] = pr.source;
+      ++received;
+    }
+  }
+  ctx.charge(received);
+  CGP_ENSURES(received == inv.size());
+  return inv;
+}
+
+/// Compose two distributed permutations blockwise: returns sigma o pi
+/// (i.e. (sigma o pi)[g] = sigma[pi[g]]), same layout.  Implemented as a
+/// route of sigma's values along pi^-1... equivalently: fetch sigma at
+/// positions pi[g].  One request + one reply superstep.
+[[nodiscard]] inline std::vector<std::uint64_t> compose_permutations(
+    cgm::context& ctx, const std::vector<std::uint64_t>& local_pi,
+    const std::vector<std::uint64_t>& local_sigma) {
+  constexpr std::uint32_t kTagReq = 0x4009'0003;
+  constexpr std::uint32_t kTagRep = 0x4009'0004;
+  CGP_EXPECTS(local_pi.size() == local_sigma.size());
+  const std::uint32_t p = ctx.nprocs();
+  const auto off = detail::layout_offsets(ctx, local_pi.size());
+  const std::uint64_t my_off = off[ctx.id()];
+
+  struct req {
+    std::uint64_t at;    // global index into sigma
+    std::uint64_t from;  // requesting global position
+  };
+  std::vector<std::vector<req>> requests(p);
+  for (std::size_t i = 0; i < local_pi.size(); ++i)
+    requests[detail::owner_of(off, local_pi[i])].push_back(req{local_pi[i], my_off + i});
+  ctx.charge(local_pi.size());
+  for (std::uint32_t d = 0; d < p; ++d)
+    ctx.send(d, kTagReq, std::span<const req>(requests[d]));
+  ctx.sync();
+
+  struct rep {
+    std::uint64_t from;   // requesting global position
+    std::uint64_t value;  // sigma[at]
+  };
+  std::vector<std::vector<rep>> replies(p);
+  for (const auto& msg : ctx.take_all(kTagReq)) {
+    for (const auto& r : msg.as<req>()) {
+      const std::uint64_t local_pos = r.at - my_off;
+      CGP_ASSERT(local_pos < local_sigma.size());
+      replies[detail::owner_of(off, r.from)].push_back(
+          rep{r.from, local_sigma[static_cast<std::size_t>(local_pos)]});
+    }
+  }
+  for (std::uint32_t d = 0; d < p; ++d)
+    ctx.send(d, kTagRep, std::span<const rep>(replies[d]));
+  ctx.sync();
+
+  std::vector<std::uint64_t> out(local_pi.size());
+  for (const auto& msg : ctx.take_all(kTagRep)) {
+    for (const auto& r : msg.as<rep>())
+      out[static_cast<std::size_t>(r.from - my_off)] = r.value;
+  }
+  ctx.charge(out.size());
+  return out;
+}
+
+}  // namespace cgp::core

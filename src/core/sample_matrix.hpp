@@ -1,0 +1,148 @@
+// core/sample_matrix.hpp
+//
+// Sequential sampling of a random communication matrix with the exact
+// distribution induced by uniform permutations (the paper's Problem 2):
+//
+//  * `sample_matrix_rowwise`   -- Algorithm 3: peel off one row at a time,
+//    drawing it as a multivariate hypergeometric split of the remaining
+//    column quotas (Proposition 6 with i1 = p-1).  O(p p') operations and
+//    O(p p') calls to the univariate sampler (Proposition 7).
+//  * `sample_matrix_recursive` -- Algorithm 4 (RecMat): split the row range
+//    at q, draw how much of each column quota goes to the upper half, and
+//    recurse.  Same distribution and asymptotics; with balanced splits the
+//    parameters of the hypergeometric calls shrink geometrically, which is
+//    the stepping stone to the parallel Algorithms 5/6.
+//
+// Both are engine-generic templates; both return matrices that *provably*
+// satisfy the conservation laws (checked by postcondition).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "hyp/multivariate.hpp"
+#include "hyp/sample.hpp"
+#include "rng/engine.hpp"
+#include "util/assert.hpp"
+#include "util/prefix.hpp"
+
+namespace cgp::core {
+
+/// How RecMat picks its split point q.
+enum class split_rule : std::uint8_t {
+  balanced,  ///< q = p/2: balanced divide and conquer (the parallel shape)
+  chain,     ///< q = p-1: degenerates to Algorithm 3's row peeling
+};
+
+/// Options for the sequential matrix samplers.
+struct matrix_options {
+  hyp::policy pol{};                     ///< univariate sampler policy
+  split_rule split = split_rule::balanced;  ///< RecMat split choice
+  bool recursive_rows = true;  ///< sample each row split with the balanced
+                               ///< recursive MVH (vs. Algorithm 2's chain)
+};
+
+namespace detail {
+
+/// Draw one row-range split: of the column quotas `cols`, how much goes to
+/// a row group holding `group_total` items.  This is exactly one
+/// multivariate hypergeometric sample (Proposition 6).
+template <rng::random_engine64 Engine>
+void sample_row_group(Engine& engine, std::span<const std::uint64_t> cols,
+                      std::uint64_t group_total, std::span<std::uint64_t> out,
+                      const matrix_options& opt) {
+  if (opt.recursive_rows) {
+    hyp::sample_multivariate_recursive(engine, cols, group_total, out, opt.pol);
+  } else {
+    hyp::sample_multivariate_chain(engine, cols, group_total, out, opt.pol);
+  }
+}
+
+template <rng::random_engine64 Engine>
+void recmat(Engine& engine, std::span<const std::uint64_t> row_margins,
+            std::vector<std::uint64_t> col_quota, comm_matrix& out, std::uint32_t row_lo,
+            const matrix_options& opt) {
+  const auto p = static_cast<std::uint32_t>(row_margins.size());
+  CGP_ASSERT_DBG(p >= 1);
+  if (p == 1) {
+    // Base case: a single row *is* its remaining column quota.
+    auto row = out.row(row_lo);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = col_quota[j];
+    return;
+  }
+  // Choose the split index 0 < q < p.
+  const std::uint32_t q = (opt.split == split_rule::balanced) ? p / 2 : p - 1;
+
+  // Total items in the upper row group [q, p).
+  std::uint64_t upper_total = 0;
+  for (std::uint32_t i = q; i < p; ++i) upper_total += row_margins[i];
+
+  // Split each column quota between the two halves.
+  std::vector<std::uint64_t> to_upper(col_quota.size());
+  sample_row_group(engine, col_quota, upper_total, to_upper, opt);
+
+  std::vector<std::uint64_t> to_lower(col_quota.size());
+  for (std::size_t j = 0; j < col_quota.size(); ++j) to_lower[j] = col_quota[j] - to_upper[j];
+
+  recmat(engine, row_margins.first(q), std::move(to_lower), out, row_lo, opt);
+  recmat(engine, row_margins.subspan(q), std::move(to_upper), out, row_lo + q, opt);
+}
+
+}  // namespace detail
+
+/// Algorithm 3: sequential row-peeling sampler.
+template <rng::random_engine64 Engine>
+[[nodiscard]] comm_matrix sample_matrix_rowwise(Engine& engine,
+                                                std::span<const std::uint64_t> row_margins,
+                                                std::span<const std::uint64_t> col_margins,
+                                                const matrix_options& opt = {}) {
+  CGP_EXPECTS(!row_margins.empty() && !col_margins.empty());
+  CGP_EXPECTS(span_sum(row_margins) == span_sum(col_margins));
+  const auto p = static_cast<std::uint32_t>(row_margins.size());
+  const auto pc = static_cast<std::uint32_t>(col_margins.size());
+
+  comm_matrix a(p, pc);
+  std::vector<std::uint64_t> quota(col_margins.begin(), col_margins.end());
+  // Peel rows p-1 .. 1; row 0 receives the leftover quotas (the paper loops
+  // i = p-1, ..., 0 with the final iteration forced).
+  for (std::uint32_t i = p; i-- > 1;) {
+    detail::sample_row_group(engine, quota, row_margins[i], a.row(i), opt);
+    for (std::uint32_t j = 0; j < pc; ++j) quota[j] -= a(i, j);
+  }
+  auto row0 = a.row(0);
+  for (std::uint32_t j = 0; j < pc; ++j) row0[j] = quota[j];
+
+  CGP_ENSURES(a.satisfies_margins(row_margins, col_margins));
+  return a;
+}
+
+/// Algorithm 4 (RecMat): recursive divide-and-conquer sampler.
+template <rng::random_engine64 Engine>
+[[nodiscard]] comm_matrix sample_matrix_recursive(Engine& engine,
+                                                  std::span<const std::uint64_t> row_margins,
+                                                  std::span<const std::uint64_t> col_margins,
+                                                  const matrix_options& opt = {}) {
+  CGP_EXPECTS(!row_margins.empty() && !col_margins.empty());
+  CGP_EXPECTS(span_sum(row_margins) == span_sum(col_margins));
+  const auto p = static_cast<std::uint32_t>(row_margins.size());
+  const auto pc = static_cast<std::uint32_t>(col_margins.size());
+
+  comm_matrix a(p, pc);
+  std::vector<std::uint64_t> quota(col_margins.begin(), col_margins.end());
+  detail::recmat(engine, row_margins, std::move(quota), a, 0, opt);
+
+  CGP_ENSURES(a.satisfies_margins(row_margins, col_margins));
+  return a;
+}
+
+/// Number of univariate h(.,.) calls the samplers make for a p x p' matrix:
+/// every row split of a k-column quota costs k-1 univariate calls and there
+/// are p-1 splits, independent of the recursion shape.
+[[nodiscard]] constexpr std::uint64_t matrix_hyp_call_count(std::uint32_t p,
+                                                            std::uint32_t p_cols) noexcept {
+  return static_cast<std::uint64_t>(p - 1) * (p_cols - 1);
+}
+
+}  // namespace cgp::core

@@ -1,0 +1,67 @@
+// core/sort_permute.hpp
+//
+// The sorting-based parallel random permutation of Goodrich [1997], the
+// related-work baseline of the paper's Section 1: "this algorithm has a
+// superlinear total cost (log n per item) and is not work-optimal".
+//
+// Tag every item with a random 128-bit key and sort by key with the
+// coarse-grained sample sort; the value order of the sorted sequence is a
+// uniform permutation conditional on key distinctness (collision
+// probability < n^2 / 2^129 -- astronomically below every statistical test
+// this library can run, but not *exactly* zero, which is itself an
+// interesting contrast with Algorithm 1's exact uniformity).
+//
+// Its purpose here is quantitative: bench e11 measures its Theta(log n)
+// work overhead and its transient 2x imbalance against Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "cgm/sample_sort.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::core {
+
+namespace detail {
+
+template <typename T>
+struct keyed_item {
+  std::uint64_t k0;
+  std::uint64_t k1;
+  T value;
+
+  friend bool operator<(const keyed_item& a, const keyed_item& b) noexcept {
+    if (a.k0 != b.k0) return a.k0 < b.k0;
+    return a.k1 < b.k1;
+  }
+};
+
+}  // namespace detail
+
+/// Permute the distributed vector by sorting random 128-bit keys (SPMD
+/// body; collective).  Returns a block of the same size as the input.
+template <typename T>
+[[nodiscard]] std::vector<T> parallel_sort_permutation(cgm::context& ctx, std::vector<T> local) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  using item = detail::keyed_item<T>;
+
+  std::vector<item> keyed(local.size());
+  for (std::size_t i = 0; i < local.size(); ++i)
+    keyed[i] = item{ctx.rng()(), ctx.rng()(), local[i]};
+  ctx.charge(local.size());
+  const std::uint64_t m = local.size();
+  local.clear();
+  local.shrink_to_fit();
+
+  const auto sorted = cgm::sample_sort_balanced(ctx, std::move(keyed), m);
+
+  std::vector<T> out;
+  out.reserve(sorted.size());
+  for (const auto& it : sorted) out.push_back(it.value);
+  ctx.charge(out.size());
+  return out;
+}
+
+}  // namespace cgp::core

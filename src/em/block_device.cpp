@@ -1,0 +1,104 @@
+#include "em/block_device.hpp"
+
+#include <algorithm>
+
+namespace cgp::em {
+
+block_device::block_device(std::uint64_t item_capacity, std::uint32_t block_items)
+    : item_capacity_(item_capacity),
+      block_items_(block_items),
+      blocks_((item_capacity + block_items - 1) / block_items) {
+  CGP_EXPECTS(block_items >= 1);
+  data_.assign(blocks_ * block_items_, 0);
+}
+
+void block_device::read_block(std::uint64_t b, std::span<std::uint64_t> out) {
+  CGP_EXPECTS(b < blocks_);
+  CGP_EXPECTS(out.size() == block_items_);
+  const auto* src = data_.data() + b * block_items_;
+  std::copy(src, src + block_items_, out.begin());
+  ++stats_.block_reads;
+}
+
+void block_device::write_block(std::uint64_t b, std::span<const std::uint64_t> in) {
+  CGP_EXPECTS(b < blocks_);
+  CGP_EXPECTS(in.size() == block_items_);
+  std::copy(in.begin(), in.end(), data_.begin() + static_cast<std::ptrdiff_t>(b * block_items_));
+  ++stats_.block_writes;
+}
+
+void block_device::poke(std::uint64_t item, std::uint64_t value) noexcept {
+  CGP_ASSERT(item < item_capacity_);
+  data_[item] = value;
+}
+
+std::uint64_t block_device::peek(std::uint64_t item) const noexcept {
+  CGP_ASSERT(item < item_capacity_);
+  return data_[item];
+}
+
+buffer_pool::buffer_pool(block_device& dev, std::uint32_t frames) : dev_(dev), frames_(frames) {
+  CGP_EXPECTS(frames >= 1);
+  pool_.reserve(frames);
+}
+
+buffer_pool::~buffer_pool() { flush(); }
+
+std::size_t buffer_pool::touch(std::uint64_t block) {
+  if (const auto it = where_.find(block); it != where_.end()) {
+    ++stats_.cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+    return *it->second;
+  }
+
+  std::size_t idx;
+  if (pool_.size() < frames_) {
+    idx = pool_.size();
+    pool_.emplace_back();
+    pool_[idx].data.assign(dev_.block_items(), 0);
+  } else {
+    // Evict the least recently used frame.
+    idx = lru_.back();
+    lru_.pop_back();
+    frame& victim = pool_[idx];
+    where_.erase(victim.block);
+    if (victim.dirty) {
+      dev_.write_block(victim.block, victim.data);
+      ++stats_.block_writes;
+      victim.dirty = false;
+    }
+  }
+
+  frame& f = pool_[idx];
+  f.block = block;
+  dev_.read_block(block, f.data);
+  ++stats_.block_reads;
+  lru_.push_front(idx);
+  where_[block] = lru_.begin();
+  return idx;
+}
+
+std::uint64_t buffer_pool::read_item(std::uint64_t item) {
+  const std::uint64_t block = item / dev_.block_items();
+  const std::size_t idx = touch(block);
+  return pool_[idx].data[item % dev_.block_items()];
+}
+
+void buffer_pool::write_item(std::uint64_t item, std::uint64_t value) {
+  const std::uint64_t block = item / dev_.block_items();
+  const std::size_t idx = touch(block);
+  pool_[idx].data[item % dev_.block_items()] = value;
+  pool_[idx].dirty = true;
+}
+
+void buffer_pool::flush() {
+  for (auto& f : pool_) {
+    if (f.dirty) {
+      dev_.write_block(f.block, f.data);
+      ++stats_.block_writes;
+      f.dirty = false;
+    }
+  }
+}
+
+}  // namespace cgp::em

@@ -1,0 +1,107 @@
+// em/block_device.hpp
+//
+// The external-memory substrate for the paper's Section 6 outlook: "In
+// view of the idea to use efficient coarse grained algorithms also for the
+// context of external memory, see Cormen and Goodrich [1996], Dehne et al.
+// [1997] ..." -- coarse-grained supersteps map onto scan passes of a disk,
+// with the I/O count playing the role of communication volume.
+//
+// `block_device` simulates a disk of fixed-size blocks with exact I/O
+// accounting; `buffer_pool` puts an LRU cache of `frames` blocks in front
+// of it (the "M" of the I/O model, in blocks).  Algorithms built on top
+// are measured in *block transfers*, the currency of the
+// Aggarwal-Vitter I/O model.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cgp::em {
+
+/// I/O statistics of a device or pool.
+struct io_stats {
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+  std::uint64_t cache_hits = 0;
+
+  [[nodiscard]] std::uint64_t transfers() const noexcept { return block_reads + block_writes; }
+};
+
+/// A simulated disk of `u64` items grouped into blocks of `block_items`.
+/// All access is whole-block; partial blocks at the end are materialized
+/// at full size (standard device behaviour).
+class block_device {
+ public:
+  block_device(std::uint64_t item_capacity, std::uint32_t block_items);
+
+  [[nodiscard]] std::uint32_t block_items() const noexcept { return block_items_; }
+  [[nodiscard]] std::uint64_t item_capacity() const noexcept { return item_capacity_; }
+  [[nodiscard]] std::uint64_t block_count() const noexcept { return blocks_; }
+  [[nodiscard]] const io_stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = io_stats{}; }
+
+  /// Read block `b` into `out` (size == block_items).  Counts one read.
+  void read_block(std::uint64_t b, std::span<std::uint64_t> out);
+
+  /// Write block `b` from `in` (size == block_items).  Counts one write.
+  void write_block(std::uint64_t b, std::span<const std::uint64_t> in);
+
+  /// Test helpers: bulk item access WITHOUT I/O accounting (used by tests
+  /// to load/verify content, never by algorithms).
+  void poke(std::uint64_t item, std::uint64_t value) noexcept;
+  [[nodiscard]] std::uint64_t peek(std::uint64_t item) const noexcept;
+
+ private:
+  std::uint64_t item_capacity_;
+  std::uint32_t block_items_;
+  std::uint64_t blocks_;
+  std::vector<std::uint64_t> data_;
+  io_stats stats_;
+};
+
+/// LRU buffer pool over a device: `frames` cached blocks ("M/B" of the I/O
+/// model).  Item-granular access; dirty blocks write back on eviction and
+/// flush().  Cache hits are counted separately from device transfers (the
+/// device's own stats see only the misses).
+class buffer_pool {
+ public:
+  buffer_pool(block_device& dev, std::uint32_t frames);
+  ~buffer_pool();
+
+  buffer_pool(const buffer_pool&) = delete;
+  buffer_pool& operator=(const buffer_pool&) = delete;
+
+  [[nodiscard]] std::uint64_t read_item(std::uint64_t item);
+  void write_item(std::uint64_t item, std::uint64_t value);
+
+  /// Write back every dirty frame.
+  void flush();
+
+  [[nodiscard]] std::uint32_t frames() const noexcept { return frames_; }
+  [[nodiscard]] const io_stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct frame {
+    std::uint64_t block = 0;
+    bool dirty = false;
+    std::vector<std::uint64_t> data;
+  };
+
+  /// Pin the frame holding `block`, loading/evicting as needed; returns
+  /// its index and bumps it to most-recently-used.
+  std::size_t touch(std::uint64_t block);
+
+  block_device& dev_;
+  std::uint32_t frames_;
+  std::vector<frame> pool_;
+  std::list<std::size_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::size_t>::iterator> where_;
+  io_stats stats_;
+};
+
+}  // namespace cgp::em

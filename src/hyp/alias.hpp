@@ -1,0 +1,98 @@
+// hyp/alias.hpp
+//
+// Walker/Vose alias tables for *repeated* sampling from one fixed
+// hypergeometric (or any finite discrete) distribution: O(support) setup,
+// then O(1) and exactly two random numbers per sample.  The matrix samplers
+// draw from a fresh parameter triple every call, so the dispatcher never
+// uses this; it exists for workloads that resample a fixed distribution
+// (e.g. the statistical tests, and the E7 sampler ablation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hyp/pmf.hpp"
+#include "rng/engine.hpp"
+#include "rng/uniform.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::hyp {
+
+/// Alias table over a dense pmf on {offset, offset+1, ..., offset+K-1}.
+class alias_table {
+ public:
+  /// Build from (not necessarily normalized) non-negative weights.
+  explicit alias_table(std::span<const double> weights, std::uint64_t offset = 0);
+
+  /// Build the table of h(t,w,b) over its exact support.
+  [[nodiscard]] static alias_table for_hypergeometric(const params& p);
+
+  /// Sample one value; two engine draws (bucket index + threshold).
+  template <rng::random_engine64 Engine>
+  [[nodiscard]] std::uint64_t operator()(Engine& engine) const {
+    const auto i =
+        static_cast<std::size_t>(rng::uniform_below(engine, prob_.size()));
+    const double u = rng::canonical_double(engine);
+    return offset_ + (u < prob_[i] ? i : alias_[i]);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  std::vector<double> prob_;        // acceptance threshold per bucket
+  std::vector<std::uint32_t> alias_;  // overflow target per bucket
+  std::uint64_t offset_ = 0;
+};
+
+inline alias_table::alias_table(std::span<const double> weights, std::uint64_t offset)
+    : prob_(weights.size()), alias_(weights.size()), offset_(offset) {
+  CGP_EXPECTS(!weights.empty());
+  const std::size_t k = weights.size();
+  double total = 0.0;
+  for (const double w : weights) {
+    CGP_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  CGP_EXPECTS(total > 0.0);
+
+  // Scaled weights; Vose's two-worklist construction.
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i) scaled[i] = weights[i] * static_cast<double>(k) / total;
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t g = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = g;
+    scaled[g] = (scaled[g] + scaled[s]) - 1.0;
+    if (scaled[g] < 1.0) {
+      large.pop_back();
+      small.push_back(g);
+    }
+  }
+  // Leftovers (either list) have weight 1 up to rounding.
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+inline alias_table alias_table::for_hypergeometric(const params& p) {
+  return alias_table(pmf_table(p), support_min(p));
+}
+
+}  // namespace cgp::hyp

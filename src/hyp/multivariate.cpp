@@ -1,0 +1,29 @@
+#include "hyp/multivariate.hpp"
+
+#include <limits>
+
+namespace cgp::hyp {
+
+double multivariate_log_pmf(std::span<const std::uint64_t> class_sizes,
+                            std::span<const std::uint64_t> alpha) noexcept {
+  if (class_sizes.size() != alpha.size()) return -std::numeric_limits<double>::infinity();
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < class_sizes.size(); ++i) {
+    if (alpha[i] > class_sizes[i]) return -std::numeric_limits<double>::infinity();
+    acc += log_choose(class_sizes[i], alpha[i]);
+    n += class_sizes[i];
+    m += alpha[i];
+  }
+  return acc - log_choose(n, m);
+}
+
+double multivariate_mean(std::span<const std::uint64_t> class_sizes, std::uint64_t m,
+                         std::size_t i) noexcept {
+  const std::uint64_t n = span_sum(class_sizes);
+  if (n == 0) return 0.0;
+  return static_cast<double>(m) * static_cast<double>(class_sizes[i]) / static_cast<double>(n);
+}
+
+}  // namespace cgp::hyp

@@ -1,0 +1,91 @@
+// hyp/multivariate.hpp
+//
+// The multivariate hypergeometric distribution and its samplers -- the
+// paper's Algorithm 2 (sequential conditional chain) plus the balanced
+// recursive variant Section 4 recommends ("we may split the input ... more
+// or less evenly. In practice this may speed up this particular part of the
+// computation quite efficiently").
+//
+// Semantics: an urn holds `n = sum(class_sizes)` balls partitioned into
+// classes; `m` balls are drawn without replacement; `alpha[i]` is the number
+// drawn from class `i`.  In the paper this is exactly one *row split* of the
+// communication matrix (Proposition 6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hyp/pmf.hpp"
+#include "hyp/sample.hpp"
+#include "rng/engine.hpp"
+#include "util/assert.hpp"
+#include "util/prefix.hpp"
+
+namespace cgp::hyp {
+
+/// log P[alpha] = sum_i log C(class_sizes[i], alpha[i]) - log C(n, m)
+/// where m = sum(alpha).  Returns -inf if alpha is infeasible.
+[[nodiscard]] double multivariate_log_pmf(std::span<const std::uint64_t> class_sizes,
+                                          std::span<const std::uint64_t> alpha) noexcept;
+
+/// Mean vector entry: m * class_sizes[i] / n.
+[[nodiscard]] double multivariate_mean(std::span<const std::uint64_t> class_sizes,
+                                       std::uint64_t m, std::size_t i) noexcept;
+
+/// Algorithm 2 of the paper: sample (alpha_i) ~ MVH(m; class_sizes) with a
+/// left-to-right chain of univariate hypergeometric draws.
+/// `alpha.size()` must equal `class_sizes.size()`; requires m <= n.
+/// Uses exactly `k-1` univariate h(.,.) calls for k classes (the last class
+/// is forced).
+template <rng::random_engine64 Engine>
+void sample_multivariate_chain(Engine& engine, std::span<const std::uint64_t> class_sizes,
+                               std::uint64_t m, std::span<std::uint64_t> alpha,
+                               const policy& pol = {}) {
+  CGP_EXPECTS(alpha.size() == class_sizes.size());
+  CGP_EXPECTS(!class_sizes.empty());
+  std::uint64_t n = span_sum(class_sizes);
+  CGP_EXPECTS(m <= n);
+
+  std::uint64_t remaining = m;
+  for (std::size_t i = 0; i + 1 < class_sizes.size(); ++i) {
+    // Of the `remaining` marked draws, how many land in class i versus in
+    // the classes to its right (paper: `toRight ~ h(m, n - m'_i, m'_i)`)?
+    const std::uint64_t wi = class_sizes[i];
+    const std::uint64_t ai = sample(engine, params{remaining, wi, n - wi}, pol);
+    alpha[i] = ai;
+    remaining -= ai;
+    n -= wi;
+  }
+  CGP_ENSURES(remaining <= class_sizes.back());
+  alpha[class_sizes.size() - 1] = remaining;
+}
+
+/// Balanced recursive variant of Algorithm 2 (the RecMat splitting idea of
+/// Algorithm 4 applied to one row): split the class range in half, draw how
+/// many of the m marks fall left vs. right with a single h(.,.) call, and
+/// recurse.  Same distribution and same number of h(.,.) calls as the
+/// chain, but the *parameters* of the calls shrink geometrically, which
+/// makes the inversion sampler's O(sd) scans cheaper (bench e10).
+template <rng::random_engine64 Engine>
+void sample_multivariate_recursive(Engine& engine, std::span<const std::uint64_t> class_sizes,
+                                   std::uint64_t m, std::span<std::uint64_t> alpha,
+                                   const policy& pol = {}) {
+  CGP_EXPECTS(alpha.size() == class_sizes.size());
+  CGP_EXPECTS(!class_sizes.empty());
+  const std::uint64_t n = span_sum(class_sizes);
+  CGP_EXPECTS(m <= n);
+
+  if (class_sizes.size() == 1) {
+    alpha[0] = m;
+    return;
+  }
+  const std::size_t half = class_sizes.size() / 2;
+  const std::uint64_t n_left = span_sum(class_sizes.first(half));
+  // Marks falling into the left half ~ h(t=m, w=n_left, b=n-n_left).
+  const std::uint64_t m_left = sample(engine, params{m, n_left, n - n_left}, pol);
+  sample_multivariate_recursive(engine, class_sizes.first(half), m_left, alpha.first(half), pol);
+  sample_multivariate_recursive(engine, class_sizes.subspan(half), m - m_left,
+                                alpha.subspan(half), pol);
+}
+
+}  // namespace cgp::hyp

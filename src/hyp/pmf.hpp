@@ -1,0 +1,74 @@
+// hyp/pmf.hpp
+//
+// Exact probability machinery for the hypergeometric distribution h(t, w, b)
+// of the paper's Section 3: draw `t` balls without replacement from an urn
+// of `w` white and `b` black balls; h(t,w,b) is the law of the number of
+// white balls drawn,
+//
+//     P[X = k] = C(w,k) C(b,t-k) / C(w+b,t)          (paper eq. (4)).
+//
+// Every sampler in this library is validated against these functions, and
+// the statistical test-suite uses them to run exact chi-square tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cgp::hyp {
+
+/// Parameter triple of h(t, w, b).  Legal iff t <= w + b.
+struct params {
+  std::uint64_t t;  ///< number of balls drawn
+  std::uint64_t w;  ///< white balls in the urn
+  std::uint64_t b;  ///< black balls in the urn
+
+  friend constexpr bool operator==(const params&, const params&) noexcept = default;
+};
+
+/// Smallest value in the support: max(0, t - b).
+[[nodiscard]] constexpr std::uint64_t support_min(const params& p) noexcept {
+  return p.t > p.b ? p.t - p.b : 0;
+}
+
+/// Largest value in the support: min(t, w).
+[[nodiscard]] constexpr std::uint64_t support_max(const params& p) noexcept {
+  return p.t < p.w ? p.t : p.w;
+}
+
+/// True iff the support of h(t,w,b) is a single point (degenerate draw).
+[[nodiscard]] constexpr bool degenerate(const params& p) noexcept {
+  return support_min(p) == support_max(p);
+}
+
+/// Mode of the distribution: floor((t+1)(w+1) / (w+b+2)), clamped to the
+/// support.
+[[nodiscard]] std::uint64_t mode(const params& p) noexcept;
+
+/// Mean t*w/(w+b).
+[[nodiscard]] double mean(const params& p) noexcept;
+
+/// Variance t * (w/(w+b)) * (b/(w+b)) * (w+b-t)/(w+b-1).
+[[nodiscard]] double variance(const params& p) noexcept;
+
+/// log C(n, k); requires k <= n.
+[[nodiscard]] double log_choose(std::uint64_t n, std::uint64_t k) noexcept;
+
+/// log P[X = k]; returns -infinity outside the support.
+[[nodiscard]] double log_pmf(const params& p, std::uint64_t k) noexcept;
+
+/// P[X = k].
+[[nodiscard]] double pmf(const params& p, std::uint64_t k) noexcept;
+
+/// P[X <= k], computed by compensated summation of the pmf recurrence from
+/// the nearer tail (O(support size), exact to ~1e-14 relative).
+[[nodiscard]] double cdf(const params& p, std::uint64_t k) noexcept;
+
+/// The entire pmf over the support as a dense vector indexed by
+/// (k - support_min); sums to 1 within floating-point error.  Intended for
+/// chi-square tests and small-parameter exact computations.
+[[nodiscard]] std::vector<double> pmf_table(const params& p);
+
+/// Ratio P[X = k+1] / P[X = k] = (w-k)(t-k) / ((k+1)(b-t+k+1)).
+[[nodiscard]] double pmf_step_up(const params& p, std::uint64_t k) noexcept;
+
+}  // namespace cgp::hyp

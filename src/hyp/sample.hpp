@@ -1,0 +1,59 @@
+// hyp/sample.hpp
+//
+// The library-wide entry point for drawing h(t, w, b) variates: handles the
+// degenerate cases, then dispatches between the one-draw inversion sampler
+// (HIN) and the constant-cost ratio-of-uniforms sampler (HRUA) on the
+// distribution's standard deviation.  The threshold trades HIN's O(sd)
+// arithmetic against HRUA's lgamma-heavy constant cost and is exposed for
+// the E7 ablation bench.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "hyp/hin.hpp"
+#include "hyp/hrua.hpp"
+#include "hyp/pmf.hpp"
+#include "rng/engine.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::hyp {
+
+/// Which sampling algorithm to use.
+enum class method : std::uint8_t {
+  automatic,  ///< HIN below the sd threshold, HRUA above (default)
+  hin,        ///< mode-centered inversion, exactly 1 random number
+  hrua,       ///< ratio-of-uniforms rejection, ~1.3 random numbers
+};
+
+/// Tuning knobs for `sample`.
+struct policy {
+  method how = method::automatic;
+  /// Standard-deviation crossover for `automatic`; calibrated by bench
+  /// e3/e7 on this machine (HIN's linear scan beats HRUA's lgammas up to a
+  /// few dozen steps).
+  double hin_sd_threshold = 48.0;
+};
+
+/// Draw one hypergeometric variate X ~ h(t, w, b); requires t <= w + b.
+template <rng::random_engine64 Engine>
+[[nodiscard]] std::uint64_t sample(Engine& engine, const params& p, const policy& pol = {}) {
+  CGP_EXPECTS(p.t <= p.w + p.b);
+  const std::uint64_t lo = support_min(p);
+  if (lo == support_max(p)) return lo;  // degenerate: no randomness needed
+
+  switch (pol.how) {
+    case method::hin:
+      return sample_hin(engine, p);
+    case method::hrua:
+      return sample_hrua(engine, p);
+    case method::automatic:
+    default: {
+      const double sd = std::sqrt(variance(p));
+      if (sd <= pol.hin_sd_threshold) return sample_hin(engine, p);
+      return sample_hrua(engine, p);
+    }
+  }
+}
+
+}  // namespace cgp::hyp

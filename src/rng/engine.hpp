@@ -1,0 +1,20 @@
+// rng/engine.hpp
+//
+// The engine concept every sampler in this library is generic over: a
+// uniform random bit generator producing full 64-bit words.  All our
+// distributions consume whole 64-bit draws, which makes "number of random
+// numbers used" (the resource the paper's Theorem 1 budgets, and the metric
+// of experiment E3) a well-defined count: one draw = one 64-bit word.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <random>
+
+namespace cgp::rng {
+
+template <typename E>
+concept random_engine64 =
+    std::uniform_random_bit_generator<E> && std::same_as<typename E::result_type, std::uint64_t>;
+
+}  // namespace cgp::rng

@@ -1,0 +1,62 @@
+#include "rng/philox.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace cgp::rng {
+
+namespace {
+
+// Round constants from Salmon et al., "Parallel random numbers: as easy as
+// 1, 2, 3" (Random123 reference implementation).
+constexpr std::uint64_t kMul0 = 0xD2E7470EE14C6C93ull;
+constexpr std::uint64_t kMul1 = 0xCA5A826395121157ull;
+constexpr std::uint64_t kWeyl0 = 0x9E3779B97F4A7C15ull;  // golden ratio
+constexpr std::uint64_t kWeyl1 = 0xBB67AE8584CAA73Bull;  // sqrt(3) - 1
+
+struct hilo {
+  std::uint64_t hi;
+  std::uint64_t lo;
+};
+
+inline hilo mulhilo(std::uint64_t a, std::uint64_t b) noexcept {
+  const unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+  return {static_cast<std::uint64_t>(prod >> 64), static_cast<std::uint64_t>(prod)};
+}
+
+inline void round_once(philox4x64::block_type& x, std::array<std::uint64_t, 2>& k) noexcept {
+  const hilo p0 = mulhilo(kMul0, x[0]);
+  const hilo p1 = mulhilo(kMul1, x[2]);
+  x = {p1.hi ^ x[1] ^ k[0], p1.lo, p0.hi ^ x[3] ^ k[1], p0.lo};
+  k[0] += kWeyl0;
+  k[1] += kWeyl1;
+}
+
+}  // namespace
+
+philox4x64::philox4x64(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Hash (seed, stream) into the 128-bit key so that adjacent stream ids do
+  // not yield adjacent keys; Philox's security margin does not require this,
+  // but it keeps user-visible streams free of low-entropy key structure.
+  std::uint64_t s = seed;
+  key_[0] = splitmix64_next(s) ^ mix64(stream);
+  key_[1] = splitmix64_next(s) + mix64(~stream);
+}
+
+void philox4x64::discard_blocks(std::uint64_t n_blocks) noexcept {
+  std::uint64_t carry = n_blocks;
+  for (auto& word : counter_) {
+    const std::uint64_t before = word;
+    word += carry;
+    carry = (word < before) ? 1u : 0u;
+    if (carry == 0) break;
+  }
+  subindex_ = 4;  // invalidate buffered block
+}
+
+philox4x64::block_type philox4x64::bijection(block_type counter,
+                                             std::array<std::uint64_t, 2> key) noexcept {
+  for (int r = 0; r < 10; ++r) round_once(counter, key);
+  return counter;
+}
+
+}  // namespace cgp::rng

@@ -1,0 +1,71 @@
+// rng/xoshiro.hpp
+//
+// xoshiro256** (Blackman & Vigna): the fast sequential engine used for the
+// local Fisher-Yates shuffles, where per-draw speed dominates and counter
+// semantics are not needed.  Equipped with the canonical jump() so it can
+// also provide deterministic parallel substreams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "rng/splitmix64.hpp"
+
+namespace cgp::rng {
+
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit xoshiro256ss(std::uint64_t seed = 0x2545F4914F6CDD1Dull) noexcept {
+    // Expand the seed through splitmix64, as the authors recommend.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Jump ahead 2^128 steps (canonical polynomial), giving 2^128
+  /// non-overlapping substreams.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull,
+                                                    0xA9582618E03FC9AAull, 0x39ABDC4529B1661Cull};
+    std::array<std::uint64_t, 4> acc{};
+    for (const std::uint64_t poly : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (poly & (std::uint64_t{1} << b)) {
+          for (std::size_t w = 0; w < 4; ++w) acc[w] ^= state_[w];
+        }
+        (void)(*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+  friend constexpr bool operator==(const xoshiro256ss&, const xoshiro256ss&) noexcept = default;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cgp::rng

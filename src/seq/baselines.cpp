@@ -1,0 +1,15 @@
+#include "seq/baselines.hpp"
+
+#include <cmath>
+
+namespace cgp::seq {
+
+double dart_throwing_expected_draws_per_item(double slack) noexcept {
+  // Item k+1 of n sees k/(slack*n) occupancy; expected retries for the last
+  // item are 1/(1 - 1/slack).  Averaging the geometric expectation over the
+  // fill fraction x in [0, 1/slack]:
+  //   E[draws/item] = slack * ln(slack / (slack - 1)).
+  return slack * std::log(slack / (slack - 1.0));
+}
+
+}  // namespace cgp::seq

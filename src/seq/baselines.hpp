@@ -1,0 +1,147 @@
+// seq/baselines.hpp
+//
+// The alternative permutation methods the paper's related-work section
+// measures itself against (Section 1, and Guerin Lassous & Thierry [2000]):
+//
+//  * sort-random-keys  -- Goodrich [1997]'s BSP approach reduced to its
+//    sequential core: tag every item with a random key and sort.  Uniform,
+//    but Theta(n log n) work, i.e. *not* work-optimal (bench e9 shows the
+//    log-factor).
+//  * dart throwing     -- throw items into a table of c*n slots, retrying
+//    occupied slots, then compact.  Uniform and expected O(n) work, but
+//    needs c*n extra memory, has unbounded worst case, and is even more
+//    cache-hostile than Fisher-Yates.
+//  * riffle rounds     -- iterate a balanced-but-NON-uniform round (a GSR
+//    riffle: binomial cut + random interleave).  Each round is linear;
+//    Theta(log n) rounds are needed before the distribution is close to
+//    uniform, i.e. the "iterate" trick costs a log factor AND any fixed
+//    round count is provably non-uniform (the statistical tests demonstrate
+//    the bias for small round counts).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hyp/sample.hpp"
+#include "rng/engine.hpp"
+#include "rng/uniform.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::seq {
+
+/// Tag-and-sort shuffle (Goodrich-style).  Uniform; Theta(n log n).
+/// Key collisions (probability ~ n^2 / 2^65) are resolved by re-drawing
+/// keys within equal ranges, preserving exact uniformity.
+template <typename T, rng::random_engine64 Engine>
+void shuffle_by_sorting(Engine& engine, std::span<T> data) {
+  struct keyed {
+    std::uint64_t key;
+    T value;
+  };
+  std::vector<keyed> tagged(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) tagged[i] = {engine(), data[i]};
+
+  const auto by_key = [](const keyed& a, const keyed& b) { return a.key < b.key; };
+  std::sort(tagged.begin(), tagged.end(), by_key);
+
+  // Re-randomize any collision runs until all keys are distinct; each pass
+  // is a fresh uniform draw, so conditional on distinctness the order is
+  // exactly uniform.
+  for (;;) {
+    bool collision = false;
+    for (std::size_t i = 0; i + 1 < tagged.size(); ++i) {
+      if (tagged[i].key == tagged[i + 1].key) {
+        collision = true;
+        std::size_t j = i + 1;
+        while (j < tagged.size() && tagged[j].key == tagged[i].key) ++j;
+        for (std::size_t k = i; k < j; ++k) tagged[k].key = engine();
+        std::sort(tagged.begin() + static_cast<std::ptrdiff_t>(i),
+                  tagged.begin() + static_cast<std::ptrdiff_t>(j), by_key);
+      }
+    }
+    if (!collision) break;
+    std::sort(tagged.begin(), tagged.end(), by_key);
+  }
+
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = tagged[i].value;
+}
+
+/// Dart-throwing shuffle: place each item into a uniformly chosen *empty*
+/// slot of a table with `slack * n` slots (slack >= 1.5), then compact.
+/// Uniform (each item takes a uniform empty slot, so every interleaving is
+/// equally likely); expected draws per item 1/(1 - 1/slack) at the end.
+template <typename T, rng::random_engine64 Engine>
+void dart_throwing_shuffle(Engine& engine, std::span<T> data, double slack = 2.0) {
+  CGP_EXPECTS(slack >= 1.25);
+  if (data.size() <= 1) return;
+  const auto slots = static_cast<std::size_t>(static_cast<double>(data.size()) * slack) + 1;
+  constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> table(slots, kEmpty);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (;;) {
+      const auto s = static_cast<std::size_t>(rng::uniform_below(engine, slots));
+      if (table[s] == kEmpty) {
+        table[s] = i;
+        break;
+      }
+    }
+  }
+  std::vector<T> out;
+  out.reserve(data.size());
+  for (const std::size_t idx : table)
+    if (idx != kEmpty) out.push_back(data[idx]);
+  std::copy(out.begin(), out.end(), data.begin());
+}
+
+/// One Gilbert-Shannon-Reeds riffle round: cut the deck at a Binomial(n,1/2)
+/// position (sampled as h(n/2-ish) via the hypergeometric machinery's
+/// uniform primitives) and interleave the halves with probabilities
+/// proportional to remaining sizes.  Balanced and linear, but NOT uniform.
+template <typename T, rng::random_engine64 Engine>
+void riffle_round(Engine& engine, std::span<T> data) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  // Binomial(n, 1/2) cut via counting bits of random words (exact).
+  std::size_t cut = 0;
+  {
+    std::size_t remaining = n;
+    while (remaining >= 64) {
+      cut += static_cast<std::size_t>(__builtin_popcountll(engine()));
+      remaining -= 64;
+    }
+    if (remaining > 0) {
+      const std::uint64_t word = engine() & ((remaining == 64) ? ~0ull : ((1ull << remaining) - 1));
+      cut += static_cast<std::size_t>(__builtin_popcountll(word));
+    }
+  }
+  std::vector<T> left(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(cut));
+  std::vector<T> right(data.begin() + static_cast<std::ptrdiff_t>(cut), data.end());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t pick =
+        rng::uniform_below(engine, (left.size() - a) + (right.size() - b));
+    if (pick < left.size() - a) {
+      data[i] = left[a++];
+    } else {
+      data[i] = right[b++];
+    }
+  }
+}
+
+/// Iterated riffle: `rounds` GSR rounds.  With rounds = Theta(log n) the
+/// result approaches uniformity (total work Theta(n log n)); with any fixed
+/// rounds it is measurably biased -- both facts are exercised by tests and
+/// bench e9.
+template <typename T, rng::random_engine64 Engine>
+void riffle_shuffle(Engine& engine, std::span<T> data, unsigned rounds) {
+  for (unsigned r = 0; r < rounds; ++r) riffle_round(engine, data);
+}
+
+/// Expected random draws per item for dart throwing with the given slack
+/// (harmonic integral; used by bench e9's model column).
+[[nodiscard]] double dart_throwing_expected_draws_per_item(double slack) noexcept;
+
+}  // namespace cgp::seq

@@ -1,0 +1,51 @@
+// seq/fisher_yates.hpp
+//
+// The Fisher-Yates (Knuth) shuffle: the *reference sequential algorithm* of
+// the PRO model against which the paper defines work-optimality.  Exactly
+// n-1 bounded-uniform draws and n-1 swaps; the unpredictable memory access
+// pattern is what makes it memory-bound on large inputs (the paper's intro
+// measures 60..100 cycles/item, 33..80% of it waiting on memory), which
+// motivates both the parallel algorithm and the blocked sequential variant
+// (seq/blocked_shuffle.hpp).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "rng/engine.hpp"
+#include "rng/uniform.hpp"
+
+namespace cgp::seq {
+
+/// In-place uniform shuffle of `data`.
+template <typename T, rng::random_engine64 Engine>
+void fisher_yates(Engine& engine, std::span<T> data) {
+  // Classic backwards variant: positions [i..n) are final after step i.
+  for (std::size_t i = data.size(); i > 1; --i) {
+    const std::uint64_t j = rng::uniform_below(engine, i);
+    using std::swap;
+    swap(data[i - 1], data[static_cast<std::size_t>(j)]);
+  }
+}
+
+/// Sample a uniform permutation of {0..n-1} into `out` (out[i] = pi(i)).
+template <rng::random_engine64 Engine>
+void random_permutation(Engine& engine, std::span<std::uint64_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+  fisher_yates(engine, out);
+}
+
+/// "Inside-out" variant: writes a shuffled copy of `in` into `out` in one
+/// pass (out must have the same length and not alias in).  Useful when the
+/// source must stay intact, and as a second implementation for differential
+/// testing of the primary shuffle.
+template <typename T, rng::random_engine64 Engine>
+void fisher_yates_copy(Engine& engine, std::span<const T> in, std::span<T> out) {
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto j = static_cast<std::size_t>(rng::uniform_below(engine, i + 1));
+    if (j != i) out[i] = out[j];
+    out[j] = in[i];
+  }
+}
+
+}  // namespace cgp::seq

@@ -1,0 +1,113 @@
+// seq/rao_sandelius.hpp
+//
+// The Rao-Sandelius shuffle (Rao 1961, Sandelius 1962): the second
+// realization of the paper's Section 6 outlook, and the classical
+// cache/external-friendly exact shuffle.
+//
+//   1. assign every item an INDEPENDENT uniform bucket in {0..K-1}
+//      (one cheap draw -- log2 K bits -- per item, streaming writes);
+//   2. recursively shuffle each bucket, Fisher-Yates once it fits in
+//      cache;
+//   3. concatenate.
+//
+// Uniformity: conditioned on the (multinomially distributed) bucket sizes,
+// every assignment of items to buckets is exchangeable, and the recursion
+// makes each bucket's internal order uniform -- inductively every
+// interleaving is equally likely (this is the standard Rao-Sandelius
+// argument; tests/test_seq.cpp verifies it exhaustively over S5).
+//
+// Contrast with seq/blocked_shuffle.hpp: that variant realizes the paper's
+// communication-matrix structure exactly (fixed target block sizes, one
+// without-replacement draw per item, O(K) bucket scan); this one trades
+// fixed block sizes for O(1) bucket selection and is the faster choice on
+// real hardware.  Both are exactly uniform.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/engine.hpp"
+#include "rng/uniform.hpp"
+#include "seq/fisher_yates.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::seq {
+
+/// Tuning for the Rao-Sandelius shuffle.
+struct rs_options {
+  unsigned log2_fan_out = 4;           ///< K = 2^this buckets per level
+  std::size_t cache_items = 1u << 17;  ///< Fisher-Yates at/below this size
+};
+
+namespace detail {
+
+template <typename T, rng::random_engine64 Engine>
+void rs_shuffle_rec(Engine& engine, std::span<T> data, std::vector<T>& scratch,
+                    const rs_options& opt) {
+  const std::size_t n = data.size();
+  if (n <= opt.cache_items || n < 2) {
+    fisher_yates(engine, data);
+    return;
+  }
+  const unsigned bits = opt.log2_fan_out;
+  const std::size_t k = std::size_t{1} << bits;
+  const std::uint64_t mask = k - 1;
+  const unsigned per_word = 64 / bits;
+
+  // Pass 1: independent uniform bucket labels, batched from 64-bit words;
+  // count bucket sizes.  Labels go into the low bits of scratch so pass 2
+  // needs no second RNG stream.
+  std::vector<std::size_t> count(k, 0);
+  std::vector<std::uint8_t> label(n);
+  {
+    std::uint64_t word = 0;
+    unsigned left = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (left == 0) {
+        word = engine();
+        left = per_word;
+      }
+      const auto j = static_cast<std::uint8_t>(word & mask);
+      word >>= bits;
+      --left;
+      label[i] = j;
+      ++count[j];
+    }
+  }
+
+  // Pass 2: scatter by cursor (streaming write per bucket).
+  std::vector<std::size_t> cursor(k, 0);
+  {
+    std::size_t acc = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      cursor[j] = acc;
+      acc += count[j];
+    }
+  }
+  if (scratch.size() < n) scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch[cursor[label[i]]++] = data[i];
+  std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(n), data.begin());
+
+  // Recurse per bucket.
+  std::size_t off = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    rs_shuffle_rec(engine, data.subspan(off, count[j]), scratch, opt);
+    off += count[j];
+  }
+}
+
+}  // namespace detail
+
+/// Uniform in-place shuffle with Rao-Sandelius recursive scattering;
+/// allocates one n-item scratch buffer plus one byte per item for labels.
+template <typename T, rng::random_engine64 Engine>
+void rs_shuffle(Engine& engine, std::span<T> data, const rs_options& opt = {}) {
+  CGP_EXPECTS(opt.log2_fan_out >= 1 && opt.log2_fan_out <= 8);
+  CGP_EXPECTS(opt.cache_items >= 2);
+  if (data.size() <= 1) return;
+  std::vector<T> scratch;
+  detail::rs_shuffle_rec(engine, data, scratch, opt);
+}
+
+}  // namespace cgp::seq

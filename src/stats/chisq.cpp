@@ -1,0 +1,117 @@
+#include "stats/chisq.hpp"
+
+#include <cmath>
+
+#include "stats/gamma.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::stats {
+
+gof_result chi_square_gof(std::span<const std::uint64_t> observed, std::span<const double> probs,
+                          double min_expected) {
+  CGP_EXPECTS(observed.size() == probs.size());
+  CGP_EXPECTS(!observed.empty());
+
+  std::uint64_t n = 0;
+  double mass = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    n += observed[i];
+    CGP_EXPECTS(probs[i] >= 0.0);
+    mass += probs[i];
+  }
+  CGP_EXPECTS(n > 0);
+  CGP_EXPECTS(mass > 0.0);
+  const double scale = static_cast<double>(n) / mass;
+
+  // Greedy pooling: accumulate consecutive cells until the pooled expected
+  // count reaches the threshold; a trailing underweight pool is merged into
+  // the previous one.
+  gof_result res;
+  double chi = 0.0;
+  std::size_t cells = 0;
+  double pool_obs = 0.0;
+  double pool_exp = 0.0;
+  double last_obs = 0.0;  // most recently closed pool (for trailing merge)
+  double last_exp = 0.0;
+  bool have_last = false;
+
+  const auto close_pool = [&] {
+    if (have_last) {
+      chi += (last_obs - last_exp) * (last_obs - last_exp) / last_exp;
+      ++cells;
+    }
+    last_obs = pool_obs;
+    last_exp = pool_exp;
+    have_last = true;
+    pool_obs = 0.0;
+    pool_exp = 0.0;
+  };
+
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    pool_obs += static_cast<double>(observed[i]);
+    pool_exp += probs[i] * scale;
+    if (pool_exp >= min_expected) close_pool();
+  }
+  // Merge any trailing fragment into the last closed pool.
+  if (pool_exp > 0.0) {
+    if (have_last) {
+      last_obs += pool_obs;
+      last_exp += pool_exp;
+    } else {
+      last_obs = pool_obs;
+      last_exp = pool_exp;
+      have_last = true;
+    }
+  }
+  if (have_last && last_exp > 0.0) {
+    chi += (last_obs - last_exp) * (last_obs - last_exp) / last_exp;
+    ++cells;
+  }
+
+  res.statistic = chi;
+  res.pooled_cells = cells;
+  res.dof = cells > 1 ? static_cast<double>(cells - 1) : 1.0;
+  res.p_value = cells > 1 ? chi2_sf(chi, res.dof) : 1.0;
+  return res;
+}
+
+gof_result chi_square_uniform(std::span<const std::uint64_t> observed) {
+  std::vector<double> probs(observed.size(), 1.0);
+  return chi_square_gof(observed, probs);
+}
+
+gof_result chi_square_independence(std::span<const std::uint64_t> counts, std::size_t rows,
+                                   std::size_t cols) {
+  CGP_EXPECTS(counts.size() == rows * cols);
+  CGP_EXPECTS(rows >= 2 && cols >= 2);
+
+  std::vector<double> row_sum(rows, 0.0);
+  std::vector<double> col_sum(cols, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      const auto v = static_cast<double>(counts[i * cols + j]);
+      row_sum[i] += v;
+      col_sum[j] += v;
+      total += v;
+    }
+  CGP_EXPECTS(total > 0.0);
+
+  double chi = 0.0;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double expected = row_sum[i] * col_sum[j] / total;
+      if (expected <= 0.0) continue;
+      const double d = static_cast<double>(counts[i * cols + j]) - expected;
+      chi += d * d / expected;
+    }
+
+  gof_result res;
+  res.statistic = chi;
+  res.dof = static_cast<double>((rows - 1) * (cols - 1));
+  res.pooled_cells = rows * cols;
+  res.p_value = chi2_sf(chi, res.dof);
+  return res;
+}
+
+}  // namespace cgp::stats

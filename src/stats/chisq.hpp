@@ -1,0 +1,42 @@
+// stats/chisq.hpp
+//
+// Chi-square goodness-of-fit testing against fully specified discrete
+// distributions.  This is the instrument behind every uniformity claim the
+// test-suite makes: permutations (all n! cells for small n), matrix entries
+// against the exact hypergeometric pmf (Proposition 3), whole matrices
+// against the generalized distribution of Section 3, and sampler validation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cgp::stats {
+
+/// Result of a goodness-of-fit test.
+struct gof_result {
+  double statistic = 0.0;  ///< chi-square statistic after pooling
+  double dof = 0.0;        ///< degrees of freedom after pooling
+  double p_value = 1.0;    ///< P[Chi2_dof >= statistic]
+  std::size_t pooled_cells = 0;  ///< number of cells after tail pooling
+};
+
+/// Pearson chi-square of observed counts vs. expected probabilities.
+///
+/// `probs` need not be normalized; they are scaled to sum(observed).
+/// Cells with expected count below `min_expected` are pooled greedily (in
+/// index order) into their successor so the asymptotic chi-square
+/// approximation stays valid; the classical rule of thumb is 5.
+[[nodiscard]] gof_result chi_square_gof(std::span<const std::uint64_t> observed,
+                                        std::span<const double> probs,
+                                        double min_expected = 5.0);
+
+/// Equiprobable-cell convenience: observed counts vs. a uniform law.
+[[nodiscard]] gof_result chi_square_uniform(std::span<const std::uint64_t> observed);
+
+/// Two-way contingency-table independence statistic (rows x cols counts);
+/// used by the independence checks on shuffled outputs.
+[[nodiscard]] gof_result chi_square_independence(std::span<const std::uint64_t> counts,
+                                                 std::size_t rows, std::size_t cols);
+
+}  // namespace cgp::stats

@@ -1,0 +1,45 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cgp::stats {
+
+double kolmogorov_sf(double x) noexcept {
+  if (x <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-18) break;
+  }
+  const double sf = 2.0 * sum;
+  return std::clamp(sf, 0.0, 1.0);
+}
+
+ks_result ks_uniform01(std::span<const double> samples) {
+  CGP_EXPECTS(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = sorted[i];  // uniform cdf is the identity
+    const double upper = (static_cast<double>(i) + 1.0) / n - cdf;
+    const double lower = cdf - static_cast<double>(i) / n;
+    d = std::max({d, upper, lower});
+  }
+
+  ks_result res;
+  res.statistic = d;
+  // Small-sample correction of Stephens before the asymptotic tail.
+  const double sqrt_n = std::sqrt(n);
+  res.p_value = kolmogorov_sf((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return res;
+}
+
+}  // namespace cgp::stats

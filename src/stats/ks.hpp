@@ -1,0 +1,25 @@
+// stats/ks.hpp
+//
+// One-sample Kolmogorov-Smirnov test against the continuous uniform law on
+// [0,1).  Used to check the position distribution of individual items under
+// repeated shuffling (a sharper per-item view than binned chi-square).
+#pragma once
+
+#include <span>
+
+namespace cgp::stats {
+
+struct ks_result {
+  double statistic = 0.0;  ///< sup-norm distance D_n
+  double p_value = 1.0;    ///< asymptotic Kolmogorov p-value
+};
+
+/// KS test of `samples` (values in [0,1], any order; the test sorts a copy)
+/// against Uniform[0,1].
+[[nodiscard]] ks_result ks_uniform01(std::span<const double> samples);
+
+/// Asymptotic Kolmogorov survival function:
+/// P[sqrt(n) D_n >= x] ~ 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2).
+[[nodiscard]] double kolmogorov_sf(double x) noexcept;
+
+}  // namespace cgp::stats

@@ -1,0 +1,111 @@
+#include "stats/lehmer.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cgp::stats {
+
+std::uint64_t factorial(unsigned n) noexcept {
+  CGP_ASSERT(n <= 20);
+  std::uint64_t f = 1;
+  for (unsigned i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+std::uint64_t permutation_rank(std::span<const std::uint64_t> perm) {
+  const std::size_t k = perm.size();
+  CGP_EXPECTS(k <= 20);
+  // O(k^2) Lehmer code; k <= 20 so this is trivial.
+  std::uint64_t rank = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint64_t smaller_right = 0;
+    for (std::size_t j = i + 1; j < k; ++j)
+      if (perm[j] < perm[i]) ++smaller_right;
+    rank += smaller_right * factorial(static_cast<unsigned>(k - 1 - i));
+  }
+  return rank;
+}
+
+void permutation_unrank(std::uint64_t rank, std::span<std::uint64_t> out) {
+  const std::size_t k = out.size();
+  CGP_EXPECTS(k <= 20);
+  std::vector<std::uint64_t> pool(k);
+  for (std::size_t i = 0; i < k; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t f = factorial(static_cast<unsigned>(k - 1 - i));
+    const std::uint64_t idx = rank / f;
+    rank %= f;
+    CGP_ASSERT(idx < pool.size());
+    out[i] = pool[idx];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
+bool is_permutation_of_iota(std::span<const std::uint64_t> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const std::uint64_t v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+std::uint64_t count_fixed_points(std::span<const std::uint64_t> perm) noexcept {
+  std::uint64_t c = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    if (perm[i] == i) ++c;
+  return c;
+}
+
+std::uint64_t count_cycles(std::span<const std::uint64_t> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  std::uint64_t cycles = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (seen[i]) continue;
+    ++cycles;
+    std::size_t j = i;
+    while (!seen[j]) {
+      seen[j] = true;
+      CGP_ASSERT(perm[j] < perm.size());
+      j = static_cast<std::size_t>(perm[j]);
+    }
+  }
+  return cycles;
+}
+
+namespace {
+
+std::uint64_t merge_count(std::vector<std::uint64_t>& v, std::vector<std::uint64_t>& tmp,
+                          std::size_t lo, std::size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::uint64_t inv = merge_count(v, tmp, lo, mid) + merge_count(v, tmp, mid, hi);
+  std::size_t a = lo;
+  std::size_t b = mid;
+  std::size_t o = lo;
+  while (a < mid && b < hi) {
+    if (v[a] <= v[b]) {
+      tmp[o++] = v[a++];
+    } else {
+      inv += mid - a;
+      tmp[o++] = v[b++];
+    }
+  }
+  while (a < mid) tmp[o++] = v[a++];
+  while (b < hi) tmp[o++] = v[b++];
+  std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+            tmp.begin() + static_cast<std::ptrdiff_t>(hi),
+            v.begin() + static_cast<std::ptrdiff_t>(lo));
+  return inv;
+}
+
+}  // namespace
+
+std::uint64_t count_inversions(std::span<const std::uint64_t> perm) {
+  std::vector<std::uint64_t> v(perm.begin(), perm.end());
+  std::vector<std::uint64_t> tmp(v.size());
+  return merge_count(v, tmp, 0, v.size());
+}
+
+}  // namespace cgp::stats

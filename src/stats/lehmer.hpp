@@ -1,0 +1,43 @@
+// stats/lehmer.hpp
+//
+// Ranking and unranking of permutations via the Lehmer code (factorial
+// number system).  The uniformity tests enumerate all n! permutations for
+// small n, run the full parallel pipeline many times, and chi-square the
+// observed rank histogram -- this is the strongest possible empirical check
+// of the paper's Theorem 1 uniformity claim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cgp::stats {
+
+/// n! for n <= 20 (fits in uint64).
+[[nodiscard]] std::uint64_t factorial(unsigned n) noexcept;
+
+/// Rank of a permutation of {0..k-1} in lexicographic order, 0-based.
+/// `perm` must be a permutation of 0..k-1 with k <= 20.
+[[nodiscard]] std::uint64_t permutation_rank(std::span<const std::uint64_t> perm);
+
+/// Inverse of `permutation_rank`: write the `rank`-th lexicographic
+/// permutation of {0..k-1} into `out`.
+void permutation_unrank(std::uint64_t rank, std::span<std::uint64_t> out);
+
+/// True iff `perm` is a permutation of {0..k-1}.  O(k) time / O(k) space.
+[[nodiscard]] bool is_permutation_of_iota(std::span<const std::uint64_t> perm);
+
+/// Number of fixed points (perm[i] == i); the count is Poisson(1)-ish for
+/// uniform permutations and is used by the card-shuffling example and the
+/// derangement statistics tests.
+[[nodiscard]] std::uint64_t count_fixed_points(std::span<const std::uint64_t> perm) noexcept;
+
+/// Number of cycles of the permutation; for a uniform permutation its mean
+/// is the harmonic number H_n (tested as a distributional invariant).
+[[nodiscard]] std::uint64_t count_cycles(std::span<const std::uint64_t> perm);
+
+/// Number of inversions (pairs i<j with perm[i]>perm[j]), counted in
+/// O(k log k) by merge counting; mean k(k-1)/4 for uniform permutations.
+[[nodiscard]] std::uint64_t count_inversions(std::span<const std::uint64_t> perm);
+
+}  // namespace cgp::stats

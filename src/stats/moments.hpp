@@ -1,0 +1,55 @@
+// stats/moments.hpp
+//
+// Welford's online mean/variance accumulator, plus min/max tracking.  The
+// benches and property tests use it to compare empirical sampler moments
+// against the closed-form hypergeometric mean/variance, and to report the
+// "average / worst case random numbers per sample" figures of Section 3.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace cgp::stats {
+
+class running_moments {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  /// z-score of a hypothesized mean against the empirical one.
+  [[nodiscard]] double z_against(double hypothesized_mean) const noexcept {
+    const double se = sem();
+    return se > 0.0 ? (mean_ - hypothesized_mean) / se : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace cgp::stats

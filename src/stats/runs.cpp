@@ -1,0 +1,88 @@
+#include "stats/runs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cgp::stats {
+
+namespace {
+
+// Two-sided normal p-value from a z-score via the complementary error
+// function.
+double two_sided_p(double z) noexcept { return std::erfc(std::fabs(z) / std::sqrt(2.0)); }
+
+}  // namespace
+
+std::uint64_t ascending_runs(std::span<const std::uint64_t> v) noexcept {
+  if (v.empty()) return 0;
+  std::uint64_t runs = 1;
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] < v[i - 1]) ++runs;
+  return runs;
+}
+
+runs_test_result runs_test_median(std::span<const std::uint64_t> v) {
+  runs_test_result res;
+  if (v.size() < 2) return res;
+
+  // Median via nth_element on a copy.
+  std::vector<std::uint64_t> sorted(v.begin(), v.end());
+  const std::size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sorted.end());
+  const std::uint64_t median = sorted[mid];
+
+  std::uint64_t n1 = 0;  // >= median
+  std::uint64_t runs = 0;
+  bool prev = false;
+  bool first = true;
+  for (const std::uint64_t x : v) {
+    const bool above = x >= median;
+    if (above) ++n1;
+    if (first || above != prev) ++runs;
+    prev = above;
+    first = false;
+  }
+  const auto n = static_cast<double>(v.size());
+  const auto a = static_cast<double>(n1);
+  const double b = n - a;
+  res.runs = runs;
+  if (a == 0.0 || b == 0.0) return res;  // degenerate: all on one side
+
+  const double mean = 2.0 * a * b / n + 1.0;
+  const double var = (mean - 1.0) * (mean - 2.0) / (n - 1.0);
+  if (var <= 0.0) return res;
+  res.z = (static_cast<double>(runs) - mean) / std::sqrt(var);
+  res.p_value = two_sided_p(res.z);
+  return res;
+}
+
+double serial_correlation(std::span<const std::uint64_t> v) noexcept {
+  if (v.size() < 3) return 0.0;
+  const std::size_t n = v.size();
+  double mean = 0.0;
+  for (const std::uint64_t x : v) mean += static_cast<double>(x);
+  mean /= static_cast<double>(n);
+
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(v[i]) - mean;
+    den += d * d;
+    if (i + 1 < n) num += d * (static_cast<double>(v[i + 1]) - mean);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double ascending_runs_z(std::span<const std::uint64_t> v) noexcept {
+  if (v.size() < 2) return 0.0;
+  const auto n = static_cast<double>(v.size());
+  const double mean = (n + 1.0) / 2.0;
+  const double var = (n + 1.0) / 12.0;
+  return (static_cast<double>(ascending_runs(v)) - mean) / std::sqrt(var);
+}
+
+}  // namespace cgp::stats

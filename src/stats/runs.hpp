@@ -1,0 +1,42 @@
+// stats/runs.hpp
+//
+// Run-based randomness tests for shuffled sequences: the number of maximal
+// ascending runs, the Wald-Wolfowitz runs test on above/below-median
+// indicators, and lag-1 serial correlation.  These see *sequential
+// structure* that binned chi-square tests miss (e.g. the long runs left by
+// an under-iterated riffle or by naive block-granularity shuffles), so the
+// suite uses them as a second, independent family of uniformity checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cgp::stats {
+
+/// Number of maximal strictly-ascending runs in `v` (0 for empty input).
+/// For a uniform permutation of n items: mean (n+1)/2, variance ~ n/12.
+[[nodiscard]] std::uint64_t ascending_runs(std::span<const std::uint64_t> v) noexcept;
+
+struct runs_test_result {
+  std::uint64_t runs = 0;  ///< observed runs of the binary sequence
+  double z = 0.0;          ///< normal z-score under H0 (exchangeable)
+  double p_value = 1.0;    ///< two-sided
+};
+
+/// Wald-Wolfowitz runs test on the indicator "v[i] >= median": counts the
+/// maximal blocks of equal indicator values and compares with the null
+/// mean 2 n1 n0 / n + 1.  Sensitive to clustering of large/small values,
+/// the signature of blockwise or under-mixed shuffles.
+[[nodiscard]] runs_test_result runs_test_median(std::span<const std::uint64_t> v);
+
+/// Lag-1 serial correlation coefficient of v (values treated as doubles);
+/// ~ N(0, 1/n) for exchangeable sequences.
+[[nodiscard]] double serial_correlation(std::span<const std::uint64_t> v) noexcept;
+
+/// Ascending-runs z-score against the uniform-permutation null:
+/// (runs - (n+1)/2) / sqrt((n+1)/12) -- a cheap one-number summary used by
+/// property tests.  (Exact null variance of ascending runs is
+/// (n+1)/12 for large n.)
+[[nodiscard]] double ascending_runs_z(std::span<const std::uint64_t> v) noexcept;
+
+}  // namespace cgp::stats

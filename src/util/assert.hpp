@@ -1,0 +1,46 @@
+// util/assert.hpp
+//
+// Contract-checking macros in the style of the C++ Core Guidelines' GSL
+// `Expects`/`Ensures`.  Violations abort with a source location; checks stay
+// enabled in release builds because every caller of this library feeds sizes
+// that must satisfy conservation laws (row/column sums) whose violation
+// would silently produce *non-uniform* permutations -- a statistical bug far
+// worse than an abort.
+//
+// `CGP_ASSERT_DBG` is the cheap variant compiled out in NDEBUG builds; use
+// it inside per-item inner loops only.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgp::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) noexcept {
+  std::fprintf(stderr, "cgmperm: %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace cgp::detail
+
+#define CGP_EXPECTS(cond)                                                          \
+  do {                                                                             \
+    if (!(cond)) ::cgp::detail::contract_violation("precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define CGP_ENSURES(cond)                                                          \
+  do {                                                                             \
+    if (!(cond)) ::cgp::detail::contract_violation("postcondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define CGP_ASSERT(cond)                                                           \
+  do {                                                                             \
+    if (!(cond)) ::cgp::detail::contract_violation("invariant", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#if defined(NDEBUG)
+#define CGP_ASSERT_DBG(cond) ((void)0)
+#else
+#define CGP_ASSERT_DBG(cond) CGP_ASSERT(cond)
+#endif

@@ -1,0 +1,69 @@
+#include "util/prefix.hpp"
+
+#include "util/assert.hpp"
+
+namespace cgp {
+
+std::uint64_t exclusive_prefix_sum(std::span<const std::uint64_t> in,
+                                   std::span<std::uint64_t> out) {
+  CGP_EXPECTS(in.size() == out.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::uint64_t v = in[i];
+    out[i] = acc;
+    acc += v;
+  }
+  return acc;
+}
+
+std::uint64_t inclusive_prefix_sum(std::span<const std::uint64_t> in,
+                                   std::span<std::uint64_t> out) {
+  CGP_EXPECTS(in.size() == out.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+  return acc;
+}
+
+std::uint64_t span_sum(std::span<const std::uint64_t> in) noexcept {
+  std::uint64_t acc = 0;
+  for (const std::uint64_t v : in) acc += v;
+  return acc;
+}
+
+std::vector<std::uint64_t> balanced_blocks(std::uint64_t n, std::uint32_t parts) {
+  CGP_EXPECTS(parts > 0);
+  std::vector<std::uint64_t> sizes(parts);
+  const std::uint64_t base = n / parts;
+  const std::uint64_t rem = n % parts;
+  for (std::uint32_t i = 0; i < parts; ++i) sizes[i] = base + (i < rem ? 1u : 0u);
+  return sizes;
+}
+
+std::uint64_t balanced_block_offset(std::uint64_t n, std::uint32_t parts,
+                                    std::uint32_t i) noexcept {
+  const std::uint64_t base = n / parts;
+  const std::uint64_t rem = n % parts;
+  // First `rem` blocks carry one extra item each.
+  return base * i + (i < rem ? i : rem);
+}
+
+std::uint64_t balanced_block_size(std::uint64_t n, std::uint32_t parts,
+                                  std::uint32_t i) noexcept {
+  const std::uint64_t base = n / parts;
+  const std::uint64_t rem = n % parts;
+  return base + (i < rem ? 1u : 0u);
+}
+
+std::uint32_t balanced_block_owner(std::uint64_t n, std::uint32_t parts,
+                                   std::uint64_t g) noexcept {
+  const std::uint64_t base = n / parts;
+  const std::uint64_t rem = n % parts;
+  const std::uint64_t fat = (base + 1) * rem;  // items held by the `rem` fat blocks
+  if (g < fat) return static_cast<std::uint32_t>(g / (base + 1));
+  return static_cast<std::uint32_t>(rem + (g - fat) / base);
+}
+
+}  // namespace cgp

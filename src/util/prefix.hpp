@@ -1,0 +1,44 @@
+// util/prefix.hpp
+//
+// Prefix-sum helpers used throughout the library: exclusive scans drive the
+// displacement arrays of the all-to-all exchange (Algorithm 1) and the block
+// decomposition of vectors onto processors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cgp {
+
+/// Exclusive prefix sum: `out[i] = sum_{k<i} in[k]`; returns the grand total.
+/// `out` may alias `in`.  Sizes must match.
+std::uint64_t exclusive_prefix_sum(std::span<const std::uint64_t> in,
+                                   std::span<std::uint64_t> out);
+
+/// Inclusive prefix sum: `out[i] = sum_{k<=i} in[k]`; returns the grand total.
+std::uint64_t inclusive_prefix_sum(std::span<const std::uint64_t> in,
+                                   std::span<std::uint64_t> out);
+
+/// Sum of a span (u64, no overflow checking beyond debug asserts).
+[[nodiscard]] std::uint64_t span_sum(std::span<const std::uint64_t> in) noexcept;
+
+/// Split `n` items into `parts` nearly equal blocks: the first `n % parts`
+/// blocks get `ceil(n/parts)` items, the rest `floor(n/parts)`.  This is the
+/// canonical balanced block distribution of the PRO model (m_i = n/p +- 1).
+[[nodiscard]] std::vector<std::uint64_t> balanced_blocks(std::uint64_t n, std::uint32_t parts);
+
+/// Offset of block `i` under `balanced_blocks(n, parts)` without
+/// materializing the vector.
+[[nodiscard]] std::uint64_t balanced_block_offset(std::uint64_t n, std::uint32_t parts,
+                                                  std::uint32_t i) noexcept;
+
+/// Size of block `i` under `balanced_blocks(n, parts)`.
+[[nodiscard]] std::uint64_t balanced_block_size(std::uint64_t n, std::uint32_t parts,
+                                                std::uint32_t i) noexcept;
+
+/// Which block owns global index `g` under `balanced_blocks(n, parts)`.
+[[nodiscard]] std::uint32_t balanced_block_owner(std::uint64_t n, std::uint32_t parts,
+                                                 std::uint64_t g) noexcept;
+
+}  // namespace cgp

@@ -1,0 +1,54 @@
+// util/span2d.hpp
+//
+// A minimal non-owning row-major 2-D view over contiguous storage, used for
+// communication matrices (p x p' entries).  `std::mdspan` is C++23; this is
+// the small subset we need, with bounds checking under CGP_ASSERT_DBG.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace cgp {
+
+/// Non-owning row-major 2-D view: `v(i, j)` addresses `data[i*cols + j]`.
+template <typename T>
+class span2d {
+ public:
+  constexpr span2d() noexcept = default;
+
+  constexpr span2d(T* data, std::size_t rows, std::size_t cols) noexcept
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  constexpr span2d(std::span<T> flat, std::size_t rows, std::size_t cols) noexcept
+      : data_(flat.data()), rows_(rows), cols_(cols) {
+    CGP_ASSERT_DBG(flat.size() == rows * cols);
+  }
+
+  [[nodiscard]] constexpr std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] constexpr T* data() const noexcept { return data_; }
+
+  [[nodiscard]] constexpr T& operator()(std::size_t i, std::size_t j) const noexcept {
+    CGP_ASSERT_DBG(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// View of one full row.
+  [[nodiscard]] constexpr std::span<T> row(std::size_t i) const noexcept {
+    CGP_ASSERT_DBG(i < rows_);
+    return {data_ + i * cols_, cols_};
+  }
+
+  /// The whole matrix as a flat span (row-major).
+  [[nodiscard]] constexpr std::span<T> flat() const noexcept { return {data_, size()}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace cgp

@@ -1,0 +1,39 @@
+// util/stopwatch.hpp
+//
+// Wall-clock timing and a rough cycles-per-second calibration so benches can
+// report costs in "clock cycles per item" -- the unit the paper's
+// introduction uses (60..100 cycles/item on a 300 MHz Sparc / 800 MHz P-III).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cgp {
+
+/// Simple steady-clock stopwatch.
+class stopwatch {
+ public:
+  stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double nanos() const noexcept { return seconds() * 1e9; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Estimated CPU frequency in Hz, measured once (first call) by timing a
+/// dependent-add loop.  Used only to convert ns/item to cycles/item in bench
+/// output; precision of a few percent is plenty for reproducing the paper's
+/// "60..100 cycles" band.
+[[nodiscard]] double estimated_cpu_hz() noexcept;
+
+}  // namespace cgp

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace cgp {
+
+table::table(std::vector<std::string> header) : header_(std::move(header)) {
+  CGP_EXPECTS(!header_.empty());
+}
+
+void table::add_row(std::vector<std::string> cells) {
+  CGP_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // Right-align everything; numbers dominate and headers read fine.
+      const std::size_t pad = width[c] - row[c].size();
+      for (std::size_t k = 0; k < pad; ++k) os << ' ';
+      os << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  for (std::size_t k = 0; k < total; ++k) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  if (std::isnan(v)) return "nan";
+  if (std::fabs(v) >= 1e6 || (v != 0.0 && std::fabs(v) < 1e-4)) {
+    std::snprintf(buf, sizeof buf, "%.*e", prec, v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  }
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  const std::size_t lead = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+}  // namespace cgp

@@ -1,0 +1,45 @@
+// util/table.hpp
+//
+// Fixed-width ASCII table printer used by the benchmark harness so every
+// bench binary emits the same row/column layout as the corresponding table
+// in the paper (EXPERIMENTS.md pairs each bench's output with the paper's
+// reported numbers).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cgp {
+
+/// Column-aligned table.  Usage:
+///   table t({"p", "T_model [s]", "T_paper [s]"});
+///   t.add_row({"3", "205.1", "210"});
+///   t.print(std::cout);
+class table {
+ public:
+  explicit table(std::vector<std::string> header);
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with 2-space gutters and a rule under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` significant decimal digits (fixed notation
+/// below 1e6, scientific above).
+[[nodiscard]] std::string fmt(double v, int prec = 3);
+
+/// Format an integer with thousands separators ("4,194,304").
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+}  // namespace cgp

@@ -1,0 +1,290 @@
+// Tests for the coarse-grained machine: superstep semantics, message
+// delivery, collectives, determinism, and the resource accounting the
+// paper's theorems are stated in.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cgm/collectives.hpp"
+#include "cgm/machine.hpp"
+
+namespace {
+
+using namespace cgp;
+
+TEST(Machine, SingleProcessorRuns) {
+  cgm::machine mach(1, 42);
+  bool ran = false;
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    EXPECT_EQ(ctx.id(), 0u);
+    EXPECT_EQ(ctx.nprocs(), 1u);
+    ctx.charge(10);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(stats.per_proc[0].compute_ops, 10u);
+  EXPECT_EQ(stats.total_compute(), 10u);
+}
+
+TEST(Machine, PointToPointDelivery) {
+  cgm::machine mach(4, 1);
+  std::vector<std::uint64_t> got(4, 0);
+  mach.run([&](cgm::context& ctx) {
+    // Ring: i sends its id+100 to (i+1) mod p.
+    const std::uint64_t payload = ctx.id() + 100;
+    ctx.send_value((ctx.id() + 1) % 4, 7, payload);
+    ctx.sync();
+    const auto msg = ctx.take((ctx.id() + 3) % 4, 7);
+    ASSERT_TRUE(msg.has_value());
+    got[ctx.id()] = msg->as<std::uint64_t>().front();
+  });
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{103, 100, 101, 102}));
+}
+
+TEST(Machine, MessagesNotVisibleBeforeSync) {
+  cgm::machine mach(2, 2);
+  mach.run([&](cgm::context& ctx) {
+    if (ctx.id() == 0) ctx.send_value(1u, 9, std::uint64_t{5});
+    EXPECT_TRUE(ctx.inbox().empty());  // nothing delivered yet
+    ctx.sync();
+    if (ctx.id() == 1) {
+      EXPECT_EQ(ctx.inbox().size(), 1u);
+    } else {
+      EXPECT_TRUE(ctx.inbox().empty());
+    }
+  });
+}
+
+TEST(Machine, InboxOrderedBySource) {
+  cgm::machine mach(5, 3);
+  mach.run([&](cgm::context& ctx) {
+    ctx.send_value(0u, 1, std::uint64_t{ctx.id()});
+    ctx.sync();
+    if (ctx.id() == 0) {
+      ASSERT_EQ(ctx.inbox().size(), 5u);
+      for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ctx.inbox()[i].source, i);
+    }
+  });
+}
+
+TEST(Machine, TakeAllFiltersByTag) {
+  cgm::machine mach(3, 4);
+  mach.run([&](cgm::context& ctx) {
+    ctx.send_value(0u, 1, std::uint64_t{1});
+    ctx.send_value(0u, 2, std::uint64_t{2});
+    ctx.sync();
+    if (ctx.id() == 0) {
+      auto ones = ctx.take_all(1);
+      EXPECT_EQ(ones.size(), 3u);
+      EXPECT_EQ(ctx.inbox().size(), 3u);  // tag-2 messages remain
+      auto twos = ctx.take_all(2);
+      EXPECT_EQ(twos.size(), 3u);
+      EXPECT_TRUE(ctx.inbox().empty());
+    }
+  });
+}
+
+TEST(Machine, MultiSuperstepPingPong) {
+  cgm::machine mach(2, 5);
+  mach.run([&](cgm::context& ctx) {
+    std::uint64_t token = ctx.id() == 0 ? 1 : 0;
+    for (int round = 0; round < 8; ++round) {
+      if (token != 0) ctx.send_value(1u - ctx.id(), 3, token + 1);
+      ctx.sync();
+      auto msg = ctx.take(1u - ctx.id(), 3);
+      token = msg ? msg->as<std::uint64_t>().front() : 0;
+    }
+    if (ctx.id() == 0) EXPECT_EQ(token, 9u);  // 8 hops, +1 each
+  });
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  cgm::machine mach(4, 77);
+  auto draw_all = [&] {
+    std::vector<std::uint64_t> draws(4);
+    mach.run([&](cgm::context& ctx) { draws[ctx.id()] = ctx.rng()(); });
+    return draws;
+  };
+  const auto a = draw_all();
+  const auto b = draw_all();
+  EXPECT_EQ(a, b);  // same seed => identical streams
+  mach.reseed(78);
+  const auto c = draw_all();
+  EXPECT_NE(a, c);
+}
+
+TEST(Machine, RngStreamsDifferAcrossProcessors) {
+  cgm::machine mach(8, 11);
+  std::vector<std::uint64_t> first(8);
+  mach.run([&](cgm::context& ctx) { first[ctx.id()] = ctx.rng()(); });
+  std::sort(first.begin(), first.end());
+  EXPECT_EQ(std::adjacent_find(first.begin(), first.end()), first.end());
+}
+
+// --- accounting ---------------------------------------------------------------
+
+TEST(Accounting, WordsCountedOnBothEnds) {
+  cgm::machine mach(2, 6);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    if (ctx.id() == 0) {
+      const std::vector<std::uint64_t> payload(10, 1);
+      ctx.send(1u, 1, std::span<const std::uint64_t>(payload));
+    }
+    ctx.sync();
+  });
+  EXPECT_EQ(stats.per_proc[0].words_sent, 10u);
+  EXPECT_EQ(stats.per_proc[1].words_received, 10u);
+  EXPECT_EQ(stats.per_proc[0].messages_sent, 1u);
+  EXPECT_EQ(stats.total_words(), 10u);
+}
+
+TEST(Accounting, SuperstepRecordsMaxima) {
+  cgm::machine mach(3, 7);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    ctx.charge(ctx.id() * 100);  // proc 2 charges 200
+    ctx.sync();
+    ctx.charge(5);
+  });
+  ASSERT_GE(stats.supersteps.size(), 2u);
+  EXPECT_EQ(stats.supersteps[0].max_compute, 200u);
+  EXPECT_EQ(stats.supersteps.back().max_compute, 5u);
+}
+
+TEST(Accounting, HRelationIsMaxInOut) {
+  cgm::machine mach(3, 8);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    // All procs send 4 words to proc 0: fan-in 12 at proc 0, fan-out 4.
+    const std::vector<std::uint64_t> payload(4, 0);
+    ctx.send(0u, 1, std::span<const std::uint64_t>(payload));
+    ctx.sync();
+  });
+  EXPECT_EQ(stats.supersteps[0].max_words_out, 4u);
+  EXPECT_EQ(stats.supersteps[0].max_words_in, 12u);
+  EXPECT_EQ(stats.supersteps[0].h_relation(), 12u);
+}
+
+TEST(Accounting, ModelSecondsComposes) {
+  cgm::machine mach(2, 9);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    ctx.charge(1000);
+    ctx.send_value(1u - ctx.id(), 1, std::uint64_t{0});
+    ctx.sync();
+  });
+  const cgm::cost_model m{1e-9, 1e-8, 1e-4};
+  // One recorded superstep: 1000 ops, h = 1 word, + latency; the tail has
+  // no compute.
+  EXPECT_NEAR(stats.model_seconds(m), 1000 * 1e-9 + 1 * 1e-8 + 1e-4, 1e-12);
+}
+
+TEST(Accounting, RngDrawsCounted) {
+  cgm::machine mach(2, 10);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    for (int i = 0; i < 5 + static_cast<int>(ctx.id()); ++i) (void)ctx.rng()();
+  });
+  EXPECT_EQ(stats.per_proc[0].rng_draws, 5u);
+  EXPECT_EQ(stats.per_proc[1].rng_draws, 6u);
+}
+
+TEST(Accounting, PeakMemoryTracksMessagesAndNotes) {
+  cgm::machine mach(2, 11);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    ctx.note_memory(1000);
+    if (ctx.id() == 0) {
+      const std::vector<std::uint64_t> payload(16, 0);  // 128 bytes
+      ctx.send(1u, 1, std::span<const std::uint64_t>(payload));
+    }
+    ctx.sync();
+  });
+  EXPECT_GE(stats.per_proc[0].peak_memory_bytes, 1000u);
+  EXPECT_GE(stats.per_proc[1].peak_memory_bytes, 128u);
+}
+
+// --- collectives ----------------------------------------------------------------
+
+TEST(Collectives, AllToAllV) {
+  cgm::machine mach(4, 20);
+  mach.run([&](cgm::context& ctx) {
+    std::vector<std::vector<std::uint64_t>> chunks(4);
+    for (std::uint32_t d = 0; d < 4; ++d)
+      chunks[d] = std::vector<std::uint64_t>(d + 1, ctx.id());  // d+1 copies of my id
+    const auto got = cgm::all_to_all_v(ctx, std::span<const std::vector<std::uint64_t>>(chunks));
+    ASSERT_EQ(got.size(), 4u);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      ASSERT_EQ(got[s].size(), ctx.id() + 1) << "chunk size from " << s;
+      for (const auto v : got[s]) EXPECT_EQ(v, s);
+    }
+  });
+}
+
+TEST(Collectives, BroadcastAndValue) {
+  cgm::machine mach(5, 21);
+  mach.run([&](cgm::context& ctx) {
+    std::vector<std::uint64_t> data;
+    if (ctx.id() == 2) data = {10, 20, 30};
+    const auto got = cgm::broadcast(ctx, 2u, std::span<const std::uint64_t>(data));
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{10, 20, 30}));
+    const auto v = cgm::broadcast_value(ctx, 2u, std::uint64_t{ctx.id() == 2 ? 99u : 0u});
+    EXPECT_EQ(v, 99u);
+  });
+}
+
+TEST(Collectives, GatherScatterRoundTrip) {
+  cgm::machine mach(3, 22);
+  mach.run([&](cgm::context& ctx) {
+    const std::vector<std::uint64_t> mine(ctx.id() + 1, ctx.id());
+    const auto gathered = cgm::gather(ctx, 0u, std::span<const std::uint64_t>(mine));
+    std::vector<std::vector<std::uint64_t>> chunks;
+    if (ctx.id() == 0) {
+      ASSERT_EQ(gathered.size(), 3u);
+      for (std::uint32_t s = 0; s < 3; ++s) EXPECT_EQ(gathered[s].size(), s + 1);
+      chunks = gathered;  // send everything back where it came from
+    } else {
+      chunks.resize(3);
+    }
+    const auto back =
+        cgm::scatter(ctx, 0u, std::span<const std::vector<std::uint64_t>>(chunks));
+    EXPECT_EQ(back, mine);
+  });
+}
+
+TEST(Collectives, AllGather) {
+  cgm::machine mach(4, 23);
+  mach.run([&](cgm::context& ctx) {
+    const std::uint64_t mine[1] = {ctx.id() * 7ull};
+    const auto all = cgm::all_gather(ctx, std::span<const std::uint64_t>(mine, 1));
+    ASSERT_EQ(all.size(), 4u);
+    for (std::uint32_t s = 0; s < 4; ++s) EXPECT_EQ(all[s].front(), s * 7ull);
+  });
+}
+
+TEST(Collectives, ReduceAndScan) {
+  cgm::machine mach(6, 24);
+  mach.run([&](cgm::context& ctx) {
+    const auto total = cgm::all_reduce_sum(ctx, ctx.id() + 1);  // 1+2+...+6
+    EXPECT_EQ(total, 21u);
+    const auto below = cgm::exclusive_scan_sum(ctx, ctx.id() + 1);
+    // prefix of (1, 2, ..., id)
+    EXPECT_EQ(below, ctx.id() * (ctx.id() + 1) / 2);
+  });
+}
+
+TEST(Collectives, EmptyChunksAreFine) {
+  cgm::machine mach(3, 25);
+  mach.run([&](cgm::context& ctx) {
+    std::vector<std::vector<std::uint64_t>> chunks(3);  // all empty
+    const auto got = cgm::all_to_all_v(ctx, std::span<const std::vector<std::uint64_t>>(chunks));
+    for (const auto& g : got) EXPECT_TRUE(g.empty());
+  });
+}
+
+TEST(Machine, ManyProcessorsSmoke) {
+  // 64 virtual processors on however few cores the host has.
+  cgm::machine mach(64, 26);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    const auto total = cgm::all_reduce_sum(ctx, 1);
+    EXPECT_EQ(total, 64u);
+  });
+  EXPECT_EQ(stats.per_proc.size(), 64u);
+}
+
+}  // namespace

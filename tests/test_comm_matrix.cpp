@@ -1,0 +1,155 @@
+// Tests for the communication-matrix type: conservation laws, the exact
+// generalized-hypergeometric law (log_probability), Proposition 4 merging,
+// and the a-posteriori matrix of a permutation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "hyp/pmf.hpp"
+#include "rng/philox.hpp"
+#include "seq/fisher_yates.hpp"
+#include "stats/chisq.hpp"
+
+namespace {
+
+using namespace cgp;
+using core::comm_matrix;
+
+TEST(CommMatrix, SumsAndMargins) {
+  comm_matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  EXPECT_EQ(a.total(), 21u);
+  EXPECT_EQ(a.row_sums(), (std::vector<std::uint64_t>{6, 15}));
+  EXPECT_EQ(a.col_sums(), (std::vector<std::uint64_t>{5, 7, 9}));
+  EXPECT_TRUE(a.satisfies_margins(std::vector<std::uint64_t>{6, 15},
+                                  std::vector<std::uint64_t>{5, 7, 9}));
+  EXPECT_FALSE(a.satisfies_margins(std::vector<std::uint64_t>{7, 14},
+                                   std::vector<std::uint64_t>{5, 7, 9}));
+}
+
+TEST(CommMatrix, LogProbabilityHandComputed) {
+  // 2x2, margins all 1 (n = 2): two legal matrices (identity-like and
+  // swap-like), each realized by exactly 1 of the 2 permutations.
+  comm_matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  EXPECT_NEAR(std::exp(a.log_probability()), 0.5, 1e-12);
+  comm_matrix b(2, 2);
+  b(0, 1) = 1;
+  b(1, 0) = 1;
+  EXPECT_NEAR(std::exp(b.log_probability()), 0.5, 1e-12);
+}
+
+TEST(CommMatrix, LogProbabilityNormalizesOver2x2Family) {
+  // margins rows (2,2), cols (2,2): a00 in {0,1,2} determines the matrix
+  // (paper eq. (8)); the law must be h(t=2, w=2, b=2) and sum to 1.
+  double total = 0.0;
+  for (std::uint64_t k = 0; k <= 2; ++k) {
+    comm_matrix a(2, 2);
+    a(0, 0) = k;
+    a(0, 1) = 2 - k;
+    a(1, 0) = 2 - k;
+    a(1, 1) = k;
+    const double prob = std::exp(a.log_probability());
+    EXPECT_NEAR(prob, hyp::pmf(hyp::params{2, 2, 2}, k), 1e-12) << "k=" << k;
+    total += prob;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CommMatrix, MergeAggregatesBlocks) {
+  comm_matrix a(4, 4);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t j = 0; j < 4; ++j) a(i, j) = i * 4 + j;
+  const std::vector<std::uint32_t> bounds{0, 2, 4};
+  const comm_matrix m = a.merge(bounds, bounds);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 0), 0u + 1 + 4 + 5);
+  EXPECT_EQ(m(1, 1), 10u + 11 + 14 + 15);
+  EXPECT_EQ(m.total(), a.total());
+}
+
+TEST(CommMatrix, MergePreservesMargins) {
+  comm_matrix a(3, 3);
+  std::uint64_t v = 1;
+  for (std::uint32_t i = 0; i < 3; ++i)
+    for (std::uint32_t j = 0; j < 3; ++j) a(i, j) = v++;
+  const std::vector<std::uint32_t> rb{0, 1, 3};
+  const std::vector<std::uint32_t> cb{0, 2, 3};
+  const comm_matrix m = a.merge(rb, cb);
+  const auto rs = a.row_sums();
+  const auto cs = a.col_sums();
+  EXPECT_EQ(m.row_sums(), (std::vector<std::uint64_t>{rs[0], rs[1] + rs[2]}));
+  EXPECT_EQ(m.col_sums(), (std::vector<std::uint64_t>{cs[0] + cs[1], cs[2]}));
+}
+
+TEST(MatrixOfPermutation, IdentityAndReversal) {
+  const std::vector<std::uint64_t> margins{2, 2};
+  std::vector<std::uint64_t> ident{0, 1, 2, 3};
+  const auto a = core::matrix_of_permutation(ident, margins, margins);
+  EXPECT_EQ(a(0, 0), 2u);
+  EXPECT_EQ(a(0, 1), 0u);
+  EXPECT_EQ(a(1, 1), 2u);
+
+  std::vector<std::uint64_t> rev{3, 2, 1, 0};
+  const auto b = core::matrix_of_permutation(rev, margins, margins);
+  EXPECT_EQ(b(0, 0), 0u);
+  EXPECT_EQ(b(0, 1), 2u);
+  EXPECT_EQ(b(1, 0), 2u);
+}
+
+TEST(MatrixOfPermutation, UnevenBlocks) {
+  // 5 items, rows (2,3), cols (1,4).
+  const std::vector<std::uint64_t> rm{2, 3};
+  const std::vector<std::uint64_t> cm{1, 4};
+  std::vector<std::uint64_t> perm{4, 0, 1, 2, 3};  // 0->4, 1->0, ...
+  const auto a = core::matrix_of_permutation(perm, rm, cm);
+  // Source block 0 = positions {0,1} -> targets {4,0}: one in col1, one in col0.
+  EXPECT_EQ(a(0, 0), 1u);
+  EXPECT_EQ(a(0, 1), 1u);
+  EXPECT_EQ(a(1, 0), 0u);
+  EXPECT_EQ(a(1, 1), 3u);
+}
+
+TEST(MatrixOfPermutation, EntryLawMatchesProposition3) {
+  // Shuffle uniformly (Fisher-Yates is the trusted reference), build the
+  // a-posteriori matrix, and chi-square entry a_00 against
+  // h(t = m'_0, w = m_0, b = n - m_0).
+  const std::vector<std::uint64_t> rm{6, 10};  // n = 16
+  const std::vector<std::uint64_t> cm{8, 8};
+  const hyp::params law{cm[0], rm[0], 10};
+  const auto probs = hyp::pmf_table(law);
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  rng::philox4x64 e(900, 0);
+  std::vector<std::uint64_t> perm(16);
+  for (int rep = 0; rep < 30000; ++rep) {
+    std::iota(perm.begin(), perm.end(), 0);
+    seq::fisher_yates(e, std::span<std::uint64_t>(perm));
+    const auto a = core::matrix_of_permutation(perm, rm, cm);
+    ++counts[a(0, 0) - hyp::support_min(law)];
+  }
+  const auto res = stats::chi_square_gof(counts, probs);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST(CommMatrix, EqualityAndDefault) {
+  comm_matrix a(2, 2);
+  comm_matrix b(2, 2);
+  EXPECT_EQ(a, b);
+  a(0, 0) = 1;
+  EXPECT_NE(a, b);
+  comm_matrix empty;
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.total(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Cost-model tests: the arithmetic of BSP pricing, the aggregate
+// bandwidth saturation term, and -- most importantly -- a regression pin
+// on the headline reproduction: the Origin-2000 calibration must keep
+// reproducing ALL SIX rows of the paper's Section 6 scaling table within
+// 5% when Algorithm 1 runs at 1/100 scale.  If an algorithm change alters
+// the pipeline's work/communication profile, this test trips before the
+// bench drifts silently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/cost.hpp"
+#include "cgm/machine.hpp"
+#include "core/driver.hpp"
+
+namespace {
+
+using namespace cgp;
+
+TEST(CostModel, PureBspArithmetic) {
+  cgm::run_stats stats;
+  stats.supersteps.push_back({/*max_compute=*/1000, /*out=*/50, /*in=*/80, /*total=*/200});
+  stats.supersteps.push_back({500, 10, 10, 20});
+  const cgm::cost_model m{1e-9, 1e-8, 1e-4, 0};
+  // step1: 1000e-9 + 80e-8 + 1e-4 ; step2: 500e-9 + 10e-8 + 1e-4
+  EXPECT_NEAR(stats.model_seconds(m), (1e-6 + 8e-7 + 1e-4) + (5e-7 + 1e-7 + 1e-4), 1e-15);
+}
+
+TEST(CostModel, AggregateBandwidthSaturates) {
+  cgm::run_stats stats;
+  // h = 10 words but total = 10,000 words: with 1e3 words/s aggregate the
+  // saturated term (10 s) dominates g*h (1e-7 s).
+  stats.supersteps.push_back({0, 10, 10, 10000});
+  cgm::cost_model m{0, 1e-8, 0, 1e3};
+  EXPECT_NEAR(stats.model_seconds(m), 10.0, 1e-9);
+  m.agg_words_per_sec = 0;  // disabled: back to g*h
+  EXPECT_NEAR(stats.model_seconds(m), 1e-7, 1e-15);
+}
+
+TEST(CostModel, HRelationIsMaxOfInAndOut) {
+  cgm::superstep_record rec{0, 70, 30, 100};
+  EXPECT_EQ(rec.h_relation(), 70u);
+  rec.max_words_in = 90;
+  EXPECT_EQ(rec.h_relation(), 90u);
+}
+
+TEST(CostModel, RunStatsAggregates) {
+  cgm::run_stats stats;
+  stats.per_proc.resize(3);
+  stats.per_proc[0].compute_ops = 10;
+  stats.per_proc[1].compute_ops = 30;
+  stats.per_proc[2].compute_ops = 20;
+  stats.per_proc[0].words_sent = 5;
+  stats.per_proc[1].words_received = 9;
+  stats.per_proc[2].rng_draws = 7;
+  stats.per_proc[1].peak_memory_bytes = 1000;
+  EXPECT_EQ(stats.total_compute(), 60u);
+  EXPECT_EQ(stats.max_compute_per_proc(), 30u);
+  EXPECT_EQ(stats.max_words_per_proc(), 9u);
+  EXPECT_EQ(stats.max_rng_draws_per_proc(), 7u);
+  EXPECT_EQ(stats.max_peak_memory_per_proc(), 1000u);
+}
+
+// --- the headline regression pin ---------------------------------------------------
+
+struct paper_point {
+  std::uint32_t p;
+  double seconds;
+};
+
+class PaperScaling : public ::testing::TestWithParam<paper_point> {};
+
+TEST_P(PaperScaling, OriginCalibrationReproducesSection6) {
+  // 1/100 scale of the paper's 480M-item experiment.
+  constexpr std::uint64_t kSim = 4'800'000;
+  constexpr double kScale = 100.0;
+  const auto [p, paper_seconds] = GetParam();
+
+  double model_seconds;
+  const cgm::cost_model model = cgm::cost_model::origin2000();
+  if (p == 1) {
+    model_seconds = model.sec_per_op * static_cast<double>(kSim) * kScale;
+  } else {
+    cgm::machine mach(p, 0xE1);
+    cgm::run_stats stats;
+    std::vector<std::uint64_t> data(kSim);
+    for (std::uint64_t i = 0; i < kSim; ++i) data[i] = i;
+    (void)core::permute_global(mach, data, {}, &stats);
+    model_seconds = stats.model_seconds(model) * kScale;
+  }
+  EXPECT_NEAR(model_seconds / paper_seconds, 1.0, 0.05)
+      << "p=" << p << ": model " << model_seconds << " s vs paper " << paper_seconds << " s";
+}
+
+INSTANTIATE_TEST_SUITE_P(Section6Table, PaperScaling,
+                         ::testing::Values(paper_point{1, 137.0}, paper_point{3, 210.0},
+                                           paper_point{6, 107.0}, paper_point{12, 72.9},
+                                           paper_point{24, 60.9}, paper_point{48, 53.2}),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param.p);
+                         });
+
+TEST(CostModel, OverheadFactorStaysInPaperBand) {
+  // E5's claim as a regression: weighted total cost of Algorithm 1 over
+  // the sequential reference must stay within [3, 5] under the Origin
+  // calibration.
+  const std::uint64_t n = 1 << 20;
+  const cgm::cost_model model = cgm::cost_model::origin2000();
+  for (const std::uint32_t p : {4u, 16u}) {
+    cgm::machine mach(p, 0xE5);
+    cgm::run_stats stats;
+    std::vector<std::uint64_t> data(n);
+    for (std::uint64_t i = 0; i < n; ++i) data[i] = i;
+    (void)core::permute_global(mach, data, {}, &stats);
+    const double factor =
+        (model.sec_per_op * static_cast<double>(stats.total_compute()) +
+         model.sec_per_word * static_cast<double>(stats.total_words())) /
+        (model.sec_per_op * static_cast<double>(n));
+    EXPECT_GE(factor, 3.0) << "p=" << p;
+    EXPECT_LE(factor, 5.0) << "p=" << p;
+  }
+}
+
+}  // namespace

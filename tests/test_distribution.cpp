@@ -1,0 +1,215 @@
+// Distribution deep-dive: second-instrument checks on the parallel
+// pipeline (runs structure, KS position law, serial correlation),
+// cross-algorithm distributional equality (Algorithms 5 vs 6 vs
+// replicated), golden determinism snapshots, and the topology cost model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "cgm/topology.hpp"
+#include "core/driver.hpp"
+#include "core/parallel_matrix.hpp"
+#include "hyp/pmf.hpp"
+#include "stats/chisq.hpp"
+#include "stats/ks.hpp"
+#include "stats/runs.hpp"
+
+namespace {
+
+using namespace cgp;
+
+// --- second instruments on the pipeline output -----------------------------------
+
+TEST(PipelineDistribution, RunStructureIsUniform) {
+  // Ascending-runs z over many pipeline outputs: mean must be ~0 at the
+  // 6-sigma level (under-mixing would push it far negative).
+  cgm::machine mach(4, 0);
+  double zsum = 0.0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    mach.reseed(0xAA000 + rep);
+    const auto pi = core::random_permutation_global(mach, 512);
+    zsum += stats::ascending_runs_z(pi);
+  }
+  EXPECT_LT(std::fabs(zsum / reps), 6.0 / std::sqrt(static_cast<double>(reps)));
+}
+
+TEST(PipelineDistribution, SerialCorrelationVanishes) {
+  cgm::machine mach(4, 0);
+  double csum = 0.0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    mach.reseed(0xBB000 + rep);
+    const auto pi = core::random_permutation_global(mach, 1024);
+    csum += stats::serial_correlation(pi);
+  }
+  // Each coefficient ~ N(0, 1/n); the mean of 200 of them is tighter.
+  EXPECT_LT(std::fabs(csum / reps), 6.0 / std::sqrt(200.0 * 1024.0));
+}
+
+TEST(PipelineDistribution, PositionLawPassesKs) {
+  // Normalized image of item 0 across runs must be Uniform[0,1).
+  cgm::machine mach(4, 0);
+  const std::uint64_t n = 512;
+  std::vector<double> xs;
+  for (int rep = 0; rep < 3000; ++rep) {
+    mach.reseed(0xCC000 + rep);
+    const auto pi = core::random_permutation_global(mach, n);
+    xs.push_back((static_cast<double>(pi[0]) + 0.5) / static_cast<double>(n));
+  }
+  EXPECT_GT(stats::ks_uniform01(xs).p_value, 1e-9);
+}
+
+TEST(PipelineDistribution, MedianRunsTestPasses) {
+  cgm::machine mach(8, 0xDD);
+  const auto pi = core::random_permutation_global(mach, 8192);
+  EXPECT_GT(stats::runs_test_median(pi).p_value, 1e-6);
+}
+
+// --- cross-algorithm equality ------------------------------------------------------
+
+// The three matrix algorithms must induce the SAME distribution.  Compare
+// their a_00 histograms against each other with a two-sample chi-square
+// (both against the exact law is already tested; this is the direct
+// pairwise check, sensitive to any asymmetry the marginal tests share).
+std::vector<std::uint64_t> corner_histogram(core::matrix_algorithm alg, int reps,
+                                            std::uint64_t seed_base) {
+  const std::uint32_t p = 4;
+  const std::uint64_t block = 8;
+  const hyp::params law{block, block, (p - 1) * block};
+  std::vector<std::uint64_t> counts(hyp::support_max(law) + 1, 0);
+  for (int rep = 0; rep < reps; ++rep) {
+    cgm::machine mach(p, seed_base + rep);
+    core::permute_options opt;
+    opt.matrix = alg;
+    mach.run([&](cgm::context& ctx) {
+      const auto row = core::sample_matrix_row(ctx, block, opt);
+      if (ctx.id() == 0) counts[row[0]] += 1;
+    });
+  }
+  return counts;
+}
+
+TEST(CrossAlgorithm, OptimalAndLogpAgree) {
+  const auto a = corner_histogram(core::matrix_algorithm::optimal, 3000, 0x10000);
+  const auto b = corner_histogram(core::matrix_algorithm::logp, 3000, 0x20000);
+  // Two-sample chi-square via 2 x k contingency table.
+  std::vector<std::uint64_t> table;
+  for (const auto v : a) table.push_back(v);
+  for (const auto v : b) table.push_back(v);
+  // Drop all-zero columns by pooling: use independence test with pooling
+  // handled by its expected counts (zero columns contribute nothing).
+  const auto res = stats::chi_square_independence(table, 2, a.size());
+  EXPECT_GT(res.p_value, 1e-9);
+}
+
+TEST(CrossAlgorithm, OptimalAndReplicatedAgree) {
+  const auto a = corner_histogram(core::matrix_algorithm::optimal, 3000, 0x30000);
+  const auto b = corner_histogram(core::matrix_algorithm::replicated, 3000, 0x40000);
+  std::vector<std::uint64_t> table;
+  for (const auto v : a) table.push_back(v);
+  for (const auto v : b) table.push_back(v);
+  const auto res = stats::chi_square_independence(table, 2, a.size());
+  EXPECT_GT(res.p_value, 1e-9);
+}
+
+// --- golden determinism -------------------------------------------------------------
+
+TEST(Golden, PipelineOutputIsStableAcrossRuns) {
+  // Not a fixed magic vector (engine details may legitimately evolve with
+  // a major version), but full bit-stability within a build: two machines,
+  // same seed, byte-identical output; and a third seed differs.
+  cgm::machine m1(6, 424242);
+  cgm::machine m2(6, 424242);
+  const auto a = core::random_permutation_global(m1, 600);
+  const auto b = core::random_permutation_global(m2, 600);
+  EXPECT_EQ(a, b);
+  cgm::machine m3(6, 424243);
+  EXPECT_NE(a, core::random_permutation_global(m3, 600));
+}
+
+TEST(Golden, DifferentProcessorCountsDifferButBothUniformShaped) {
+  // p changes the draw pattern, so outputs differ -- but each is a valid
+  // permutation (the law is the same; realizations differ).
+  cgm::machine m4(4, 777);
+  cgm::machine m8(8, 777);
+  const auto a = core::random_permutation_global(m4, 512);
+  const auto b = core::random_permutation_global(m8, 512);
+  EXPECT_NE(a, b);
+}
+
+// --- topology cost model ------------------------------------------------------------
+
+cgm::run_stats one_run(std::uint32_t p) {
+  cgm::machine mach(p, 0x707);
+  return mach.run([&](cgm::context& ctx) {
+    std::vector<std::uint64_t> local(4096, ctx.id());
+    (void)core::parallel_random_permutation(ctx, std::move(local));
+  });
+}
+
+TEST(Topology, CrossbarIsCheapestBusIsDearest) {
+  const auto stats = one_run(16);
+  cgm::topology_model m;
+  m.sec_per_op = 1e-9;
+  m.sec_per_word = 1e-8;
+  m.latency = 1e-6;
+  double prev = 0.0;
+  for (const auto kind : {cgm::interconnect::crossbar, cgm::interconnect::hypercube,
+                          cgm::interconnect::mesh2d, cgm::interconnect::ring,
+                          cgm::interconnect::bus}) {
+    m.kind = kind;
+    const double t = m.model_seconds(stats, 16);
+    EXPECT_GE(t, prev * 0.999) << interconnect_name(kind)
+                               << " must not be cheaper than its predecessor";
+    prev = t;
+  }
+}
+
+TEST(Topology, CrossbarMatchesPlainBspWhenEndpointLimited) {
+  // With link capacity >= injection capacity, the crossbar's comm cost is
+  // exactly g * h -- the plain BSP term of cost_model (no aggregate cap).
+  const auto stats = one_run(8);
+  cgm::topology_model topo;
+  topo.kind = cgm::interconnect::crossbar;
+  topo.sec_per_op = 2e-9;
+  topo.sec_per_word = 3e-8;
+  topo.latency = 5e-5;
+  cgm::cost_model bsp{2e-9, 3e-8, 5e-5, 0};
+  EXPECT_NEAR(topo.model_seconds(stats, 8), stats.model_seconds(bsp),
+              1e-9 + 1e-6 * stats.model_seconds(bsp));
+}
+
+TEST(Topology, HypercubeTracksCrossbarAtTheseScales) {
+  const auto stats = one_run(16);
+  cgm::topology_model m;
+  m.sec_per_word = 1e-8;
+  m.kind = cgm::interconnect::crossbar;
+  const double xbar = m.model_seconds(stats, 16);
+  m.kind = cgm::interconnect::hypercube;
+  const double hc = m.model_seconds(stats, 16);
+  EXPECT_NEAR(hc, xbar, 1e-12 + 0.01 * xbar);  // same 1/p link load
+}
+
+TEST(Topology, BusSerializesTotalVolume) {
+  const auto stats = one_run(8);
+  cgm::topology_model m;
+  m.kind = cgm::interconnect::bus;
+  m.sec_per_op = 0.0;
+  m.latency = 0.0;
+  m.sec_per_word = 1.0;  // 1 s/word: cost == word count
+  double expected = 0.0;
+  for (const auto& s : stats.supersteps)
+    expected += static_cast<double>(std::max(s.total_words, s.h_relation()));
+  EXPECT_NEAR(m.model_seconds(stats, 8), expected, 1e-6);
+}
+
+TEST(Topology, NamesAreStable) {
+  EXPECT_STREQ(cgm::interconnect_name(cgm::interconnect::ring), "ring");
+  EXPECT_STREQ(cgm::interconnect_name(cgm::interconnect::mesh2d), "mesh2d");
+}
+
+}  // namespace

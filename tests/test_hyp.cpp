@@ -1,0 +1,161 @@
+// Unit tests for the exact hypergeometric probability machinery (paper
+// Section 3, eq. (4)): pmf identities, cdf, mode, moments, support.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "hyp/pmf.hpp"
+
+namespace {
+
+using namespace cgp;
+using hyp::params;
+
+TEST(HypPmf, SupportBounds) {
+  // t <= b: support starts at 0; t > b: at t - b.
+  EXPECT_EQ(hyp::support_min(params{5, 10, 10}), 0u);
+  EXPECT_EQ(hyp::support_min(params{15, 10, 10}), 5u);
+  EXPECT_EQ(hyp::support_max(params{5, 10, 10}), 5u);
+  EXPECT_EQ(hyp::support_max(params{15, 10, 10}), 10u);
+}
+
+TEST(HypPmf, DegenerateCases) {
+  EXPECT_TRUE(hyp::degenerate(params{0, 5, 5}));    // draw nothing
+  EXPECT_TRUE(hyp::degenerate(params{10, 5, 5}));   // draw everything
+  EXPECT_TRUE(hyp::degenerate(params{3, 0, 7}));    // no whites
+  EXPECT_TRUE(hyp::degenerate(params{3, 7, 0}));    // no blacks
+  EXPECT_FALSE(hyp::degenerate(params{3, 7, 4}));
+}
+
+TEST(HypPmf, HandComputedSmallCase) {
+  // h(2, 3, 2): P[k] = C(3,k) C(2,2-k) / C(5,2), k in {0,1,2}.
+  const params p{2, 3, 2};
+  EXPECT_NEAR(hyp::pmf(p, 0), 1.0 / 10, 1e-14);
+  EXPECT_NEAR(hyp::pmf(p, 1), 6.0 / 10, 1e-14);
+  EXPECT_NEAR(hyp::pmf(p, 2), 3.0 / 10, 1e-14);
+}
+
+TEST(HypPmf, SumsToOneAcrossRegimes) {
+  for (const auto& p :
+       {params{5, 10, 10}, params{50, 100, 37}, params{1000, 5000, 3000},
+        params{7, 3, 100}, params{99, 50, 50}}) {
+    const auto table = hyp::pmf_table(p);
+    const double sum = std::accumulate(table.begin(), table.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "t=" << p.t << " w=" << p.w << " b=" << p.b;
+  }
+}
+
+TEST(HypPmf, TableMatchesDirectPmf) {
+  const params p{40, 60, 80};
+  const auto table = hyp::pmf_table(p);
+  const std::uint64_t lo = hyp::support_min(p);
+  for (std::uint64_t k = lo; k <= hyp::support_max(p); ++k)
+    EXPECT_NEAR(table[k - lo], hyp::pmf(p, k), 1e-12);
+}
+
+TEST(HypPmf, OutOfSupportIsZero) {
+  const params p{15, 10, 10};
+  EXPECT_EQ(hyp::pmf(p, 4), 0.0);   // below support (min is 5)
+  EXPECT_EQ(hyp::pmf(p, 11), 0.0);  // above support (max is 10)
+  EXPECT_EQ(hyp::log_pmf(p, 4), -std::numeric_limits<double>::infinity());
+}
+
+TEST(HypPmf, StepRatioConsistent) {
+  const params p{30, 40, 50};
+  for (std::uint64_t k = hyp::support_min(p); k < hyp::support_max(p); ++k) {
+    const double ratio = hyp::pmf(p, k + 1) / hyp::pmf(p, k);
+    EXPECT_NEAR(ratio, hyp::pmf_step_up(p, k), 1e-9 * ratio + 1e-12);
+  }
+}
+
+TEST(HypPmf, ModeIsArgmax) {
+  for (const auto& p : {params{5, 10, 10}, params{50, 100, 37}, params{17, 3, 100},
+                        params{99, 50, 50}, params{1, 1, 1}}) {
+    const std::uint64_t md = hyp::mode(p);
+    const double pm = hyp::pmf(p, md);
+    if (md > hyp::support_min(p)) EXPECT_LE(hyp::pmf(p, md - 1), pm * (1 + 1e-12));
+    if (md < hyp::support_max(p)) EXPECT_LE(hyp::pmf(p, md + 1), pm * (1 + 1e-12));
+  }
+}
+
+TEST(HypPmf, MeanVarianceClosedForm) {
+  const params p{20, 30, 70};
+  // mean = t w / n = 20*30/100 = 6
+  EXPECT_DOUBLE_EQ(hyp::mean(p), 6.0);
+  // var = t (w/n)(b/n)(n-t)/(n-1) = 20*0.3*0.7*80/99
+  EXPECT_NEAR(hyp::variance(p), 20.0 * 0.3 * 0.7 * 80.0 / 99.0, 1e-12);
+}
+
+TEST(HypPmf, MomentsMatchPmfTable) {
+  const params p{25, 40, 60};
+  const auto table = hyp::pmf_table(p);
+  const std::uint64_t lo = hyp::support_min(p);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) mean += table[i] * static_cast<double>(lo + i);
+  EXPECT_NEAR(mean, hyp::mean(p), 1e-9);
+  double var = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const double d = static_cast<double>(lo + i) - mean;
+    var += table[i] * d * d;
+  }
+  EXPECT_NEAR(var, hyp::variance(p), 1e-8 * var + 1e-10);
+}
+
+TEST(HypCdf, EndpointsAndMonotonicity) {
+  const params p{30, 50, 50};
+  EXPECT_EQ(hyp::cdf(p, hyp::support_max(p)), 1.0);
+  if (hyp::support_min(p) > 0) EXPECT_EQ(hyp::cdf(p, hyp::support_min(p) - 1), 0.0);
+  double prev = 0.0;
+  for (std::uint64_t k = hyp::support_min(p); k <= hyp::support_max(p); ++k) {
+    const double c = hyp::cdf(p, k);
+    EXPECT_GE(c + 1e-15, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(HypCdf, MatchesPmfPartialSums) {
+  const params p{12, 20, 15};
+  double acc = 0.0;
+  for (std::uint64_t k = hyp::support_min(p); k <= hyp::support_max(p); ++k) {
+    acc += hyp::pmf(p, k);
+    EXPECT_NEAR(hyp::cdf(p, k), acc, 1e-12);
+  }
+}
+
+TEST(HypPmf, SymmetryWhiteBlack) {
+  // Drawing t and counting whites vs. counting blacks: P_{w,b}(k) =
+  // P_{b,w}(t-k).
+  const params p{10, 14, 25};
+  const params q{10, 25, 14};
+  for (std::uint64_t k = 0; k <= 10; ++k)
+    EXPECT_NEAR(hyp::pmf(p, k), hyp::pmf(q, 10 - k), 1e-13);
+}
+
+TEST(HypPmf, SymmetrySampleComplement) {
+  // Drawing t vs. drawing n-t: P_t(k) = P_{n-t}(w-k).
+  const params p{10, 14, 25};   // n = 39
+  const params q{29, 14, 25};
+  for (std::uint64_t k = 0; k <= 10; ++k)
+    EXPECT_NEAR(hyp::pmf(p, k), hyp::pmf(q, 14 - k), 1e-13);
+}
+
+TEST(HypPmf, LargeParametersStaySane) {
+  // Regime of the paper's experiments: n ~ 5e8, blocks ~ 1e7.
+  const params p{10'000'000, 10'000'000, 470'000'000};
+  const std::uint64_t md = hyp::mode(p);
+  EXPECT_GT(hyp::pmf(p, md), 0.0);
+  EXPECT_LT(hyp::pmf(p, md), 1.0);
+  EXPECT_NEAR(hyp::mean(p), 10e6 * 10e6 / 480e6, 1.0);
+  EXPECT_EQ(hyp::cdf(p, hyp::support_max(p)), 1.0);
+}
+
+TEST(LogChoose, MatchesExactSmall) {
+  EXPECT_NEAR(hyp::log_choose(10, 3), std::log(120.0), 1e-12);
+  EXPECT_NEAR(hyp::log_choose(52, 5), std::log(2598960.0), 1e-10);
+  EXPECT_DOUBLE_EQ(hyp::log_choose(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(hyp::log_choose(7, 7), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Statistical validation of the sequential matrix samplers (Algorithms 3
+// and 4): conservation laws for arbitrary margins, the exact joint law over
+// all matrices for small cases, marginal entry laws (Proposition 3), the
+// block-merge self-similarity (Proposition 4), and cross-validation against
+// the a-posteriori matrices of genuinely uniform permutations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/sample_matrix.hpp"
+#include "hyp/pmf.hpp"
+#include "rng/counting.hpp"
+#include "rng/philox.hpp"
+#include "seq/fisher_yates.hpp"
+#include "stats/chisq.hpp"
+
+namespace {
+
+using namespace cgp;
+using core::comm_matrix;
+using core::matrix_options;
+using core::split_rule;
+
+using engine_t = rng::counting_engine<rng::philox4x64>;
+
+// All four sampler configurations under test.
+struct config {
+  bool rowwise;
+  split_rule split;
+  bool recursive_rows;
+  const char* label;
+};
+
+comm_matrix run_sampler(engine_t& e, const config& cfg, std::span<const std::uint64_t> rm,
+                        std::span<const std::uint64_t> cm) {
+  matrix_options opt;
+  opt.split = cfg.split;
+  opt.recursive_rows = cfg.recursive_rows;
+  return cfg.rowwise ? core::sample_matrix_rowwise(e, rm, cm, opt)
+                     : core::sample_matrix_recursive(e, rm, cm, opt);
+}
+
+class SamplerConfigs : public ::testing::TestWithParam<config> {};
+
+TEST_P(SamplerConfigs, MarginsHoldForArbitraryShapes) {
+  engine_t e{rng::philox4x64(5000, 0)};
+  const std::vector<std::vector<std::uint64_t>> row_cases{
+      {10}, {5, 5}, {1, 2, 3, 4}, {100, 1, 1, 100}, {7, 7, 7, 7, 7, 7, 7, 7}};
+  for (const auto& rm : row_cases) {
+    // Column margins: same total, different split.
+    const std::uint64_t n = std::accumulate(rm.begin(), rm.end(), std::uint64_t{0});
+    std::vector<std::uint64_t> cm{n / 2, n - n / 2};
+    const auto a = run_sampler(e, GetParam(), rm, cm);
+    EXPECT_TRUE(a.satisfies_margins(rm, cm));
+    // Rectangular the other way.
+    std::vector<std::uint64_t> cm3(3, n / 3);
+    cm3[0] += n % 3;
+    const auto b = run_sampler(e, GetParam(), rm, cm3);
+    EXPECT_TRUE(b.satisfies_margins(rm, cm3));
+  }
+}
+
+TEST_P(SamplerConfigs, EntryLawMatchesProposition3) {
+  engine_t e{rng::philox4x64(5001, 1)};
+  const std::vector<std::uint64_t> rm{6, 10};
+  const std::vector<std::uint64_t> cm{8, 8};
+  const hyp::params law{cm[1], rm[1], 6};  // a_11 ~ h(m'_1, m_1, n - m_1)
+  const auto probs = hyp::pmf_table(law);
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  for (int rep = 0; rep < 30000; ++rep) {
+    const auto a = run_sampler(e, GetParam(), rm, cm);
+    ++counts[a(1, 1) - hyp::support_min(law)];
+  }
+  const auto res = stats::chi_square_gof(counts, probs);
+  EXPECT_GT(res.p_value, 1e-9) << GetParam().label << " chi2=" << res.statistic;
+}
+
+TEST_P(SamplerConfigs, JointLawMatchesExactDistribution3x3) {
+  // margins rows (2,2,2) cols (2,2,2): enumerate all feasible matrices,
+  // chi-square sampled matrices against exp(log_probability).
+  engine_t e{rng::philox4x64(5002, 2)};
+  const std::vector<std::uint64_t> rm{2, 2, 2};
+  const std::vector<std::uint64_t> cm{2, 2, 2};
+
+  std::map<std::array<std::uint64_t, 9>, std::size_t> index;
+  std::vector<double> probs;
+  for (std::uint64_t a00 = 0; a00 <= 2; ++a00)
+    for (std::uint64_t a01 = 0; a01 + a00 <= 2; ++a01)
+      for (std::uint64_t a10 = 0; a10 + a00 <= 2; ++a10)
+        for (std::uint64_t a11 = 0; a11 + a10 <= 2 && a11 + a01 <= 2; ++a11) {
+          const std::uint64_t a02 = 2 - a00 - a01;
+          const std::uint64_t a12 = 2 - a10 - a11;
+          const std::uint64_t a20 = 2 - a00 - a10;
+          const std::uint64_t a21 = 2 - a01 - a11;
+          if (a02 + a12 > 2 || a20 + a21 > 2) continue;
+          const std::uint64_t a22 = 2 - a20 - a21;
+          if (a02 + a12 + a22 != 2) continue;
+          comm_matrix m(3, 3);
+          m(0, 0) = a00; m(0, 1) = a01; m(0, 2) = a02;
+          m(1, 0) = a10; m(1, 1) = a11; m(1, 2) = a12;
+          m(2, 0) = a20; m(2, 1) = a21; m(2, 2) = a22;
+          index[{a00, a01, a02, a10, a11, a12, a20, a21, a22}] = probs.size();
+          probs.push_back(std::exp(m.log_probability()));
+        }
+  double total = 0.0;
+  for (const double p : probs) total += p;
+  ASSERT_NEAR(total, 1.0, 1e-10);
+
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  for (int rep = 0; rep < 40000; ++rep) {
+    const auto a = run_sampler(e, GetParam(), rm, cm);
+    std::array<std::uint64_t, 9> key{};
+    for (std::uint32_t i = 0; i < 3; ++i)
+      for (std::uint32_t j = 0; j < 3; ++j) key[i * 3 + j] = a(i, j);
+    const auto it = index.find(key);
+    ASSERT_NE(it, index.end());
+    ++counts[it->second];
+  }
+  const auto res = stats::chi_square_gof(counts, probs);
+  EXPECT_GT(res.p_value, 1e-9) << GetParam().label << " chi2=" << res.statistic;
+}
+
+TEST_P(SamplerConfigs, MergedMatrixFollowsCoarseLaw) {
+  // Proposition 4: merge a sampled 4x4 into 2x2; the merged a_00 must be
+  // h(merged col margin, merged row margin, rest).
+  engine_t e{rng::philox4x64(5003, 3)};
+  const std::vector<std::uint64_t> rm{3, 3, 3, 3};
+  const std::vector<std::uint64_t> cm{3, 3, 3, 3};
+  const std::vector<std::uint32_t> bounds{0, 2, 4};
+  const hyp::params law{6, 6, 6};  // t = merged m'_0, w = merged m_0, b = 6
+  const auto probs = hyp::pmf_table(law);
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  for (int rep = 0; rep < 30000; ++rep) {
+    const auto a = run_sampler(e, GetParam(), rm, cm);
+    const auto m = a.merge(bounds, bounds);
+    ++counts[m(0, 0) - hyp::support_min(law)];
+  }
+  const auto res = stats::chi_square_gof(counts, probs);
+  EXPECT_GT(res.p_value, 1e-9) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SamplerConfigs,
+    ::testing::Values(config{true, split_rule::balanced, true, "rowwise_recursive"},
+                      config{true, split_rule::balanced, false, "rowwise_chain"},
+                      config{false, split_rule::balanced, true, "recmat_balanced"},
+                      config{false, split_rule::chain, true, "recmat_chain"}),
+    [](const auto& pinfo) { return pinfo.param.label; });
+
+// --- cross-validation against real permutations -------------------------------
+
+TEST(CrossValidation, SampledMatricesMatchPermutationInducedMatrices) {
+  // Draw matrices two ways: (a) Algorithm 3, (b) a posteriori from
+  // Fisher-Yates permutations.  Chi-square *both* against the closed-form
+  // law -- if either deviates, its test fails independently.
+  const std::vector<std::uint64_t> rm{4, 4, 4};
+  const std::vector<std::uint64_t> cm{4, 4, 4};
+  const hyp::params law{4, 4, 8};
+  const auto probs = hyp::pmf_table(law);
+
+  engine_t e1{rng::philox4x64(5004, 4)};
+  std::vector<std::uint64_t> counts_alg(probs.size(), 0);
+  for (int rep = 0; rep < 25000; ++rep) {
+    const auto a = core::sample_matrix_rowwise(e1, rm, cm);
+    ++counts_alg[a(0, 0)];
+  }
+  EXPECT_GT(stats::chi_square_gof(counts_alg, probs).p_value, 1e-9);
+
+  rng::philox4x64 e2(5005, 5);
+  std::vector<std::uint64_t> counts_perm(probs.size(), 0);
+  std::vector<std::uint64_t> perm(12);
+  for (int rep = 0; rep < 25000; ++rep) {
+    std::iota(perm.begin(), perm.end(), 0);
+    seq::fisher_yates(e2, std::span<std::uint64_t>(perm));
+    const auto a = core::matrix_of_permutation(perm, rm, cm);
+    ++counts_perm[a(0, 0)];
+  }
+  EXPECT_GT(stats::chi_square_gof(counts_perm, probs).p_value, 1e-9);
+}
+
+// --- resource accounting -------------------------------------------------------
+
+TEST(Cost, HypCallCountFormula) {
+  EXPECT_EQ(core::matrix_hyp_call_count(2, 2), 1u);
+  EXPECT_EQ(core::matrix_hyp_call_count(4, 4), 9u);
+  EXPECT_EQ(core::matrix_hyp_call_count(48, 48), 47u * 47u);
+}
+
+TEST(Cost, DrawBudgetIsQuadraticInP) {
+  // O(p^2) random numbers for a p x p matrix (Theorem 2's linear-cost claim
+  // counts p^2 as the input size).  Verify draws <= c * p^2 over a sweep.
+  for (const std::uint32_t p : {4u, 8u, 16u, 32u}) {
+    engine_t e{rng::philox4x64(5006, p)};
+    const std::vector<std::uint64_t> margins(p, 64);
+    e.reset_count();
+    (void)core::sample_matrix_recursive(e, margins, margins);
+    EXPECT_LE(e.count(), 10ull * p * p) << "p=" << p;
+  }
+}
+
+TEST(Degenerate, SingleRowAndSingleColumn) {
+  engine_t e{rng::philox4x64(5007, 6)};
+  // Single row: the matrix *is* the column margins.
+  const std::vector<std::uint64_t> one_row{10};
+  const std::vector<std::uint64_t> cm{3, 3, 4};
+  const auto a = core::sample_matrix_rowwise(e, one_row, cm);
+  EXPECT_EQ(a.row(0)[0], 3u);
+  EXPECT_EQ(a.row(0)[2], 4u);
+  // Single column: the matrix is the row margins.
+  const std::vector<std::uint64_t> rm{2, 8};
+  const std::vector<std::uint64_t> one_col{10};
+  const auto b = core::sample_matrix_recursive(e, rm, one_col);
+  EXPECT_EQ(b(0, 0), 2u);
+  EXPECT_EQ(b(1, 0), 8u);
+}
+
+TEST(Degenerate, ZeroMarginsProduceZeroRows) {
+  engine_t e{rng::philox4x64(5008, 7)};
+  const std::vector<std::uint64_t> rm{0, 10, 0};
+  const std::vector<std::uint64_t> cm{5, 0, 5};
+  const auto a = core::sample_matrix_rowwise(e, rm, cm);
+  EXPECT_TRUE(a.satisfies_margins(rm, cm));
+  EXPECT_EQ(a(0, 0), 0u);
+  EXPECT_EQ(a(1, 1), 0u);
+  EXPECT_EQ(a(2, 2), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Tests for the multivariate hypergeometric samplers: Algorithm 2 (chain)
+// and the balanced recursive variant.  Both must produce (a) feasible
+// vectors, (b) the exact MVH law (chi-squared over all outcomes for small
+// cases), (c) correct marginals, and (d) identical distributions to each
+// other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "hyp/multivariate.hpp"
+#include "hyp/pmf.hpp"
+#include "rng/counting.hpp"
+#include "rng/philox.hpp"
+#include "stats/chisq.hpp"
+#include "stats/moments.hpp"
+#include "util/prefix.hpp"
+
+namespace {
+
+using namespace cgp;
+
+using engine_t = rng::counting_engine<rng::philox4x64>;
+
+using sampler_fn = void (*)(engine_t&, std::span<const std::uint64_t>, std::uint64_t,
+                            std::span<std::uint64_t>, const hyp::policy&);
+
+void chain(engine_t& e, std::span<const std::uint64_t> cls, std::uint64_t m,
+           std::span<std::uint64_t> out, const hyp::policy& pol) {
+  hyp::sample_multivariate_chain(e, cls, m, out, pol);
+}
+void recursive(engine_t& e, std::span<const std::uint64_t> cls, std::uint64_t m,
+               std::span<std::uint64_t> out, const hyp::policy& pol) {
+  hyp::sample_multivariate_recursive(e, cls, m, out, pol);
+}
+
+struct mvh_case {
+  std::vector<std::uint64_t> classes;
+  std::uint64_t m;
+  const char* label;
+};
+
+class MvhGrid : public ::testing::TestWithParam<std::tuple<mvh_case, int>> {
+ protected:
+  sampler_fn fn() const { return std::get<1>(GetParam()) == 0 ? chain : recursive; }
+  const mvh_case& c() const { return std::get<0>(GetParam()); }
+};
+
+TEST_P(MvhGrid, FeasibleAndConserving) {
+  engine_t e{rng::philox4x64(2000, 1)};
+  std::vector<std::uint64_t> alpha(c().classes.size());
+  for (int rep = 0; rep < 500; ++rep) {
+    fn()(e, c().classes, c().m, alpha, {});
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < alpha.size(); ++i) {
+      EXPECT_LE(alpha[i], c().classes[i]);
+      total += alpha[i];
+    }
+    EXPECT_EQ(total, c().m);
+  }
+}
+
+TEST_P(MvhGrid, MarginalsAreUnivariateHypergeometric) {
+  // alpha[i] ~ h(m, classes[i], n - classes[i]) (Proposition 3 in row form).
+  engine_t e{rng::philox4x64(2001, 2)};
+  const std::uint64_t n = span_sum(c().classes);
+  std::vector<std::uint64_t> alpha(c().classes.size());
+  const std::size_t watched = c().classes.size() / 2;
+  const hyp::params marg{c().m, c().classes[watched], n - c().classes[watched]};
+  const auto probs = hyp::pmf_table(marg);
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  const std::uint64_t lo = hyp::support_min(marg);
+  for (int rep = 0; rep < 20000; ++rep) {
+    fn()(e, c().classes, c().m, alpha, {});
+    ASSERT_GE(alpha[watched], lo);
+    ++counts[alpha[watched] - lo];
+  }
+  const auto res = stats::chi_square_gof(counts, probs);
+  EXPECT_GT(res.p_value, 1e-9) << c().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, MvhGrid,
+    ::testing::Combine(::testing::Values(mvh_case{{3, 2, 4}, 4, "tiny"},
+                                         mvh_case{{10, 10, 10, 10}, 17, "even4"},
+                                         mvh_case{{1, 100, 1, 100}, 50, "skewed"},
+                                         mvh_case{{64, 64, 64, 64, 64, 64, 64, 64}, 256, "even8"},
+                                         mvh_case{{5, 0, 7, 3}, 6, "empty_class"}),
+                       ::testing::Values(0, 1)),
+    [](const auto& pinfo) {
+      return std::string(std::get<0>(pinfo.param).label) +
+             (std::get<1>(pinfo.param) == 0 ? "_chain" : "_recursive");
+    });
+
+// --- exact joint law over all outcomes (small case) --------------------------
+
+// Enumerate all feasible alpha for classes and m, chi-square the sampled
+// joint distribution against the exact pmf.
+void check_joint_law(sampler_fn fn, std::uint64_t seed) {
+  const std::vector<std::uint64_t> classes{3, 2, 4};
+  const std::uint64_t m = 4;
+
+  std::vector<std::vector<std::uint64_t>> outcomes;
+  for (std::uint64_t a0 = 0; a0 <= 3; ++a0)
+    for (std::uint64_t a1 = 0; a1 <= 2; ++a1) {
+      if (a0 + a1 > m) continue;
+      const std::uint64_t a2 = m - a0 - a1;
+      if (a2 > 4) continue;
+      outcomes.push_back({a0, a1, a2});
+    }
+  std::map<std::vector<std::uint64_t>, std::size_t> index;
+  std::vector<double> probs;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    index[outcomes[i]] = i;
+    probs.push_back(std::exp(hyp::multivariate_log_pmf(classes, outcomes[i])));
+  }
+  double total = 0.0;
+  for (const double p : probs) total += p;
+  ASSERT_NEAR(total, 1.0, 1e-12);
+
+  engine_t e{rng::philox4x64(seed, 3)};
+  std::vector<std::uint64_t> counts(outcomes.size(), 0);
+  std::vector<std::uint64_t> alpha(3);
+  for (int rep = 0; rep < 60000; ++rep) {
+    fn(e, classes, m, alpha, {});
+    const auto it = index.find(alpha);
+    ASSERT_NE(it, index.end());
+    ++counts[it->second];
+  }
+  const auto res = stats::chi_square_gof(counts, probs);
+  EXPECT_GT(res.p_value, 1e-9) << "joint-law chi2 = " << res.statistic;
+}
+
+TEST(MvhJointLaw, ChainMatchesExactPmf) { check_joint_law(chain, 3001); }
+TEST(MvhJointLaw, RecursiveMatchesExactPmf) { check_joint_law(recursive, 3002); }
+
+// --- log-pmf helper ----------------------------------------------------------
+
+TEST(MvhPmf, HandComputed) {
+  // classes {2,2}, m=2: P[{1,1}] = C(2,1)C(2,1)/C(4,2) = 4/6.
+  const std::vector<std::uint64_t> classes{2, 2};
+  const std::vector<std::uint64_t> alpha{1, 1};
+  EXPECT_NEAR(std::exp(hyp::multivariate_log_pmf(classes, alpha)), 4.0 / 6.0, 1e-12);
+}
+
+TEST(MvhPmf, InfeasibleIsMinusInfinity) {
+  const std::vector<std::uint64_t> classes{2, 2};
+  EXPECT_EQ(hyp::multivariate_log_pmf(classes, std::vector<std::uint64_t>{3, 0}),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(MvhPmf, MeanHelper) {
+  const std::vector<std::uint64_t> classes{10, 30};
+  EXPECT_DOUBLE_EQ(hyp::multivariate_mean(classes, 20, 0), 5.0);
+  EXPECT_DOUBLE_EQ(hyp::multivariate_mean(classes, 20, 1), 15.0);
+}
+
+// --- edge cases ---------------------------------------------------------------
+
+TEST(MvhEdge, DrawAllAndNothing) {
+  engine_t e{rng::philox4x64(4000, 4)};
+  const std::vector<std::uint64_t> classes{5, 7, 9};
+  std::vector<std::uint64_t> alpha(3);
+  hyp::sample_multivariate_chain(e, classes, 0, alpha);
+  EXPECT_EQ(alpha, (std::vector<std::uint64_t>{0, 0, 0}));
+  hyp::sample_multivariate_recursive(e, classes, 21, alpha);
+  EXPECT_EQ(alpha, (std::vector<std::uint64_t>{5, 7, 9}));
+}
+
+TEST(MvhEdge, SingleClass) {
+  engine_t e{rng::philox4x64(4001, 5)};
+  const std::vector<std::uint64_t> classes{13};
+  std::vector<std::uint64_t> alpha(1);
+  hyp::sample_multivariate_recursive(e, classes, 6, alpha);
+  EXPECT_EQ(alpha[0], 6u);
+  EXPECT_EQ(e.count(), 0u);  // no randomness needed
+}
+
+TEST(MvhEdge, ChainAndRecursiveSameDrawBudgetOrder) {
+  // Both use k-1 univariate calls; with the HIN path that is exactly k-1
+  // draws for non-degenerate splits, at most k-1 in general.
+  engine_t e{rng::philox4x64(4002, 6)};
+  const std::vector<std::uint64_t> classes(16, 100);
+  std::vector<std::uint64_t> alpha(16);
+  e.reset_count();
+  hyp::sample_multivariate_chain(e, classes, 800, alpha);
+  EXPECT_LE(e.count(), 15u * 10u);
+  EXPECT_GE(e.count(), 1u);
+  e.reset_count();
+  hyp::sample_multivariate_recursive(e, classes, 800, alpha);
+  EXPECT_LE(e.count(), 15u * 10u);
+  EXPECT_GE(e.count(), 1u);
+}
+
+TEST(MvhMoments, LargeClassesMeanCheck) {
+  engine_t e{rng::philox4x64(4003, 7)};
+  const std::vector<std::uint64_t> classes{100000, 200000, 300000, 400000};
+  const std::uint64_t m = 250000;
+  std::vector<std::uint64_t> alpha(4);
+  stats::running_moments m0;
+  for (int rep = 0; rep < 4000; ++rep) {
+    hyp::sample_multivariate_recursive(e, classes, m, alpha);
+    m0.add(static_cast<double>(alpha[0]));
+  }
+  EXPECT_LT(std::fabs(m0.z_against(hyp::multivariate_mean(classes, m, 0))), 6.0);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Tests for the parallel matrix samplers (Algorithms 5 and 6) and the
+// replicated baseline: margin correctness over processor-count sweeps, the
+// exact entry law (they must draw from the same distribution as the
+// sequential samplers), and the per-processor resource bounds of
+// Propositions 8 and 9 / Theorem 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "core/comm_matrix.hpp"
+#include "core/parallel_matrix.hpp"
+#include "hyp/pmf.hpp"
+#include "stats/chisq.hpp"
+#include "util/prefix.hpp"
+
+namespace {
+
+using namespace cgp;
+using core::matrix_options;
+
+enum class alg { logp, optimal, replicated };
+
+// Run one parallel sampling and return the full matrix (rows collected in
+// the shared result buffer; disjoint writes are race-free).
+core::comm_matrix sample_full(std::uint32_t p, std::uint64_t block, alg which,
+                              std::uint64_t seed) {
+  cgm::machine mach(p, seed);
+  core::comm_matrix a(p, p);
+  mach.run([&](cgm::context& ctx) {
+    std::vector<std::uint64_t> row;
+    switch (which) {
+      case alg::logp:
+        row = core::sample_matrix_logp(ctx, block);
+        break;
+      case alg::optimal:
+        row = core::sample_matrix_optimal(ctx, block);
+        break;
+      case alg::replicated: {
+        const std::vector<std::uint64_t> margins(p, block);
+        row = core::sample_matrix_replicated(ctx, margins, margins);
+        break;
+      }
+    }
+    ASSERT_EQ(row.size(), p);
+    std::copy(row.begin(), row.end(), a.row(ctx.id()).begin());
+  });
+  return a;
+}
+
+class ParallelAlg : public ::testing::TestWithParam<alg> {};
+
+TEST_P(ParallelAlg, MarginsHoldAcrossProcessorCounts) {
+  for (const std::uint32_t p : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 12u, 16u, 33u}) {
+    const std::uint64_t block = 32;
+    const auto a = sample_full(p, block, GetParam(), 9000 + p);
+    const std::vector<std::uint64_t> margins(p, block);
+    EXPECT_TRUE(a.satisfies_margins(margins, margins)) << "p=" << p;
+  }
+}
+
+TEST_P(ParallelAlg, EntryLawMatchesProposition3) {
+  // p=4, M=8: a_21 ~ h(t=8, w=8, b=24).  4000 machine runs.
+  const std::uint32_t p = 4;
+  const std::uint64_t block = 8;
+  const hyp::params law{block, block, (p - 1) * block};
+  const auto probs = hyp::pmf_table(law);
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  for (int rep = 0; rep < 4000; ++rep) {
+    const auto a = sample_full(p, block, GetParam(), 31000 + rep);
+    ++counts[a(2, 1)];
+  }
+  const auto res = stats::chi_square_gof(counts, probs);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST_P(ParallelAlg, MergedHalvesFollowCoarseLaw) {
+  // Proposition 4 applied to the parallel output: merge p=4 into 2x2 and
+  // check the law of the merged corner.
+  const std::uint32_t p = 4;
+  const std::uint64_t block = 8;
+  const std::vector<std::uint32_t> bounds{0, 2, 4};
+  const hyp::params law{2 * block, 2 * block, 2 * block};
+  const auto probs = hyp::pmf_table(law);
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  for (int rep = 0; rep < 4000; ++rep) {
+    const auto a = sample_full(p, block, GetParam(), 57000 + rep);
+    const auto m = a.merge(bounds, bounds);
+    ++counts[m(0, 0)];
+  }
+  const auto res = stats::chi_square_gof(counts, probs);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Algs, ParallelAlg,
+                         ::testing::Values(alg::logp, alg::optimal, alg::replicated),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case alg::logp: return "algorithm5_logp";
+                             case alg::optimal: return "algorithm6_optimal";
+                             default: return "replicated";
+                           }
+                         });
+
+// --- resource bounds (Propositions 8, 9) --------------------------------------
+
+struct resources {
+  std::uint64_t max_words;
+  std::uint64_t max_hyp;
+  std::uint64_t total_words;
+  std::uint64_t supersteps;
+};
+
+resources measure(std::uint32_t p, alg which) {
+  cgm::machine mach(p, 123);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    switch (which) {
+      case alg::logp:
+        (void)core::sample_matrix_logp(ctx, 1024);
+        break;
+      case alg::optimal:
+        (void)core::sample_matrix_optimal(ctx, 1024);
+        break;
+      case alg::replicated: {
+        const std::vector<std::uint64_t> margins(ctx.nprocs(), 1024);
+        (void)core::sample_matrix_replicated(ctx, margins, margins);
+        break;
+      }
+    }
+  });
+  resources r{};
+  r.max_words = stats.max_words_per_proc();
+  r.max_hyp = 0;
+  for (const auto& ps : stats.per_proc) r.max_hyp = std::max(r.max_hyp, ps.hyp_calls);
+  r.total_words = stats.total_words();
+  r.supersteps = stats.per_proc.front().supersteps;
+  return r;
+}
+
+TEST(ResourceBounds, Algorithm6CommunicationIsLinearPerProcessor) {
+  // Theta(p) words per processor: doubling p should roughly double the
+  // per-processor maximum, NOT quadruple it.
+  const auto r64 = measure(64, alg::optimal);
+  const auto r256 = measure(256, alg::optimal);
+  const double growth = static_cast<double>(r256.max_words) / static_cast<double>(r64.max_words);
+  EXPECT_LT(growth, 4.0 * 1.6) << "expected ~4x for 4x processors (Theta(p) per proc)";
+  EXPECT_GT(growth, 4.0 / 1.6);
+  EXPECT_LE(r256.max_words, 40u * 256u) << "absolute Theta(p) bound with generous constant";
+}
+
+TEST(ResourceBounds, Algorithm5CarriesTheLogFactor) {
+  // Alg 5's head sends a length-p vector every level: Theta(p log p) per
+  // processor vs Alg 6's Theta(p).  The *growth rate* separates them even
+  // at moderate p (measured: Alg 5 is exactly p log2 p; Alg 6 stays below
+  // 6p at every p):
+  const auto r5_small = measure(64, alg::logp);
+  const auto r5_large = measure(1024, alg::logp);
+  const auto r6_small = measure(64, alg::optimal);
+  const auto r6_large = measure(1024, alg::optimal);
+  const double growth5 =
+      static_cast<double>(r5_large.max_words) / static_cast<double>(r5_small.max_words);
+  const double growth6 =
+      static_cast<double>(r6_large.max_words) / static_cast<double>(r6_small.max_words);
+  // 16x processors: Theta(p) grows ~16x, Theta(p log p) grows ~16*10/6 ~ 27x.
+  EXPECT_GT(growth5, 1.2 * growth6);
+  // And at p = 1024 the absolute gap is visible too.
+  EXPECT_GT(static_cast<double>(r5_large.max_words), 1.5 * static_cast<double>(r6_large.max_words));
+  EXPECT_LE(r6_large.max_words, 8u * 1024u) << "Alg 6 must stay Theta(p) per processor";
+}
+
+TEST(ResourceBounds, HypCallsPerProcessor) {
+  // Alg 6: Theta(p) calls per processor; Alg 5: Theta(p log p).
+  const std::uint32_t p = 256;
+  const auto r5 = measure(p, alg::logp);
+  const auto r6 = measure(p, alg::optimal);
+  EXPECT_LE(r6.max_hyp, 20u * p);
+  EXPECT_GT(r5.max_hyp, r6.max_hyp);
+}
+
+TEST(ResourceBounds, SuperstepCountIsLogarithmic) {
+  const auto r16 = measure(16, alg::optimal);
+  const auto r256 = measure(256, alg::optimal);
+  // levels + redistribution + tail: ~log2(p) + O(1).
+  EXPECT_LE(r16.supersteps, 8u);
+  EXPECT_LE(r256.supersteps, 12u);
+}
+
+TEST(ResourceBounds, ReplicatedDoesQuadraticLocalWorkButNoCommunication) {
+  const auto r = measure(64, alg::replicated);
+  EXPECT_EQ(r.total_words, 0u);
+}
+
+// --- determinism ---------------------------------------------------------------
+
+TEST(Determinism, SameSeedSameMatrix) {
+  const auto a = sample_full(8, 16, alg::optimal, 777);
+  const auto b = sample_full(8, 16, alg::optimal, 777);
+  EXPECT_EQ(a, b);
+  const auto c = sample_full(8, 16, alg::optimal, 778);
+  EXPECT_NE(a, c);
+}
+
+TEST(Determinism, ReplicatedRowsAssembleConsistentMatrix) {
+  // Every processor samples the same matrix; the assembled rows must form a
+  // matrix satisfying the margins (verified inside sample_full).
+  const auto a = sample_full(6, 10, alg::replicated, 779);
+  const std::vector<std::uint64_t> margins(6, 10);
+  EXPECT_TRUE(a.satisfies_margins(margins, margins));
+}
+
+TEST(EdgeCases, SingleProcessor) {
+  const auto a = sample_full(1, 42, alg::optimal, 780);
+  EXPECT_EQ(a(0, 0), 42u);
+  const auto b = sample_full(1, 42, alg::logp, 781);
+  EXPECT_EQ(b(0, 0), 42u);
+}
+
+TEST(EdgeCases, BlockSizeOne) {
+  // n = p: every processor holds exactly one item; rows are unit vectors.
+  const auto a = sample_full(8, 1, alg::optimal, 782);
+  const std::vector<std::uint64_t> margins(8, 1);
+  EXPECT_TRUE(a.satisfies_margins(margins, margins));
+}
+
+TEST(EdgeCases, BlockSizeZero) {
+  // Degenerate but legal: the all-zero matrix.
+  const auto a = sample_full(4, 0, alg::optimal, 783);
+  EXPECT_EQ(a.total(), 0u);
+}
+
+}  // namespace

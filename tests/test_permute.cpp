@@ -1,0 +1,223 @@
+// Integration tests for Algorithm 1 -- the full parallel random
+// permutation: validity, *exhaustive uniformity* (chi-square over all n!
+// outcomes of the complete parallel pipeline), distributional invariants
+// (fixed points, cycles, inversions), general margins, and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "core/driver.hpp"
+#include "core/permute.hpp"
+#include "stats/chisq.hpp"
+#include "stats/lehmer.hpp"
+#include "stats/moments.hpp"
+
+namespace {
+
+using namespace cgp;
+using core::matrix_algorithm;
+using core::permute_options;
+
+class PermuteAlg : public ::testing::TestWithParam<matrix_algorithm> {
+ protected:
+  permute_options opts() const {
+    permute_options o;
+    o.matrix = GetParam();
+    return o;
+  }
+};
+
+TEST_P(PermuteAlg, OutputIsAPermutation) {
+  cgm::machine mach(4, 100);
+  const auto pi = core::random_permutation_global(mach, 256, opts());
+  EXPECT_TRUE(stats::is_permutation_of_iota(pi));
+}
+
+TEST_P(PermuteAlg, WorksAcrossProcessorCounts) {
+  for (const std::uint32_t p : {1u, 2u, 3u, 5u, 8u, 16u}) {
+    cgm::machine mach(p, 200 + p);
+    const auto pi = core::random_permutation_global(mach, 16 * p, opts());
+    EXPECT_TRUE(stats::is_permutation_of_iota(pi)) << "p=" << p;
+  }
+}
+
+TEST_P(PermuteAlg, ExhaustiveUniformityOverS4) {
+  // The strongest empirical check of Theorem 1: run the whole parallel
+  // pipeline (2 processors, 2 items each) thousands of times and chi-square
+  // the histogram over all 4! = 24 permutations.
+  cgm::machine mach(2, 0);
+  std::vector<std::uint64_t> counts(24, 0);
+  const int reps = 24 * 250;
+  for (int rep = 0; rep < reps; ++rep) {
+    mach.reseed(0xABC000 + rep);
+    const auto pi = core::random_permutation_global(mach, 4, opts());
+    ASSERT_TRUE(stats::is_permutation_of_iota(pi));
+    ++counts[stats::permutation_rank(pi)];
+  }
+  const auto res = stats::chi_square_uniform(counts);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic << " dof=" << res.dof;
+}
+
+INSTANTIATE_TEST_SUITE_P(Algs, PermuteAlg,
+                         ::testing::Values(matrix_algorithm::optimal, matrix_algorithm::logp,
+                                           matrix_algorithm::replicated),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case matrix_algorithm::optimal: return "optimal";
+                             case matrix_algorithm::logp: return "logp";
+                             default: return "replicated";
+                           }
+                         });
+
+TEST(Permute, ExhaustiveUniformityThreeProcsS6) {
+  // 3 processors x 2 items: 6! = 720 cells, pooled chi-square.
+  cgm::machine mach(3, 0);
+  std::vector<std::uint64_t> counts(720, 0);
+  const int reps = 720 * 30;
+  for (int rep = 0; rep < reps; ++rep) {
+    mach.reseed(0xDEF000 + rep);
+    const auto pi = core::random_permutation_global(mach, 6);
+    ++counts[stats::permutation_rank(pi)];
+  }
+  const auto res = stats::chi_square_uniform(counts);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST(Permute, FixedPointCountMatchesTheory) {
+  // Uniform permutations have E[fixed points] = 1, Var = 1 (n >= 2).
+  cgm::machine mach(4, 0);
+  stats::running_moments m;
+  for (int rep = 0; rep < 3000; ++rep) {
+    mach.reseed(0x111000 + rep);
+    const auto pi = core::random_permutation_global(mach, 64);
+    m.add(static_cast<double>(stats::count_fixed_points(pi)));
+  }
+  EXPECT_LT(std::fabs(m.z_against(1.0)), 6.0);
+  EXPECT_NEAR(m.variance(), 1.0, 0.15);
+}
+
+TEST(Permute, CycleCountMatchesHarmonicNumber) {
+  // E[#cycles] = H_n = sum 1/k.
+  const std::uint64_t n = 48;
+  double hn = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) hn += 1.0 / static_cast<double>(k);
+  cgm::machine mach(4, 0);
+  stats::running_moments m;
+  for (int rep = 0; rep < 3000; ++rep) {
+    mach.reseed(0x222000 + rep);
+    const auto pi = core::random_permutation_global(mach, n);
+    m.add(static_cast<double>(stats::count_cycles(pi)));
+  }
+  EXPECT_LT(std::fabs(m.z_against(hn)), 6.0);
+}
+
+TEST(Permute, InversionCountMatchesTheory) {
+  // E[inversions] = n(n-1)/4.
+  const std::uint64_t n = 64;
+  cgm::machine mach(8, 0);
+  stats::running_moments m;
+  for (int rep = 0; rep < 2000; ++rep) {
+    mach.reseed(0x333000 + rep);
+    const auto pi = core::random_permutation_global(mach, n);
+    m.add(static_cast<double>(stats::count_inversions(pi)));
+  }
+  EXPECT_LT(std::fabs(m.z_against(static_cast<double>(n * (n - 1)) / 4.0)), 6.0);
+}
+
+TEST(Permute, PositionLawOfSingleItemIsUniform) {
+  // Item 0's image must be uniform over all n positions.
+  const std::uint64_t n = 32;
+  cgm::machine mach(4, 0);
+  std::vector<std::uint64_t> counts(n, 0);
+  for (int rep = 0; rep < 16000; ++rep) {
+    mach.reseed(0x444000 + rep);
+    const auto pi = core::random_permutation_global(mach, n);
+    ++counts[pi[0]];
+  }
+  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+}
+
+TEST(Permute, PermutesArbitraryPayloadTypes) {
+  cgm::machine mach(4, 500);
+  std::vector<double> data(128);
+  std::iota(data.begin(), data.end(), 0.5);
+  const auto shuffled = core::permute_global(mach, data);
+  ASSERT_EQ(shuffled.size(), data.size());
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, data);
+  EXPECT_NE(shuffled, data);  // astronomically unlikely to be identity
+}
+
+TEST(Permute, UnevenSizesUseGeneralPipeline) {
+  // n not divisible by p exercises parallel_random_permutation_general.
+  cgm::machine mach(4, 501);
+  const auto pi = core::random_permutation_global(mach, 103);
+  EXPECT_TRUE(stats::is_permutation_of_iota(pi));
+}
+
+TEST(Permute, GeneralPipelineUniformOverS4) {
+  // 3 processors, blocks (2,1,1): exhaustive chi-square over 4! cells.
+  cgm::machine mach(3, 0);
+  std::vector<std::uint64_t> counts(24, 0);
+  for (int rep = 0; rep < 24 * 250; ++rep) {
+    mach.reseed(0x555000 + rep);
+    const auto pi = core::random_permutation_global(mach, 4);
+    ASSERT_TRUE(stats::is_permutation_of_iota(pi));
+    ++counts[stats::permutation_rank(pi)];
+  }
+  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+}
+
+TEST(Permute, DeterministicForFixedSeed) {
+  cgm::machine mach(4, 600);
+  const auto a = core::random_permutation_global(mach, 128);
+  const auto b = core::random_permutation_global(mach, 128);
+  EXPECT_EQ(a, b);
+  mach.reseed(601);
+  EXPECT_NE(a, core::random_permutation_global(mach, 128));
+}
+
+TEST(Permute, StatsReportTheFourResources) {
+  cgm::machine mach(8, 700);
+  cgm::run_stats stats;
+  const std::uint64_t n = 1024;
+  (void)core::random_permutation_global(mach, n, {}, &stats);
+  const std::uint64_t m = n / 8;
+  // Work: two shuffles + matrix + assembly, all O(m + p) per processor.
+  EXPECT_LE(stats.max_compute_per_proc(), 20 * (m + 8));
+  EXPECT_GE(stats.max_compute_per_proc(), 2 * m);
+  // Bandwidth: each processor exchanges its block once (plus O(p) control).
+  EXPECT_LE(stats.max_words_per_proc(), 6 * m + 60 * 8);
+  // Random numbers: 2 draws per item locally + O(p) for the matrix.
+  EXPECT_LE(stats.max_rng_draws_per_proc(), 6 * m + 60 * 8);
+  EXPECT_GE(stats.total_rng_draws(), 2 * n);  // at least the two shuffles
+  // Supersteps: constant + log p for the matrix phase.
+  EXPECT_LE(stats.per_proc.front().supersteps, 10u);
+}
+
+TEST(Permute, BalanceNoProcessorOverloaded) {
+  // The balance criterion: per-processor peaks within a small factor of
+  // the average (Proposition 1).
+  cgm::machine mach(8, 701);
+  cgm::run_stats stats;
+  (void)core::random_permutation_global(mach, 4096, {}, &stats);
+  const std::uint64_t avg = stats.total_compute() / 8;
+  for (const auto& ps : stats.per_proc) {
+    EXPECT_LE(ps.compute_ops, 3 * avg);
+    EXPECT_GE(ps.compute_ops, avg / 3);
+  }
+}
+
+TEST(Permute, EmptyAndTinyInputs) {
+  cgm::machine mach(2, 702);
+  const auto zero = core::random_permutation_global(mach, 0);
+  EXPECT_TRUE(zero.empty());
+  const auto two = core::random_permutation_global(mach, 2);
+  EXPECT_TRUE(stats::is_permutation_of_iota(two));
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Property-based sweeps: randomized-but-seeded parameter generation drives
+// invariant checks across hundreds of configurations of every layer --
+// support bounds of the samplers, conservation laws of the matrices,
+// permutation validity of every shuffle, and the self-similarity property
+// (Proposition 4) under random block merges.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "core/driver.hpp"
+#include "core/sample_matrix.hpp"
+#include "hyp/pmf.hpp"
+#include "hyp/sample.hpp"
+#include "rng/counting.hpp"
+#include "rng/philox.hpp"
+#include "rng/uniform.hpp"
+#include "seq/baselines.hpp"
+#include "seq/blocked_shuffle.hpp"
+#include "seq/fisher_yates.hpp"
+#include "seq/rao_sandelius.hpp"
+#include "stats/lehmer.hpp"
+#include "util/prefix.hpp"
+
+namespace {
+
+using namespace cgp;
+using engine_t = rng::counting_engine<rng::philox4x64>;
+
+// --- hypergeometric sampler properties over a random parameter cloud ---------
+
+class HypProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypProperty, SampleAlwaysInSupportAndBudgeted) {
+  const int salt = GetParam();
+  rng::philox4x64 gen(0xA0 + salt, 0);
+  engine_t e{rng::philox4x64(0xB0 + salt, 1)};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint64_t w = rng::uniform_below(gen, 1u << (4 + salt % 12));
+    const std::uint64_t b = rng::uniform_below(gen, 1u << (4 + (salt * 7) % 12));
+    const std::uint64_t t = rng::uniform_below(gen, w + b + 1);
+    const hyp::params p{t, w, b};
+    e.reset_count();
+    const std::uint64_t k = hyp::sample(e, p);
+    ASSERT_GE(k, hyp::support_min(p)) << "t=" << t << " w=" << w << " b=" << b;
+    ASSERT_LE(k, hyp::support_max(p));
+    ASSERT_LE(e.count(), 64u) << "runaway rejection loop";
+  }
+}
+
+TEST_P(HypProperty, CdfPmfConsistencyRandomParams) {
+  const int salt = GetParam();
+  rng::philox4x64 gen(0xC0 + salt, 0);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::uint64_t w = 1 + rng::uniform_below(gen, 200);
+    const std::uint64_t b = 1 + rng::uniform_below(gen, 200);
+    const std::uint64_t t = rng::uniform_below(gen, w + b + 1);
+    const hyp::params p{t, w, b};
+    const auto table = hyp::pmf_table(p);
+    const double sum = std::accumulate(table.begin(), table.end(), 0.0);
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+    // cdf at a random point equals the partial sum.
+    const std::uint64_t lo = hyp::support_min(p);
+    const std::uint64_t k = lo + rng::uniform_below(gen, table.size());
+    double part = 0.0;
+    for (std::uint64_t i = lo; i <= k; ++i) part += table[i - lo];
+    ASSERT_NEAR(hyp::cdf(p, k), part, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Salts, HypProperty, ::testing::Range(0, 12));
+
+// --- matrix sampling properties ------------------------------------------------
+
+class MatrixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixProperty, RandomMarginsAlwaysConserved) {
+  const int salt = GetParam();
+  rng::philox4x64 gen(0xD00 + salt, 0);
+  engine_t e{rng::philox4x64(0xE00 + salt, 1)};
+  for (int iter = 0; iter < 12; ++iter) {
+    const auto p = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 12));
+    const auto pc = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 12));
+    // Random margins with equal totals: distribute n into p and pc buckets.
+    const std::uint64_t n = rng::uniform_below(gen, 500);
+    std::vector<std::uint64_t> rm(p, 0);
+    std::vector<std::uint64_t> cm(pc, 0);
+    for (std::uint64_t x = 0; x < n; ++x) ++rm[rng::uniform_below(gen, p)];
+    for (std::uint64_t x = 0; x < n; ++x) ++cm[rng::uniform_below(gen, pc)];
+
+    const auto a = core::sample_matrix_rowwise(e, rm, cm);
+    ASSERT_TRUE(a.satisfies_margins(rm, cm));
+    const auto b = core::sample_matrix_recursive(e, rm, cm);
+    ASSERT_TRUE(b.satisfies_margins(rm, cm));
+  }
+}
+
+TEST_P(MatrixProperty, MergeConservesUnderRandomBounds) {
+  const int salt = GetParam();
+  rng::philox4x64 gen(0xF00 + salt, 0);
+  engine_t e{rng::philox4x64(0x1000 + salt, 1)};
+  const std::uint32_t p = 8;
+  const std::vector<std::uint64_t> margins(p, 16);
+  const auto a = core::sample_matrix_recursive(e, margins, margins);
+
+  // Random strictly increasing bounds 0 = b0 < ... < bq = p.
+  std::vector<std::uint32_t> bounds{0};
+  for (std::uint32_t i = 1; i < p; ++i)
+    if (rng::uniform_below(gen, 2) == 1) bounds.push_back(i);
+  bounds.push_back(p);
+
+  const auto m = a.merge(bounds, bounds);
+  ASSERT_EQ(m.total(), a.total());
+  // Merged margins are sums of the fine margins.
+  const auto rs = m.row_sums();
+  for (std::size_t g = 0; g + 1 < bounds.size(); ++g)
+    ASSERT_EQ(rs[g], static_cast<std::uint64_t>(bounds[g + 1] - bounds[g]) * 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Salts, MatrixProperty, ::testing::Range(0, 10));
+
+// --- every shuffle yields a permutation, across sizes --------------------------
+
+class ShuffleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShuffleProperty, AllShufflesPreserveMultiset) {
+  const std::size_t n = GetParam();
+  engine_t e{rng::philox4x64(0x2000 + n, 0)};
+  std::vector<std::uint64_t> v(n);
+
+  const auto check = [&](auto&& shuffle, const char* name) {
+    std::iota(v.begin(), v.end(), 0);
+    shuffle(std::span<std::uint64_t>(v));
+    ASSERT_TRUE(stats::is_permutation_of_iota(v)) << name << " n=" << n;
+  };
+
+  check([&](std::span<std::uint64_t> s) { seq::fisher_yates(e, s); }, "fisher_yates");
+  check([&](std::span<std::uint64_t> s) { seq::blocked_shuffle(e, s); }, "blocked");
+  check([&](std::span<std::uint64_t> s) { seq::rs_shuffle(e, s); }, "rao_sandelius");
+  check([&](std::span<std::uint64_t> s) { seq::shuffle_by_sorting(e, s); }, "sort");
+  check([&](std::span<std::uint64_t> s) { seq::dart_throwing_shuffle(e, s); }, "dart");
+  check([&](std::span<std::uint64_t> s) { seq::riffle_shuffle(e, s, 7); }, "riffle");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShuffleProperty,
+                         ::testing::Values(0, 1, 2, 3, 5, 17, 64, 100, 1000, 4096));
+
+// --- the parallel pipeline under random (p, n) ---------------------------------
+
+class PipelineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineProperty, RandomShapesYieldValidPermutations) {
+  const int salt = GetParam();
+  rng::philox4x64 gen(0x3000 + salt, 0);
+  for (int iter = 0; iter < 6; ++iter) {
+    const auto p = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 10));
+    const std::uint64_t n = rng::uniform_below(gen, 300);
+    cgm::machine mach(p, 0x4000 + salt * 100 + iter);
+    const auto pi = core::random_permutation_global(mach, n);
+    ASSERT_TRUE(stats::is_permutation_of_iota(pi)) << "p=" << p << " n=" << n;
+  }
+}
+
+TEST_P(PipelineProperty, ResourceBoundsHoldForRandomShapes) {
+  // Theorem 1: O(m + p) of everything, per processor.  Generous constants;
+  // the point is the *shape* (no quadratic blowup anywhere).
+  const int salt = GetParam();
+  rng::philox4x64 gen(0x5000 + salt, 0);
+  const auto p = static_cast<std::uint32_t>(2 + rng::uniform_below(gen, 8));
+  const std::uint64_t m = 64 + rng::uniform_below(gen, 512);
+  cgm::machine mach(p, 0x6000 + salt);
+  cgm::run_stats stats;
+  (void)core::random_permutation_global(mach, m * p, {}, &stats);
+  const std::uint64_t budget = 30 * (m + 40 * p);
+  EXPECT_LE(stats.max_compute_per_proc(), budget);
+  EXPECT_LE(stats.max_words_per_proc(), budget);
+  EXPECT_LE(stats.max_rng_draws_per_proc(), budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Salts, PipelineProperty, ::testing::Range(0, 8));
+
+// --- prefix/block helpers under random inputs -----------------------------------
+
+class PrefixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixProperty, OwnerOffsetSizeAgree) {
+  const int salt = GetParam();
+  rng::philox4x64 gen(0x7000 + salt, 0);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::uint64_t n = rng::uniform_below(gen, 10000);
+    const auto p = static_cast<std::uint32_t>(1 + rng::uniform_below(gen, 64));
+    const auto sizes = balanced_blocks(n, p);
+    ASSERT_EQ(span_sum(sizes), n);
+    // Sizes differ by at most one.
+    const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+    ASSERT_LE(*mx - *mn, 1u);
+    if (n == 0) continue;
+    const std::uint64_t g = rng::uniform_below(gen, n);
+    const std::uint32_t owner = balanced_block_owner(n, p, g);
+    ASSERT_LT(owner, p);
+    ASSERT_LE(balanced_block_offset(n, p, owner), g);
+    ASSERT_LT(g, balanced_block_offset(n, p, owner) + sizes[owner]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Salts, PrefixProperty, ::testing::Range(0, 6));
+
+}  // namespace

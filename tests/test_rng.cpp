@@ -1,0 +1,191 @@
+// Unit tests for the RNG substrate: engine determinism, stream
+// independence, counting adaptor, and the bounded-uniform primitives the
+// shuffles and samplers consume.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rng/counting.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/stream.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/chisq.hpp"
+
+namespace {
+
+using namespace cgp;
+
+TEST(SplitMix, KnownSequenceIsDeterministic) {
+  rng::splitmix64 a(42);
+  rng::splitmix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix, DifferentSeedsDiffer) {
+  rng::splitmix64 a(1);
+  rng::splitmix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Philox, DeterministicAndSeedSensitive) {
+  rng::philox4x64 a(7, 0);
+  rng::philox4x64 b(7, 0);
+  rng::philox4x64 c(8, 0);
+  bool all_equal = true;
+  bool any_equal_c = false;
+  for (int i = 0; i < 256; ++i) {
+    const auto va = a();
+    all_equal = all_equal && (va == b());
+    any_equal_c = any_equal_c || (va == c());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_FALSE(any_equal_c);
+}
+
+TEST(Philox, StreamsAreDisjointPrefix) {
+  rng::philox4x64 s0(123, 0);
+  rng::philox4x64 s1(123, 1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(s0());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.count(s1())) << "stream collision at " << i;
+}
+
+TEST(Philox, BijectionChangesWithCounter) {
+  const rng::philox4x64::block_type c0{0, 0, 0, 0};
+  const rng::philox4x64::block_type c1{1, 0, 0, 0};
+  const std::array<std::uint64_t, 2> key{0xDEADBEEF, 0xCAFE};
+  EXPECT_NE(rng::philox4x64::bijection(c0, key), rng::philox4x64::bijection(c1, key));
+}
+
+TEST(Philox, DiscardBlocksSkipsExactly) {
+  rng::philox4x64 a(99, 5);
+  rng::philox4x64 b(99, 5);
+  // Consume 3 full blocks (12 words) from a.
+  for (int i = 0; i < 12; ++i) (void)a();
+  b.discard_blocks(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Philox, OutputLooksUniform64) {
+  // Bucket the top byte; chi-square against uniform.
+  rng::philox4x64 e(2024, 0);
+  std::vector<std::uint64_t> counts(256, 0);
+  for (int i = 0; i < 1 << 16; ++i) ++counts[e() >> 56];
+  const auto res = stats::chi_square_uniform(counts);
+  EXPECT_GT(res.p_value, 1e-9);
+}
+
+TEST(Xoshiro, DeterministicAndJumpDisjoint) {
+  rng::xoshiro256ss a(5);
+  rng::xoshiro256ss b(5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+  rng::xoshiro256ss c(5);
+  c.jump();
+  std::set<std::uint64_t> seen;
+  rng::xoshiro256ss d(5);
+  for (int i = 0; i < 1000; ++i) seen.insert(d());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.count(c()));
+}
+
+TEST(Counting, CountsDraws) {
+  rng::counting_engine<rng::philox4x64> e(rng::philox4x64(1, 2));
+  EXPECT_EQ(e.count(), 0u);
+  (void)e();
+  (void)e();
+  EXPECT_EQ(e.count(), 2u);
+  e.reset_count();
+  EXPECT_EQ(e.count(), 0u);
+}
+
+TEST(Counting, TransparentOutput) {
+  rng::philox4x64 raw(11, 3);
+  rng::counting_engine<rng::philox4x64> counted(rng::philox4x64(11, 3));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(raw(), counted());
+}
+
+TEST(UniformBelow, RespectsBound) {
+  rng::philox4x64 e(3, 0);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng::uniform_below(e, bound), bound);
+  }
+}
+
+TEST(UniformBelow, BoundOneIsFree) {
+  rng::counting_engine<rng::philox4x64> e(rng::philox4x64(4, 0));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng::uniform_below(e, 1), 0u);
+  // Bound 1 still consumes a draw (the method is branch-free on the happy
+  // path); what matters is the result is always 0.
+}
+
+TEST(UniformBelow, UnbiasedSmallBound) {
+  rng::philox4x64 e(17, 0);
+  std::vector<std::uint64_t> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng::uniform_below(e, 7)];
+  const auto res = stats::chi_square_uniform(counts);
+  EXPECT_GT(res.p_value, 1e-9);
+}
+
+TEST(UniformBetween, InclusiveRange) {
+  rng::philox4x64 e(5, 0);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng::uniform_between(e, 10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo = saw_lo || v == 10;
+    saw_hi = saw_hi || v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(CanonicalDouble, InUnitInterval) {
+  rng::philox4x64 e(6, 0);
+  double mn = 1.0;
+  double mx = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng::canonical_double(e);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+  }
+  EXPECT_LT(mn, 0.001);
+  EXPECT_GT(mx, 0.999);
+}
+
+TEST(CanonicalDouble, NonzeroVariantNeverZero) {
+  rng::philox4x64 e(7, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng::canonical_double_nonzero(e);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LE(u, 1.0);
+  }
+}
+
+TEST(Streams, ProcessorStreamsIndependent) {
+  // Two processors of the same machine seed never share a prefix.
+  auto s0 = rng::processor_stream(42, 0);
+  auto s1 = rng::processor_stream(42, 1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(s0());
+  for (int i = 0; i < 500; ++i) EXPECT_FALSE(seen.count(s1()));
+}
+
+TEST(Streams, PhaseStreamsDifferFromProcessorStreams) {
+  auto proc = rng::processor_stream(42, 3);
+  auto phase = rng::phase_stream(42, 3, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (proc() == phase()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Tests for the permutation-routing module: routing payloads along a given
+// distributed permutation, inversion, and composition -- the h-relation
+// side of the problem the paper distinguishes itself from in Section 1.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "core/driver.hpp"
+#include "core/routing.hpp"
+#include "rng/philox.hpp"
+#include "seq/fisher_yates.hpp"
+#include "stats/lehmer.hpp"
+#include "util/prefix.hpp"
+
+namespace {
+
+using namespace cgp;
+
+// Helper: run an SPMD body over blockwise-dealt data and collect results.
+template <typename Body>
+std::vector<std::uint64_t> run_blockwise(std::uint32_t p, std::uint64_t n, std::uint64_t seed,
+                                         Body&& body) {
+  cgm::machine mach(p, seed);
+  std::vector<std::uint64_t> out(n);
+  mach.run([&](cgm::context& ctx) {
+    const std::uint64_t off = balanced_block_offset(n, p, ctx.id());
+    const std::uint64_t len = balanced_block_size(n, p, ctx.id());
+    const auto result = body(ctx, off, len);
+    std::copy(result.begin(), result.end(), out.begin() + static_cast<std::ptrdiff_t>(off));
+  });
+  return out;
+}
+
+// A fixed test permutation of size n, from a seeded shuffle.
+std::vector<std::uint64_t> some_permutation(std::uint64_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> pi(n);
+  std::iota(pi.begin(), pi.end(), 0);
+  rng::philox4x64 e(seed, 0);
+  seq::fisher_yates(e, std::span<std::uint64_t>(pi));
+  return pi;
+}
+
+std::vector<std::uint64_t> slice(const std::vector<std::uint64_t>& v, std::uint64_t off,
+                                 std::uint64_t len) {
+  return {v.begin() + static_cast<std::ptrdiff_t>(off),
+          v.begin() + static_cast<std::ptrdiff_t>(off + len)};
+}
+
+TEST(Routing, RouteMatchesSequentialApplication) {
+  const std::uint64_t n = 101;
+  for (const std::uint32_t p : {1u, 2u, 3u, 8u}) {
+    const auto pi = some_permutation(n, 50 + p);
+    // data[g] = g + 1000; after routing, out[pi[g]] = data[g].
+    const auto routed = run_blockwise(p, n, 60 + p, [&](cgm::context& ctx, std::uint64_t off,
+                                                        std::uint64_t len) {
+      std::vector<std::uint64_t> data(len);
+      for (std::uint64_t i = 0; i < len; ++i) data[i] = off + i + 1000;
+      return core::route_by_permutation(ctx, data, slice(pi, off, len));
+    });
+    for (std::uint64_t g = 0; g < n; ++g) EXPECT_EQ(routed[pi[g]], g + 1000) << "p=" << p;
+  }
+}
+
+TEST(Routing, IdentityPermutationIsNoOp) {
+  const std::uint64_t n = 64;
+  std::vector<std::uint64_t> ident(n);
+  std::iota(ident.begin(), ident.end(), 0);
+  const auto routed =
+      run_blockwise(4, n, 70, [&](cgm::context& ctx, std::uint64_t off, std::uint64_t len) {
+        std::vector<std::uint64_t> data(len);
+        for (std::uint64_t i = 0; i < len; ++i) data[i] = off + i;
+        return core::route_by_permutation(ctx, data, slice(ident, off, len));
+      });
+  EXPECT_EQ(routed, ident);
+}
+
+TEST(Routing, InverseIsCorrect) {
+  const std::uint64_t n = 97;
+  for (const std::uint32_t p : {1u, 2u, 5u}) {
+    const auto pi = some_permutation(n, 80 + p);
+    const auto inv = run_blockwise(
+        p, n, 90 + p, [&](cgm::context& ctx, std::uint64_t off, std::uint64_t len) {
+          return core::invert_permutation(ctx, slice(pi, off, len));
+        });
+    for (std::uint64_t g = 0; g < n; ++g) EXPECT_EQ(inv[pi[g]], g);
+    EXPECT_TRUE(stats::is_permutation_of_iota(inv));
+  }
+}
+
+TEST(Routing, DoubleInverseIsIdentity) {
+  const std::uint64_t n = 60;
+  const auto pi = some_permutation(n, 100);
+  const auto inv =
+      run_blockwise(4, n, 101, [&](cgm::context& ctx, std::uint64_t off, std::uint64_t len) {
+        return core::invert_permutation(ctx, slice(pi, off, len));
+      });
+  const auto inv2 =
+      run_blockwise(4, n, 102, [&](cgm::context& ctx, std::uint64_t off, std::uint64_t len) {
+        return core::invert_permutation(ctx, slice(inv, off, len));
+      });
+  EXPECT_EQ(inv2, pi);
+}
+
+TEST(Routing, ComposeMatchesSequentialComposition) {
+  const std::uint64_t n = 73;
+  const auto pi = some_permutation(n, 110);
+  const auto sigma = some_permutation(n, 111);
+  const auto composed =
+      run_blockwise(4, n, 112, [&](cgm::context& ctx, std::uint64_t off, std::uint64_t len) {
+        return core::compose_permutations(ctx, slice(pi, off, len), slice(sigma, off, len));
+      });
+  for (std::uint64_t g = 0; g < n; ++g) EXPECT_EQ(composed[g], sigma[pi[g]]);
+  EXPECT_TRUE(stats::is_permutation_of_iota(composed));
+}
+
+TEST(Routing, ComposeWithInverseGivesIdentity) {
+  const std::uint64_t n = 88;
+  const auto pi = some_permutation(n, 120);
+  const auto inv =
+      run_blockwise(4, n, 121, [&](cgm::context& ctx, std::uint64_t off, std::uint64_t len) {
+        return core::invert_permutation(ctx, slice(pi, off, len));
+      });
+  const auto composed =
+      run_blockwise(4, n, 122, [&](cgm::context& ctx, std::uint64_t off, std::uint64_t len) {
+        return core::compose_permutations(ctx, slice(pi, off, len), slice(inv, off, len));
+      });
+  for (std::uint64_t g = 0; g < n; ++g) EXPECT_EQ(composed[g], g);
+}
+
+TEST(Routing, GenerateThenRouteEqualsPermuteGlobal) {
+  // The composition the module exists for: generate pi with the paper's
+  // pipeline, route payloads along it -- payload order must realize pi.
+  const std::uint64_t n = 128;
+  const std::uint32_t p = 4;
+  cgm::machine mach(p, 130);
+  const auto pi = core::random_permutation_global(mach, n);
+  const auto routed =
+      run_blockwise(p, n, 131, [&](cgm::context& ctx, std::uint64_t off, std::uint64_t len) {
+        std::vector<std::uint64_t> payload(len);
+        for (std::uint64_t i = 0; i < len; ++i) payload[i] = (off + i) * 3 + 7;
+        return core::route_by_permutation(ctx, payload, slice(pi, off, len));
+      });
+  for (std::uint64_t g = 0; g < n; ++g) EXPECT_EQ(routed[pi[g]], g * 3 + 7);
+}
+
+TEST(Routing, HRelationEqualsMatrixOfPermutation) {
+  // The routing superstep's communication volume is the a-posteriori
+  // communication matrix of pi (Section 2) -- cross-check total words
+  // against the off-diagonal mass of that matrix.
+  const std::uint64_t n = 120;
+  const std::uint32_t p = 4;
+  const auto pi = some_permutation(n, 140);
+  cgm::machine mach(p, 141);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    const std::uint64_t off = balanced_block_offset(n, p, ctx.id());
+    const std::uint64_t len = balanced_block_size(n, p, ctx.id());
+    std::vector<std::uint64_t> data(len, ctx.id());
+    (void)core::route_by_permutation(ctx, data, slice(pi, off, len));
+  });
+  const auto margins = balanced_blocks(n, p);
+  const auto mat = core::matrix_of_permutation(pi, margins, margins);
+  // Each routed item is a 2-word (pos, value) record; layout exchange adds
+  // 1 word per proc pair in the all_gather.
+  const std::uint64_t routed_words = stats.total_words() - p * p;
+  EXPECT_EQ(routed_words, 2 * mat.total());
+}
+
+}  // namespace

@@ -1,0 +1,253 @@
+// Tests for the parallel sample-sort substrate, the rank rebalancer, the
+// sorting-based permutation baseline (Goodrich), and the PRO conformance
+// checker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "cgm/pro.hpp"
+#include "cgm/sample_sort.hpp"
+#include "core/driver.hpp"
+#include "core/sort_permute.hpp"
+#include "rng/uniform.hpp"
+#include "stats/chisq.hpp"
+#include "stats/lehmer.hpp"
+#include "util/prefix.hpp"
+
+namespace {
+
+using namespace cgp;
+
+// Run sample_sort on a machine; inputs dealt from `global`, output
+// re-concatenated in processor order.
+std::vector<std::uint64_t> sort_global(std::uint32_t p, const std::vector<std::uint64_t>& global,
+                                       bool balanced, std::uint64_t seed) {
+  cgm::machine mach(p, seed);
+  std::vector<std::vector<std::uint64_t>> out(p);
+  mach.run([&](cgm::context& ctx) {
+    const std::uint64_t n = global.size();
+    const std::uint64_t off = balanced_block_offset(n, p, ctx.id());
+    const std::uint64_t len = balanced_block_size(n, p, ctx.id());
+    std::vector<std::uint64_t> local(global.begin() + static_cast<std::ptrdiff_t>(off),
+                                     global.begin() + static_cast<std::ptrdiff_t>(off + len));
+    out[ctx.id()] = balanced ? cgm::sample_sort_balanced(ctx, std::move(local), len)
+                             : cgm::sample_sort(ctx, std::move(local));
+  });
+  std::vector<std::uint64_t> flat;
+  for (auto& o : out) flat.insert(flat.end(), o.begin(), o.end());
+  return flat;
+}
+
+TEST(SampleSort, SortsAcrossProcessorCounts) {
+  rng::philox4x64 e(1, 0);
+  for (const std::uint32_t p : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    std::vector<std::uint64_t> data(997);
+    for (auto& v : data) v = rng::uniform_below(e, 10000);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(sort_global(p, data, false, 100 + p), expected) << "p=" << p;
+  }
+}
+
+TEST(SampleSort, BalancedVariantKeepsBlockSizes) {
+  rng::philox4x64 e(2, 0);
+  std::vector<std::uint64_t> data(64 * 8);
+  for (auto& v : data) v = rng::uniform_below(e, 1u << 30);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sort_global(8, data, true, 200), expected);
+}
+
+TEST(SampleSort, HandlesDuplicatesAndSortedInput) {
+  std::vector<std::uint64_t> dups(500, 42);
+  EXPECT_EQ(sort_global(4, dups, true, 300), dups);
+  std::vector<std::uint64_t> sorted(500);
+  std::iota(sorted.begin(), sorted.end(), 0);
+  EXPECT_EQ(sort_global(4, sorted, true, 301), sorted);
+  std::vector<std::uint64_t> reversed(sorted.rbegin(), sorted.rend());
+  EXPECT_EQ(sort_global(4, reversed, true, 302), sorted);
+}
+
+TEST(SampleSort, TinyInputs) {
+  EXPECT_EQ(sort_global(4, {}, false, 400), (std::vector<std::uint64_t>{}));
+  EXPECT_EQ(sort_global(4, {5}, false, 401), (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(sort_global(3, {3, 1, 2}, true, 402), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(SampleSort, BalanceWithinTwoX) {
+  // Regular sampling guarantees <= 2 n/p per processor (plus samples).
+  rng::philox4x64 e(3, 0);
+  const std::uint32_t p = 8;
+  const std::uint64_t n = 8000;
+  std::vector<std::uint64_t> data(n);
+  for (auto& v : data) v = rng::uniform_below(e, 1u << 20);
+  cgm::machine mach(p, 500);
+  std::vector<std::uint64_t> sizes(p);
+  mach.run([&](cgm::context& ctx) {
+    const std::uint64_t off = balanced_block_offset(n, p, ctx.id());
+    const std::uint64_t len = balanced_block_size(n, p, ctx.id());
+    std::vector<std::uint64_t> local(data.begin() + static_cast<std::ptrdiff_t>(off),
+                                     data.begin() + static_cast<std::ptrdiff_t>(off + len));
+    sizes[ctx.id()] = cgm::sample_sort(ctx, std::move(local)).size();
+  });
+  for (const auto s : sizes) EXPECT_LE(s, 2 * n / p + p) << "regular-sampling balance bound";
+  EXPECT_EQ(span_sum(sizes), n);
+}
+
+// --- rebalance ------------------------------------------------------------------
+
+TEST(Rebalance, PreservesOrderAndResizes) {
+  const std::uint32_t p = 4;
+  cgm::machine mach(p, 600);
+  std::vector<std::vector<std::uint64_t>> out(p);
+  mach.run([&](cgm::context& ctx) {
+    // Wildly imbalanced input: proc i holds (i+1)^2 items.
+    const std::uint64_t sz = (ctx.id() + 1) * (ctx.id() + 1);  // 1+4+9+16 = 30
+    std::uint64_t base = 0;
+    for (std::uint32_t i = 0; i < ctx.id(); ++i) base += (i + 1) * (i + 1);
+    std::vector<std::uint64_t> local(sz);
+    std::iota(local.begin(), local.end(), base);
+    // Targets: 30 items split (10, 10, 5, 5).
+    const std::uint64_t target = ctx.id() < 2 ? 10 : 5;
+    out[ctx.id()] = cgm::rebalance(ctx, local, target);
+  });
+  std::vector<std::uint64_t> flat;
+  for (auto& o : out) flat.insert(flat.end(), o.begin(), o.end());
+  std::vector<std::uint64_t> expected(30);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(flat, expected);
+  EXPECT_EQ(out[0].size(), 10u);
+  EXPECT_EQ(out[3].size(), 5u);
+}
+
+TEST(Rebalance, NoOpWhenAlreadyBalanced) {
+  cgm::machine mach(3, 601);
+  mach.run([&](cgm::context& ctx) {
+    std::vector<std::uint64_t> local{ctx.id() * 10ull, ctx.id() * 10ull + 1};
+    const auto out = cgm::rebalance(ctx, local, 2);
+    EXPECT_EQ(out, local);
+  });
+}
+
+TEST(Rebalance, EmptySourcesAndTargets) {
+  cgm::machine mach(3, 602);
+  mach.run([&](cgm::context& ctx) {
+    // All 6 items start on proc 0; proc 2 gets everything.
+    std::vector<std::uint64_t> local;
+    if (ctx.id() == 0) local = {1, 2, 3, 4, 5, 6};
+    const auto out = cgm::rebalance(ctx, local, ctx.id() == 2 ? 6 : 0);
+    if (ctx.id() == 2) {
+      EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+// --- sorting-based permutation baseline -------------------------------------------
+
+std::vector<std::uint64_t> sort_permute_global(std::uint32_t p, std::uint64_t n,
+                                               std::uint64_t seed) {
+  cgm::machine mach(p, seed);
+  std::vector<std::uint64_t> result(n);
+  mach.run([&](cgm::context& ctx) {
+    const std::uint64_t off = balanced_block_offset(n, p, ctx.id());
+    const std::uint64_t len = balanced_block_size(n, p, ctx.id());
+    std::vector<std::uint64_t> local(len);
+    std::iota(local.begin(), local.end(), off);
+    const auto permuted = core::parallel_sort_permutation(ctx, std::move(local));
+    std::copy(permuted.begin(), permuted.end(),
+              result.begin() + static_cast<std::ptrdiff_t>(off));
+  });
+  return result;
+}
+
+TEST(SortPermute, ProducesValidPermutations) {
+  for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
+    const auto pi = sort_permute_global(p, 256, 700 + p);
+    EXPECT_TRUE(stats::is_permutation_of_iota(pi)) << "p=" << p;
+  }
+}
+
+TEST(SortPermute, UniformOverS4) {
+  std::vector<std::uint64_t> counts(24, 0);
+  for (int rep = 0; rep < 24 * 250; ++rep) {
+    const auto pi = sort_permute_global(2, 4, 0x800000 + rep);
+    ASSERT_TRUE(stats::is_permutation_of_iota(pi));
+    ++counts[stats::permutation_rank(pi)];
+  }
+  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+}
+
+TEST(SortPermute, CarriesTheLogFactorInWork) {
+  // Goodrich's baseline does Theta(n log n) total work; Algorithm 1 does
+  // Theta(n).  Compare total charged ops at fixed p while n grows: the
+  // baseline's ops/item must grow, Algorithm 1's must not.
+  const std::uint32_t p = 4;
+  const auto ops_per_item = [&](std::uint64_t n, bool baseline) {
+    cgm::machine mach(p, 900);
+    const auto stats = mach.run([&](cgm::context& ctx) {
+      std::vector<std::uint64_t> local(n / p, ctx.id());
+      if (baseline) {
+        (void)core::parallel_sort_permutation(ctx, std::move(local));
+      } else {
+        (void)core::parallel_random_permutation(ctx, std::move(local));
+      }
+    });
+    return static_cast<double>(stats.total_compute()) / static_cast<double>(n);
+  };
+  const double base_small = ops_per_item(1 << 10, true);
+  const double base_large = ops_per_item(1 << 16, true);
+  const double alg1_small = ops_per_item(1 << 10, false);
+  const double alg1_large = ops_per_item(1 << 16, false);
+  EXPECT_GT(base_large, base_small * 1.3) << "baseline must show the log factor";
+  EXPECT_LT(alg1_large, alg1_small * 1.2) << "Algorithm 1 must stay work-optimal";
+}
+
+// --- PRO conformance ------------------------------------------------------------
+
+TEST(Pro, Algorithm1IsAdmissible) {
+  const std::uint32_t p = 8;
+  // Large enough that superstep latency amortizes (PRO speedup claims are
+  // asymptotic in the grain); p^2 = 64 << n keeps it within grain.
+  const std::uint64_t n = 1 << 20;
+  cgm::machine mach(p, 901);
+  cgm::run_stats stats;
+  (void)core::random_permutation_global(mach, n, {}, &stats);
+  const auto a = cgm::assess_pro(stats, n, p, /*seq_ops=*/n, cgm::cost_model::multicore());
+  EXPECT_TRUE(a.within_grain);
+  EXPECT_TRUE(a.work_optimal) << "work ratio " << a.work_ratio;
+  EXPECT_TRUE(a.space_optimal) << "space ratio " << a.space_ratio;
+  EXPECT_TRUE(a.admissible());
+  EXPECT_GT(a.speedup, 1.0);
+}
+
+TEST(Pro, GrainViolationDetected) {
+  const std::uint32_t p = 16;
+  const std::uint64_t n = 64;  // p^2 = 256 > 64
+  cgm::machine mach(p, 902);
+  cgm::run_stats stats;
+  (void)core::random_permutation_global(mach, n, {}, &stats);
+  const auto a = cgm::assess_pro(stats, n, p, n, cgm::cost_model::multicore());
+  EXPECT_FALSE(a.within_grain);
+  EXPECT_FALSE(a.admissible());
+}
+
+TEST(Pro, LogFactorBaselineFailsWorkOptimalityAtScale) {
+  const std::uint32_t p = 4;
+  const std::uint64_t n = 1 << 16;
+  cgm::machine mach(p, 903);
+  const auto stats = mach.run([&](cgm::context& ctx) {
+    std::vector<std::uint64_t> local(n / p, ctx.id());
+    (void)core::parallel_sort_permutation(ctx, std::move(local));
+  });
+  // With a tight constant the log-n work factor must breach the bound.
+  const auto a = cgm::assess_pro(stats, n, p, n, cgm::cost_model::multicore(),
+                                 /*tolerance=*/8.0);
+  EXPECT_FALSE(a.work_optimal) << "work ratio " << a.work_ratio;
+}
+
+}  // namespace

@@ -1,0 +1,273 @@
+// Tests for the sequential algorithms: the Fisher-Yates reference, the
+// cache-blocked shuffle (Section 6 outlook), and the related-work baselines
+// -- including a *negative* test showing the iterated riffle is not uniform
+// for small round counts (the paper's argument against the iterate trick).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "rng/philox.hpp"
+#include "seq/baselines.hpp"
+#include "seq/blocked_shuffle.hpp"
+#include "seq/fisher_yates.hpp"
+#include "seq/rao_sandelius.hpp"
+#include "stats/chisq.hpp"
+#include "stats/lehmer.hpp"
+
+namespace {
+
+using namespace cgp;
+
+using engine_t = rng::philox4x64;
+
+// Run `shuffle` many times on iota(k) and chi-square the Lehmer-rank
+// histogram over all k! outcomes.
+template <typename Shuffle>
+stats::gof_result uniformity_gof(Shuffle&& shuffle, unsigned k, int reps, std::uint64_t seed) {
+  engine_t e(seed, 0);
+  const std::uint64_t cells = stats::factorial(k);
+  std::vector<std::uint64_t> counts(cells, 0);
+  std::vector<std::uint64_t> v(k);
+  for (int rep = 0; rep < reps; ++rep) {
+    std::iota(v.begin(), v.end(), 0);
+    shuffle(e, std::span<std::uint64_t>(v));
+    EXPECT_TRUE(stats::is_permutation_of_iota(v));
+    ++counts[stats::permutation_rank(v)];
+  }
+  return stats::chi_square_uniform(counts);
+}
+
+TEST(FisherYates, PermutesContent) {
+  engine_t e(1, 0);
+  std::vector<std::uint64_t> v(1000);
+  std::iota(v.begin(), v.end(), 0);
+  seq::fisher_yates(e, std::span<std::uint64_t>(v));
+  EXPECT_TRUE(stats::is_permutation_of_iota(v));
+}
+
+TEST(FisherYates, UniformOverS5) {
+  const auto res = uniformity_gof(
+      [](engine_t& e, std::span<std::uint64_t> v) { seq::fisher_yates(e, v); }, 5, 120 * 100, 2);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST(FisherYates, CopyVariantUniformOverS4) {
+  engine_t e(3, 0);
+  std::vector<std::uint64_t> counts(24, 0);
+  const std::vector<std::uint64_t> in{0, 1, 2, 3};
+  std::vector<std::uint64_t> out(4);
+  for (int rep = 0; rep < 24 * 400; ++rep) {
+    seq::fisher_yates_copy(e, std::span<const std::uint64_t>(in), std::span<std::uint64_t>(out));
+    ASSERT_TRUE(stats::is_permutation_of_iota(out));
+    ++counts[stats::permutation_rank(out)];
+  }
+  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+}
+
+TEST(FisherYates, EmptyAndSingleton) {
+  engine_t e(4, 0);
+  std::vector<int> empty;
+  seq::fisher_yates(e, std::span<int>(empty));
+  std::vector<int> one{7};
+  seq::fisher_yates(e, std::span<int>(one));
+  EXPECT_EQ(one[0], 7);
+}
+
+TEST(RandomPermutation, ProducesValidPermutation) {
+  engine_t e(5, 0);
+  std::vector<std::uint64_t> pi(257);
+  seq::random_permutation(e, pi);
+  EXPECT_TRUE(stats::is_permutation_of_iota(pi));
+}
+
+// --- blocked (cache-aware) shuffle ------------------------------------------
+
+TEST(BlockedShuffle, PermutesContent) {
+  engine_t e(6, 0);
+  std::vector<std::uint64_t> v(10'000);
+  std::iota(v.begin(), v.end(), 0);
+  seq::blocked_options opt;
+  opt.fan_out = 4;
+  opt.cache_items = 64;  // force several recursion levels
+  seq::blocked_shuffle(e, std::span<std::uint64_t>(v), opt);
+  EXPECT_TRUE(stats::is_permutation_of_iota(v));
+}
+
+TEST(BlockedShuffle, UniformOverS5WithTinyBlocks) {
+  seq::blocked_options opt;
+  opt.fan_out = 2;
+  opt.cache_items = 2;  // recursion all the way down even for k=5
+  const auto res = uniformity_gof(
+      [&opt](engine_t& e, std::span<std::uint64_t> v) { seq::blocked_shuffle(e, v, opt); }, 5,
+      120 * 100, 7);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST(BlockedShuffle, MatchesFisherYatesMoments) {
+  // Mean displacement of an item under a uniform shuffle of n items is
+  // ~ n/3; compare blocked vs Fisher-Yates at 3% tolerance.
+  const std::size_t n = 4096;
+  engine_t e1(8, 0);
+  engine_t e2(9, 0);
+  double disp_fy = 0.0;
+  double disp_bl = 0.0;
+  const int reps = 200;
+  std::vector<std::uint64_t> v(n);
+  for (int rep = 0; rep < reps; ++rep) {
+    std::iota(v.begin(), v.end(), 0);
+    seq::fisher_yates(e1, std::span<std::uint64_t>(v));
+    for (std::size_t i = 0; i < n; ++i)
+      disp_fy += std::abs(static_cast<double>(v[i]) - static_cast<double>(i));
+    std::iota(v.begin(), v.end(), 0);
+    seq::blocked_shuffle(e2, std::span<std::uint64_t>(v));
+    for (std::size_t i = 0; i < n; ++i)
+      disp_bl += std::abs(static_cast<double>(v[i]) - static_cast<double>(i));
+  }
+  EXPECT_NEAR(disp_bl / disp_fy, 1.0, 0.03);
+}
+
+// --- Rao-Sandelius shuffle ----------------------------------------------------
+
+TEST(RaoSandelius, PermutesContent) {
+  engine_t e(20, 0);
+  std::vector<std::uint64_t> v(10'000);
+  std::iota(v.begin(), v.end(), 0);
+  seq::rs_options opt;
+  opt.log2_fan_out = 2;
+  opt.cache_items = 32;  // force deep recursion
+  seq::rs_shuffle(e, std::span<std::uint64_t>(v), opt);
+  EXPECT_TRUE(stats::is_permutation_of_iota(v));
+}
+
+TEST(RaoSandelius, UniformOverS5WithTinyLeaves) {
+  seq::rs_options opt;
+  opt.log2_fan_out = 1;  // binary splitting, the classical formulation
+  opt.cache_items = 2;
+  const auto res = uniformity_gof(
+      [&opt](engine_t& e, std::span<std::uint64_t> v) { seq::rs_shuffle(e, v, opt); }, 5,
+      120 * 100, 21);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST(RaoSandelius, UniformOverS4WideFanOut) {
+  seq::rs_options opt;
+  opt.log2_fan_out = 3;  // 8 buckets for 4 items: mostly empty buckets
+  opt.cache_items = 2;
+  const auto res = uniformity_gof(
+      [&opt](engine_t& e, std::span<std::uint64_t> v) { seq::rs_shuffle(e, v, opt); }, 4,
+      24 * 400, 22);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST(RaoSandelius, SingleItemPositionUniform) {
+  engine_t e(23, 0);
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> counts(n, 0);
+  std::vector<std::uint64_t> v(n);
+  seq::rs_options opt;
+  opt.cache_items = 8;
+  opt.log2_fan_out = 2;
+  for (int rep = 0; rep < 16000; ++rep) {
+    std::iota(v.begin(), v.end(), 0);
+    seq::rs_shuffle(e, std::span<std::uint64_t>(v), opt);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] == 0) {
+        ++counts[i];
+        break;
+      }
+    }
+  }
+  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+}
+
+// --- sort-based baseline -----------------------------------------------------
+
+TEST(SortShuffle, PermutesAndUniformOverS4) {
+  engine_t e(10, 0);
+  std::vector<std::uint64_t> counts(24, 0);
+  std::vector<std::uint64_t> v(4);
+  for (int rep = 0; rep < 24 * 400; ++rep) {
+    std::iota(v.begin(), v.end(), 0);
+    seq::shuffle_by_sorting(e, std::span<std::uint64_t>(v));
+    ASSERT_TRUE(stats::is_permutation_of_iota(v));
+    ++counts[stats::permutation_rank(v)];
+  }
+  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+}
+
+TEST(SortShuffle, SurvivesForcedKeyCollisions) {
+  // An engine that returns constants at first forces the collision-repair
+  // path; wrap philox to emit duplicates for the first 2n draws.
+  struct dup_engine {
+    using result_type = std::uint64_t;
+    engine_t inner{11, 0};
+    int forced = 16;
+    result_type operator()() {
+      if (forced > 0) {
+        --forced;
+        return 42;  // identical keys
+      }
+      return inner();
+    }
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+  } e;
+  std::vector<std::uint64_t> v(8);
+  std::iota(v.begin(), v.end(), 0);
+  seq::shuffle_by_sorting(e, std::span<std::uint64_t>(v));
+  EXPECT_TRUE(stats::is_permutation_of_iota(v));
+}
+
+// --- dart throwing ------------------------------------------------------------
+
+TEST(DartThrowing, PermutesAndUniformOverS4) {
+  engine_t e(12, 0);
+  std::vector<std::uint64_t> counts(24, 0);
+  std::vector<std::uint64_t> v(4);
+  for (int rep = 0; rep < 24 * 400; ++rep) {
+    std::iota(v.begin(), v.end(), 0);
+    seq::dart_throwing_shuffle(e, std::span<std::uint64_t>(v));
+    ASSERT_TRUE(stats::is_permutation_of_iota(v));
+    ++counts[stats::permutation_rank(v)];
+  }
+  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+}
+
+TEST(DartThrowing, ExpectedDrawsModel) {
+  // slack=2: E[draws/item] = 2 ln 2 ~ 1.386.
+  EXPECT_NEAR(seq::dart_throwing_expected_draws_per_item(2.0), 2.0 * std::log(2.0), 1e-12);
+  // Tighter tables cost more.
+  EXPECT_GT(seq::dart_throwing_expected_draws_per_item(1.25),
+            seq::dart_throwing_expected_draws_per_item(4.0));
+}
+
+// --- riffle rounds: the non-uniform baseline ----------------------------------
+
+TEST(Riffle, SingleRoundPreservesContent) {
+  engine_t e(13, 0);
+  std::vector<std::uint64_t> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  seq::riffle_round(e, std::span<std::uint64_t>(v));
+  EXPECT_TRUE(stats::is_permutation_of_iota(v));
+}
+
+TEST(Riffle, OneRoundIsProvablyNonUniform) {
+  // A single riffle of 5 cards cannot produce more than 2 descents; the
+  // rank histogram must fail chi-square catastrophically.
+  const auto res = uniformity_gof(
+      [](engine_t& e, std::span<std::uint64_t> v) { seq::riffle_shuffle(e, v, 1); }, 5, 120 * 100,
+      14);
+  EXPECT_LT(res.p_value, 1e-12) << "a single riffle round must NOT look uniform";
+}
+
+TEST(Riffle, ManyRoundsApproachUniformity) {
+  // ~log2(n) + safety rounds: 12 rounds on 5 cards is plenty.
+  const auto res = uniformity_gof(
+      [](engine_t& e, std::span<std::uint64_t> v) { seq::riffle_shuffle(e, v, 12); }, 5, 120 * 100,
+      15);
+  EXPECT_GT(res.p_value, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Unit tests for the statistics toolkit itself -- the instrument must be
+// trusted before it is used to certify uniformity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/philox.hpp"
+#include "rng/uniform.hpp"
+#include "stats/chisq.hpp"
+#include "stats/gamma.hpp"
+#include "stats/ks.hpp"
+#include "stats/lehmer.hpp"
+#include "stats/moments.hpp"
+
+namespace {
+
+using namespace cgp;
+
+// --- incomplete gamma -----------------------------------------------------
+
+TEST(Gamma, KnownValues) {
+  // P(1, x) = 1 - exp(-x)
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(stats::gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+    EXPECT_NEAR(stats::gamma_q(1.0, x), std::exp(-x), 1e-12);
+  }
+}
+
+TEST(Gamma, ComplementarityAndMonotonicity) {
+  double prev = 0.0;
+  for (double x = 0.0; x <= 20.0; x += 0.25) {
+    const double p = stats::gamma_p(3.5, x);
+    EXPECT_NEAR(p + stats::gamma_q(3.5, x), 1.0, 1e-12);
+    EXPECT_GE(p + 1e-15, prev);
+    prev = p;
+  }
+}
+
+TEST(Gamma, Chi2SurvivalKnownQuantiles) {
+  // Chi-square df=1: P[X >= 3.841] ~ 0.05; df=10: P[X >= 18.307] ~ 0.05.
+  EXPECT_NEAR(stats::chi2_sf(3.841, 1), 0.05, 5e-4);
+  EXPECT_NEAR(stats::chi2_sf(18.307, 10), 0.05, 5e-4);
+  // Median of chi-square df=2 is 2 ln 2.
+  EXPECT_NEAR(stats::chi2_sf(2.0 * std::log(2.0), 2), 0.5, 1e-10);
+}
+
+// --- chi-square GOF --------------------------------------------------------
+
+TEST(ChiSquare, UniformDataPasses) {
+  rng::philox4x64 e(100, 0);
+  std::vector<std::uint64_t> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng::uniform_below(e, 50)];
+  const auto res = stats::chi_square_uniform(counts);
+  EXPECT_GT(res.p_value, 1e-6);
+  EXPECT_EQ(res.pooled_cells, 50u);
+}
+
+TEST(ChiSquare, BiasedDataFails) {
+  rng::philox4x64 e(101, 0);
+  std::vector<std::uint64_t> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) {
+    // 10% of the mass diverted to cell 0.
+    const auto v = rng::uniform_below(e, 55);
+    ++counts[v >= 50 ? 0 : v];
+  }
+  const auto res = stats::chi_square_uniform(counts);
+  EXPECT_LT(res.p_value, 1e-12);
+}
+
+TEST(ChiSquare, PoolsSparseTail) {
+  // Geometric-ish expected probabilities: tiny tail cells must be pooled.
+  std::vector<double> probs{0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625, 0.0078125, 0.0078125};
+  std::vector<std::uint64_t> obs{50, 25, 12, 6, 4, 2, 1, 0};
+  const auto res = stats::chi_square_gof(obs, probs, 5.0);
+  EXPECT_LT(res.pooled_cells, obs.size());
+  EXPECT_GT(res.p_value, 1e-6);
+}
+
+TEST(ChiSquare, MatchesHandComputedStatistic) {
+  // obs = {8, 12}, expected = {10, 10}: chi2 = 4+4 / 10 = 0.8, df = 1.
+  std::vector<std::uint64_t> obs{8, 12};
+  std::vector<double> probs{0.5, 0.5};
+  const auto res = stats::chi_square_gof(obs, probs, 1.0);
+  EXPECT_NEAR(res.statistic, 0.8, 1e-12);
+  EXPECT_NEAR(res.dof, 1.0, 0.0);
+  EXPECT_NEAR(res.p_value, stats::chi2_sf(0.8, 1), 1e-12);
+}
+
+TEST(ChiSquare, IndependenceDetectsCoupling) {
+  // Independent table passes...
+  std::vector<std::uint64_t> indep{100, 100, 100, 100};
+  EXPECT_GT(stats::chi_square_independence(indep, 2, 2).p_value, 0.9);
+  // ...diagonal-heavy table fails.
+  std::vector<std::uint64_t> coupled{200, 10, 10, 200};
+  EXPECT_LT(stats::chi_square_independence(coupled, 2, 2).p_value, 1e-12);
+}
+
+// --- Kolmogorov-Smirnov ----------------------------------------------------
+
+TEST(KS, UniformSamplesPass) {
+  rng::philox4x64 e(200, 0);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng::canonical_double(e);
+  EXPECT_GT(stats::ks_uniform01(xs).p_value, 1e-6);
+}
+
+TEST(KS, SquaredSamplesFail) {
+  rng::philox4x64 e(201, 0);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    const double u = rng::canonical_double(e);
+    x = u * u;  // decidedly not uniform
+  }
+  EXPECT_LT(stats::ks_uniform01(xs).p_value, 1e-12);
+}
+
+TEST(KS, KolmogorovSfEndpoints) {
+  EXPECT_DOUBLE_EQ(stats::kolmogorov_sf(0.0), 1.0);
+  EXPECT_LT(stats::kolmogorov_sf(3.0), 1e-6);
+  EXPECT_NEAR(stats::kolmogorov_sf(0.82757), 0.5, 2e-3);  // median of K
+}
+
+// --- Lehmer code ------------------------------------------------------------
+
+TEST(Lehmer, FactorialTable) {
+  EXPECT_EQ(stats::factorial(0), 1u);
+  EXPECT_EQ(stats::factorial(1), 1u);
+  EXPECT_EQ(stats::factorial(5), 120u);
+  EXPECT_EQ(stats::factorial(20), 2432902008176640000ull);
+}
+
+TEST(Lehmer, RankUnrankRoundTripAllOfS4) {
+  std::vector<std::uint64_t> perm(4);
+  for (std::uint64_t r = 0; r < 24; ++r) {
+    stats::permutation_unrank(r, perm);
+    EXPECT_TRUE(stats::is_permutation_of_iota(perm));
+    EXPECT_EQ(stats::permutation_rank(perm), r);
+  }
+}
+
+TEST(Lehmer, LexicographicOrder) {
+  std::vector<std::uint64_t> a(3);
+  std::vector<std::uint64_t> b(3);
+  stats::permutation_unrank(0, a);
+  EXPECT_EQ(a, (std::vector<std::uint64_t>{0, 1, 2}));
+  stats::permutation_unrank(5, b);
+  EXPECT_EQ(b, (std::vector<std::uint64_t>{2, 1, 0}));
+}
+
+TEST(Lehmer, DetectsNonPermutations) {
+  EXPECT_FALSE(stats::is_permutation_of_iota(std::vector<std::uint64_t>{0, 0, 2}));
+  EXPECT_FALSE(stats::is_permutation_of_iota(std::vector<std::uint64_t>{0, 3, 1}));
+  EXPECT_TRUE(stats::is_permutation_of_iota(std::vector<std::uint64_t>{2, 0, 1}));
+}
+
+TEST(PermStats, FixedPointsCyclesInversions) {
+  const std::vector<std::uint64_t> id{0, 1, 2, 3};
+  EXPECT_EQ(stats::count_fixed_points(id), 4u);
+  EXPECT_EQ(stats::count_cycles(id), 4u);
+  EXPECT_EQ(stats::count_inversions(id), 0u);
+
+  const std::vector<std::uint64_t> rev{3, 2, 1, 0};
+  EXPECT_EQ(stats::count_fixed_points(rev), 0u);
+  EXPECT_EQ(stats::count_cycles(rev), 2u);  // (03)(12)
+  EXPECT_EQ(stats::count_inversions(rev), 6u);
+
+  const std::vector<std::uint64_t> cyc{1, 2, 3, 0};
+  EXPECT_EQ(stats::count_cycles(cyc), 1u);
+}
+
+// --- moments -----------------------------------------------------------------
+
+TEST(Moments, MatchesClosedForm) {
+  stats::running_moments m;
+  for (int i = 1; i <= 5; ++i) m.add(i);
+  EXPECT_EQ(m.count(), 5u);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 2.5);  // sample variance of 1..5
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 5.0);
+}
+
+TEST(Moments, ZAgainstTrueMeanIsSmall) {
+  rng::philox4x64 e(300, 0);
+  stats::running_moments m;
+  for (int i = 0; i < 100000; ++i) m.add(rng::canonical_double(e));
+  EXPECT_LT(std::fabs(m.z_against(0.5)), 6.0);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Unit tests for the util substrate: prefix sums, balanced block
+// decomposition, the 2-D span, and the bench table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/prefix.hpp"
+#include "util/span2d.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cgp;
+
+TEST(Prefix, ExclusiveBasic) {
+  const std::vector<std::uint64_t> in{3, 1, 4, 1, 5};
+  std::vector<std::uint64_t> out(in.size());
+  const auto total = exclusive_prefix_sum(in, out);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Prefix, ExclusiveAliasing) {
+  std::vector<std::uint64_t> v{2, 2, 2};
+  const auto total = exclusive_prefix_sum(v, v);
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 2, 4}));
+}
+
+TEST(Prefix, InclusiveBasic) {
+  const std::vector<std::uint64_t> in{3, 1, 4};
+  std::vector<std::uint64_t> out(in.size());
+  const auto total = inclusive_prefix_sum(in, out);
+  EXPECT_EQ(total, 8u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{3, 4, 8}));
+}
+
+TEST(Prefix, EmptySpans) {
+  std::vector<std::uint64_t> empty;
+  EXPECT_EQ(exclusive_prefix_sum(empty, empty), 0u);
+  EXPECT_EQ(span_sum(empty), 0u);
+}
+
+TEST(BalancedBlocks, ExactDivision) {
+  const auto blocks = balanced_blocks(12, 4);
+  EXPECT_EQ(blocks, (std::vector<std::uint64_t>{3, 3, 3, 3}));
+}
+
+TEST(BalancedBlocks, Remainder) {
+  const auto blocks = balanced_blocks(14, 4);
+  EXPECT_EQ(blocks, (std::vector<std::uint64_t>{4, 4, 3, 3}));
+  EXPECT_EQ(span_sum(blocks), 14u);
+}
+
+TEST(BalancedBlocks, MorepartsThanItems) {
+  const auto blocks = balanced_blocks(2, 5);
+  EXPECT_EQ(span_sum(blocks), 2u);
+  EXPECT_EQ(blocks[0], 1u);
+  EXPECT_EQ(blocks[1], 1u);
+  EXPECT_EQ(blocks[2], 0u);
+}
+
+TEST(BalancedBlocks, OffsetsMatchSizes) {
+  for (const std::uint64_t n : {0ull, 1ull, 7ull, 97ull, 1000ull}) {
+    for (const std::uint32_t p : {1u, 2u, 3u, 7u, 16u}) {
+      const auto sizes = balanced_blocks(n, p);
+      std::uint64_t off = 0;
+      for (std::uint32_t i = 0; i < p; ++i) {
+        EXPECT_EQ(balanced_block_offset(n, p, i), off) << "n=" << n << " p=" << p << " i=" << i;
+        EXPECT_EQ(balanced_block_size(n, p, i), sizes[i]);
+        off += sizes[i];
+      }
+      EXPECT_EQ(off, n);
+    }
+  }
+}
+
+TEST(BalancedBlocks, OwnerInverse) {
+  const std::uint64_t n = 101;
+  const std::uint32_t p = 7;
+  for (std::uint64_t g = 0; g < n; ++g) {
+    const std::uint32_t owner = balanced_block_owner(n, p, g);
+    EXPECT_LE(balanced_block_offset(n, p, owner), g);
+    EXPECT_LT(g, balanced_block_offset(n, p, owner) + balanced_block_size(n, p, owner));
+  }
+}
+
+TEST(Span2d, IndexingAndRows) {
+  std::vector<int> buf(12, 0);
+  span2d<int> v(buf.data(), 3, 4);
+  v(1, 2) = 42;
+  EXPECT_EQ(buf[6], 42);
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 4u);
+  auto row1 = v.row(1);
+  EXPECT_EQ(row1.size(), 4u);
+  EXPECT_EQ(row1[2], 42);
+  EXPECT_EQ(v.flat().size(), 12u);
+}
+
+TEST(Table, AlignsColumns) {
+  table t({"p", "time"});
+  t.add_row({"3", "210"});
+  t.add_row({"48", "53.2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("p"), std::string::npos);
+  EXPECT_NE(s.find("53.2"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt(1.5, 2), "1.50");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(7), "7");
+  EXPECT_EQ(fmt_count(100), "100");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+}
+
+}  // namespace
