@@ -20,6 +20,7 @@
 #include "core/driver.hpp"
 #include "rng/philox.hpp"
 #include "seq/fisher_yates.hpp"
+#include "util/json.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -47,6 +48,7 @@ int main() {
   cgp::table t({"p", "T_model [s]", "T_paper [s]", "ratio", "speedup_model", "speedup_paper",
                 "max ops/proc", "max words/proc"});
 
+  std::vector<cgp::json_record> records;
   double seq_model = 0.0;
   for (const auto& row : kPaper) {
     double model_s = 0.0;
@@ -72,8 +74,24 @@ int main() {
                cgp::fmt(model_s / row.seconds, 2), cgp::fmt(seq_model / model_s, 2),
                cgp::fmt(137.0 / row.seconds, 2), cgp::fmt_count(max_ops),
                cgp::fmt_count(max_words)});
+    cgp::json_record rec;
+    // p = 1 is the analytic sequential-model estimate, not a simulator run;
+    // label it apart so trajectory tooling never mixes it into cgm data.
+    rec.add("bench", "e1_scaling")
+        .add("n", kSimItems)
+        .add("p", row.p)
+        .add("backend", row.p == 1 ? "seq_model" : "cgm")
+        .add("model_seconds_fullscale", model_s)
+        .add("paper_seconds", row.seconds)
+        .add("ns_per_item", model_s / kScale * 1e9 / static_cast<double>(kSimItems))
+        .add("max_ops_per_proc", max_ops)
+        .add("max_words_per_proc", max_words);
+    records.push_back(std::move(rec));
   }
   t.print(std::cout);
+  if (cgp::write_json_records("BENCH_e1_scaling.json", records)) {
+    std::cout << "\nwrote " << records.size() << " records to BENCH_e1_scaling.json\n";
+  }
 
   std::cout << "\nShape checks: p=3 is SLOWER than sequential (overhead factor ~1.5x),\n"
                "p=6 beats sequential, and gains flatten towards p=48 as the aggregate\n"

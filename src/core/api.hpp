@@ -13,6 +13,7 @@
 #pragma once
 
 #include "cgm/collectives.hpp"   // IWYU pragma: export
+#include "core/backend.hpp"      // IWYU pragma: export
 #include "cgm/cost.hpp"          // IWYU pragma: export
 #include "cgm/pro.hpp"           // IWYU pragma: export
 #include "cgm/sample_sort.hpp"   // IWYU pragma: export
@@ -30,3 +31,6 @@
 #include "seq/blocked_shuffle.hpp"  // IWYU pragma: export
 #include "seq/fisher_yates.hpp"  // IWYU pragma: export
 #include "seq/rao_sandelius.hpp"  // IWYU pragma: export
+#include "smp/engine.hpp"        // IWYU pragma: export
+#include "smp/parallel_split.hpp"  // IWYU pragma: export
+#include "smp/thread_pool.hpp"   // IWYU pragma: export

@@ -1,0 +1,101 @@
+// core/backend.hpp
+//
+// Pluggable execution backends for the whole-vector permutation entry
+// points.  The library now has three ways to realize a uniform random
+// permutation:
+//
+//   * `cgm_simulator` -- Algorithm 1 on the virtual coarse-grained machine
+//     (core/driver.hpp): every model quantity of Theorems 1/2 is counted
+//     exactly, at the price of simulated message copies.  The
+//     model-faithful path for experiments.
+//   * `smp` -- the native shared-memory engine (smp/engine.hpp): the same
+//     recursive hypergeometric split executed by real threads, no
+//     accounting.  The fast path for production workloads.
+//   * `sequential` -- the reference seq::fisher_yates baseline.
+//
+// All three are exactly uniform; they draw from differently keyed Philox
+// streams, so equal seeds do *not* imply equal permutations across
+// backends (each backend is individually bit-reproducible in its seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "core/driver.hpp"
+#include "rng/philox.hpp"
+#include "seq/fisher_yates.hpp"
+#include "smp/engine.hpp"
+
+namespace cgp::core {
+
+/// Which engine executes the permutation.
+enum class backend : std::uint8_t {
+  cgm_simulator,  ///< model-faithful virtual machine (counts resources)
+  smp,            ///< native shared-memory thread engine
+  sequential,     ///< seq::fisher_yates reference
+};
+
+[[nodiscard]] constexpr const char* backend_name(backend b) noexcept {
+  switch (b) {
+    case backend::cgm_simulator: return "cgm";
+    case backend::smp: return "smp";
+    case backend::sequential: return "seq";
+  }
+  return "?";
+}
+
+/// Options for the backend-dispatched entry points.
+struct backend_options {
+  backend which = backend::smp;
+  /// Degree of parallelism: virtual processors (cgm_simulator) or worker
+  /// threads (smp); 0 picks a default (4 virtual processors / hardware
+  /// concurrency).  Ignored by `sequential`.
+  std::uint32_t parallelism = 0;
+  std::uint64_t seed = 0xC0A2537E5EEDull;  ///< same default as cgm::machine
+  permute_options cgm{};                   ///< CGM pipeline knobs
+  smp::engine_options smp_engine{};        ///< SMP engine knobs (threads is
+                                           ///< overridden by `parallelism`)
+  /// Reuse an existing SMP engine (and its thread pool) instead of
+  /// constructing one per call; when set, `parallelism` and `smp_engine`
+  /// are ignored for the smp backend.
+  smp::engine* engine = nullptr;
+  /// Resource accounting of the run (cgm_simulator only).
+  cgm::run_stats* stats_out = nullptr;
+};
+
+/// Return `data` permuted uniformly at random by the selected backend.
+template <typename T>
+[[nodiscard]] std::vector<T> permute(std::vector<T> data, const backend_options& opt = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  switch (opt.which) {
+    case backend::cgm_simulator: {
+      const std::uint32_t p = opt.parallelism == 0 ? 4 : opt.parallelism;
+      cgm::machine mach(p, opt.seed);
+      return permute_global(mach, data, opt.cgm, opt.stats_out);
+    }
+    case backend::smp: {
+      if (opt.engine != nullptr) return opt.engine->permute(std::move(data), opt.seed);
+      smp::engine_options eopt = opt.smp_engine;
+      if (opt.parallelism != 0) eopt.threads = opt.parallelism;
+      smp::engine eng(eopt);
+      return eng.permute(std::move(data), opt.seed);
+    }
+    case backend::sequential:
+    default: {
+      rng::philox4x64 e(opt.seed, 0);
+      seq::fisher_yates(e, std::span<T>(data));
+      return data;
+    }
+  }
+}
+
+/// Sample pi uniform over S_n with the selected backend (pi[i] = image of i).
+[[nodiscard]] inline std::vector<std::uint64_t> random_permutation(
+    std::uint64_t n, const backend_options& opt = {}) {
+  std::vector<std::uint64_t> iota(n);
+  for (std::uint64_t i = 0; i < n; ++i) iota[i] = i;
+  return permute(std::move(iota), opt);
+}
+
+}  // namespace cgp::core

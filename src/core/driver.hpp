@@ -12,6 +12,7 @@
 
 #include "cgm/machine.hpp"
 #include "core/permute.hpp"
+#include "util/assert.hpp"
 #include "util/prefix.hpp"
 
 namespace cgp::core {
@@ -28,15 +29,32 @@ template <typename T>
   const std::uint64_t n = data.size();
   std::vector<T> result(data.size());
 
-  // Equal blocks are required by the parallel matrix samplers; fall back to
-  // the general-margins pipeline when p does not divide n.
+  // Equal blocks let the parallel matrix samplers (Algorithms 5/6) run --
+  // they cover the symmetric case m_i = m'_j = n/p the paper focuses on.
+  // When p does not divide n the balanced blocks differ by one item, so we
+  // fall back to the general-margins pipeline (Problem 1), which samples the
+  // matrix with the replicated sequential algorithm instead.
   const bool equal = (n % p == 0);
+
+  // The "scatter" of the driver: deal the global vector into per-processor
+  // blocks *before* entering the SPMD region.  The SPMD body then only
+  // moves its own O(n/p) block instead of holding a reference to the whole
+  // global vector -- on a real distributed machine the body could not see
+  // `data` at all, so the simulated body must not depend on it either (and
+  // the deal-out now happens outside the simulated/timed region).
+  std::vector<std::vector<T>> blocks(p);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    const std::uint64_t off = balanced_block_offset(n, p, i);
+    const std::uint64_t len = balanced_block_size(n, p, i);
+    blocks[i].assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                     data.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
 
   auto stats = mach.run([&](cgm::context& ctx) {
     const std::uint64_t off = balanced_block_offset(n, p, ctx.id());
     const std::uint64_t len = balanced_block_size(n, p, ctx.id());
-    std::vector<T> local(data.begin() + static_cast<std::ptrdiff_t>(off),
-                         data.begin() + static_cast<std::ptrdiff_t>(off + len));
+    std::vector<T> local = std::move(blocks[ctx.id()]);
+    CGP_ASSERT(local.size() == len);
 
     std::vector<T> permuted =
         equal ? parallel_random_permutation(ctx, std::move(local), opt)

@@ -1,0 +1,136 @@
+// smp/engine.hpp
+//
+// The native shared-memory permutation engine: the paper's Section 6
+// outlook ("the recursive splitting strategy is a good candidate for real
+// parallel machines") executed with real threads instead of virtual
+// processors.
+//
+//   * while a range is larger than the cache cutoff, split it into fan_out
+//     buckets with the exact hypergeometric split (smp/parallel_split.hpp);
+//   * once a bucket fits in cache, finish it with seq::fisher_yates.
+//
+// This mirrors seq/rao_sandelius.hpp's recursion shape -- and inherits its
+// uniformity argument with the multinomial bucket law replaced by the
+// paper's exact communication-matrix law -- but the top split and the
+// per-bucket recursions run concurrently on a thread pool.  Only the
+// top-level split is parallelized *internally*; below it, each bucket is one
+// sequential task, which keeps every worker streaming over a private
+// cache-sized region (samplesort structure: split in parallel, recurse
+// per bucket, finish in cache).
+//
+// Bit-reproducibility: the recursion tree, the bucket sizes, and every
+// Philox stream depend only on (seed, options), never on the thread count
+// or the schedule, so engines with 1 and 64 threads produce the identical
+// permutation for the same seed (tests/test_smp.cpp checks this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/fisher_yates.hpp"
+#include "smp/parallel_split.hpp"
+#include "smp/thread_pool.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::smp {
+
+/// Engine configuration.
+struct engine_options {
+  std::uint32_t threads = 0;  ///< worker threads; 0 = hardware concurrency
+  std::uint32_t fan_out = 16; ///< K buckets per split level (2..256)
+  std::size_t cache_items = std::size_t{1} << 16;  ///< Fisher-Yates at/below
+  core::matrix_options sampling{};  ///< hypergeometric sampler knobs
+};
+
+class engine {
+ public:
+  explicit engine(engine_options opt = {}) : opt_(opt), pool_(opt.threads) {
+    CGP_EXPECTS(opt_.fan_out >= 2 && opt_.fan_out <= 256);
+    CGP_EXPECTS(opt_.cache_items >= 2);
+  }
+
+  [[nodiscard]] const engine_options& options() const noexcept { return opt_; }
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
+  [[nodiscard]] thread_pool& pool() noexcept { return pool_; }
+
+  /// Uniformly permute `data` in place.  Deterministic in (seed, options):
+  /// independent of the thread count and of scheduling.
+  template <typename T>
+  void shuffle(std::span<T> data, std::uint64_t seed) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data.size() < 2) return;
+    if (data.size() <= opt_.cache_items) {
+      auto e = detail::node_engine(seed, kRootNode, detail::kLeafSalt);
+      seq::fisher_yates(e, data);
+      return;
+    }
+    std::vector<T> scratch(data.size());
+    shuffle_rec(data, std::span<T>(scratch), seed, kRootNode, /*top=*/true);
+  }
+
+  /// Uniformly permute a vector (convenience; same contract as `shuffle`).
+  template <typename T>
+  [[nodiscard]] std::vector<T> permute(std::vector<T> data, std::uint64_t seed) {
+    shuffle(std::span<T>(data), seed);
+    return data;
+  }
+
+  /// Sample pi uniform over S_n (pi[i] = image of i).
+  [[nodiscard]] std::vector<std::uint64_t> random_permutation(std::uint64_t n,
+                                                              std::uint64_t seed) {
+    std::vector<std::uint64_t> pi(n);
+    for (std::uint64_t i = 0; i < n; ++i) pi[i] = i;
+    shuffle(std::span<std::uint64_t>(pi), seed);
+    return pi;
+  }
+
+ private:
+  // Root of the recursion tree; child j of node v is v*fan_out + 1 + j.
+  // Node ids stay well below 2^64 for any input that fits in memory
+  // (depth <= log_K(n) levels).
+  static constexpr std::uint64_t kRootNode = 1;
+
+  [[nodiscard]] std::uint64_t child_node(std::uint64_t node, std::uint64_t j) const noexcept {
+    return node * opt_.fan_out + 1 + j;
+  }
+
+  template <typename T>
+  void shuffle_rec(std::span<T> data, std::span<T> scratch, std::uint64_t seed,
+                   std::uint64_t node, bool top) {
+    if (data.size() <= opt_.cache_items || data.size() < 2) {
+      auto e = detail::node_engine(seed, node, detail::kLeafSalt);
+      seq::fisher_yates(e, data);
+      return;
+    }
+    split_options sopt;
+    sopt.fan_out = opt_.fan_out;
+    sopt.sampling = opt_.sampling;
+    // Only the top split fans its phases out over the pool; deeper splits
+    // run inside a single bucket task.
+    const std::vector<std::uint64_t> off =
+        parallel_split(top ? &pool_ : nullptr, data, scratch, seed, node, sopt);
+    const auto buckets = static_cast<std::size_t>(off.size() - 1);
+
+    const auto recurse_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        const auto b_lo = static_cast<std::size_t>(off[j]);
+        const auto b_len = static_cast<std::size_t>(off[j + 1] - off[j]);
+        // Bucket j recurses on its own slice of data *and* scratch: slices
+        // are disjoint, so bucket tasks never touch shared state.
+        shuffle_rec(data.subspan(b_lo, b_len), scratch.subspan(b_lo, b_len), seed,
+                    child_node(node, j), /*top=*/false);
+      }
+    };
+    if (top) {
+      pool_.parallel_for(0, buckets, recurse_range);
+    } else {
+      recurse_range(0, buckets);
+    }
+  }
+
+  engine_options opt_;
+  thread_pool pool_;
+};
+
+}  // namespace cgp::smp

@@ -1,0 +1,107 @@
+// smp/thread_pool.cpp
+#include "smp/thread_pool.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/prefix.hpp"
+
+namespace cgp::smp {
+
+namespace {
+
+// Which pool (if any) owns the current thread; used to detect nested
+// parallel_for calls from worker threads.
+thread_local const void* t_owning_pool = nullptr;
+
+}  // namespace
+
+struct thread_pool::state {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  bool stop = false;
+  std::vector<std::thread> workers;
+};
+
+thread_pool::thread_pool(unsigned threads) : state_(std::make_unique<state>()) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  state_->workers.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    state_->workers.emplace_back([this, i]() { worker_loop(i); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stop = true;
+  }
+  state_->cv.notify_all();
+  for (auto& w : state_->workers) w.join();
+}
+
+unsigned thread_pool::size() const noexcept {
+  return static_cast<unsigned>(state_->workers.size());
+}
+
+bool thread_pool::on_worker_thread() const noexcept { return t_owning_pool == this; }
+
+void thread_pool::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    CGP_EXPECTS(!state_->stop);
+    state_->queue.push_back(std::move(task));
+  }
+  state_->cv.notify_one();
+}
+
+void thread_pool::worker_loop(unsigned /*index*/) {
+  t_owning_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(state_->mu);
+      state_->cv.wait(lock, [this]() { return state_->stop || !state_->queue.empty(); });
+      if (state_->queue.empty()) return;  // stop requested and drained
+      task = std::move(state_->queue.front());
+      state_->queue.pop_front();
+    }
+    task();
+  }
+}
+
+void thread_pool::parallel_for(std::size_t begin, std::size_t end,
+                               const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (on_worker_thread()) {
+    body(begin, end);
+    return;
+  }
+  const auto n = static_cast<std::uint64_t>(end - begin);
+  const auto parts = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(n, static_cast<std::uint64_t>(size())));
+  std::vector<std::future<void>> futures;
+  futures.reserve(parts);
+  for (std::uint32_t part = 0; part < parts; ++part) {
+    const std::size_t lo = begin + static_cast<std::size_t>(balanced_block_offset(n, parts, part));
+    const std::size_t hi = lo + static_cast<std::size_t>(balanced_block_size(n, parts, part));
+    futures.push_back(submit([&body, lo, hi]() { body(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cgp::smp

@@ -1,0 +1,70 @@
+// smp/thread_pool.hpp
+//
+// A fixed-size worker pool: the execution substrate of the native
+// shared-memory permutation engine (smp/engine.hpp).  Contrast with
+// cgm::machine: the virtual machine *counts* the paper's model quantities on
+// p simulated processors, while this pool simply runs p real threads as fast
+// as the hardware allows -- no cost accounting, no message copies, no
+// superstep barriers.
+//
+// Determinism contract: the pool never touches randomness.  Callers that
+// need bit-reproducible output (the SMP engine does) must derive every
+// random stream from (seed, task index), never from the executing thread, so
+// the result is independent of the pool size and of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cgp::smp {
+
+class thread_pool {
+ public:
+  /// Start `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit thread_pool(unsigned threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] unsigned size() const noexcept;
+
+  /// True iff the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
+  /// Enqueue `fn` for execution on a worker; the future carries its result
+  /// (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    post([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Run `body(lo, hi)` over a balanced static partition of [begin, end)
+  /// into size() contiguous chunks, one per worker, and wait for all of
+  /// them.  The partition depends only on size(), not on scheduling.
+  /// Called from a worker thread of this pool (nested parallelism), the body
+  /// runs inline as body(begin, end) -- a fixed pool cannot wait for itself
+  /// without risking deadlock.  The first exception thrown by any chunk is
+  /// rethrown to the caller after all chunks finish.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void post(std::function<void()> task);
+  void worker_loop(unsigned index);
+
+  struct state;
+  std::unique_ptr<state> state_;
+};
+
+}  // namespace cgp::smp

@@ -1,0 +1,113 @@
+// util/json.cpp
+#include "util/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace cgp {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string render_double(double v) {
+  // JSON has no NaN/Inf; encode them as null.
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+json_record& json_record::add_raw(std::string key, std::string rendered) {
+  fields_.emplace_back(std::move(key), std::move(rendered));
+  return *this;
+}
+
+json_record& json_record::add(std::string key, std::string value) {
+  return add_raw(std::move(key), quote(value));
+}
+json_record& json_record::add(std::string key, const char* value) {
+  return add_raw(std::move(key), quote(value));
+}
+json_record& json_record::add(std::string key, double value) {
+  return add_raw(std::move(key), render_double(value));
+}
+json_record& json_record::add(std::string key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  return add_raw(std::move(key), buf);
+}
+json_record& json_record::add(std::string key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  return add_raw(std::move(key), buf);
+}
+json_record& json_record::add(std::string key, std::uint32_t value) {
+  return add(std::move(key), static_cast<std::uint64_t>(value));
+}
+json_record& json_record::add(std::string key, int value) {
+  return add(std::move(key), static_cast<std::int64_t>(value));
+}
+json_record& json_record::add(std::string key, bool value) {
+  return add_raw(std::move(key), value ? "true" : "false");
+}
+
+std::string json_record::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += quote(fields_[i].first);
+    out += ": ";
+    out += fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+bool write_json_records(const std::string& path, const std::vector<json_record>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cgmperm: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("[\n", f);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", records[i].to_string().c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  const bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "cgmperm: error writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cgp

@@ -1,0 +1,41 @@
+// util/json.hpp
+//
+// A minimal flat-record JSON writer for the benchmark harness: every bench
+// emits, next to its human-readable table, a machine-readable
+// `BENCH_<name>.json` file (an array of flat objects) so the performance
+// trajectory can be tracked across commits by tooling instead of eyeballs.
+// Writing only -- the library never parses JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cgp {
+
+/// One flat JSON object with ordered, typed fields.
+class json_record {
+ public:
+  json_record& add(std::string key, std::string value);        ///< string field
+  json_record& add(std::string key, const char* value);        ///< string field
+  json_record& add(std::string key, double value);             ///< number field
+  json_record& add(std::string key, std::uint64_t value);      ///< number field
+  json_record& add(std::string key, std::int64_t value);       ///< number field
+  json_record& add(std::string key, std::uint32_t value);      ///< number field
+  json_record& add(std::string key, int value);                ///< number field
+  json_record& add(std::string key, bool value);               ///< boolean field
+
+  /// Render as a single-line JSON object.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  json_record& add_raw(std::string key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> rendered
+};
+
+/// Write `records` as a pretty-printed JSON array (one object per line) to
+/// `path`; returns false (and prints to stderr) on I/O failure.
+bool write_json_records(const std::string& path, const std::vector<json_record>& records);
+
+}  // namespace cgp

@@ -1,0 +1,299 @@
+// Tests for the native shared-memory execution engine (src/smp/): the
+// thread pool substrate, the parallel hypergeometric split, exhaustive
+// uniformity of the engine over S4/S5, bit-reproducibility across thread
+// counts, and the core/backend.hpp dispatch layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/driver.hpp"
+#include "rng/philox.hpp"
+#include "seq/fisher_yates.hpp"
+#include "smp/engine.hpp"
+#include "smp/parallel_split.hpp"
+#include "smp/thread_pool.hpp"
+#include "stats/chisq.hpp"
+#include "stats/lehmer.hpp"
+
+namespace {
+
+using namespace cgp;
+
+// --- thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  smp::thread_pool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto f = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  smp::thread_pool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  smp::thread_pool pool(4);
+  constexpr std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  smp::thread_pool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  smp::thread_pool pool(1);  // a single worker: waiting inside it would hang
+  auto f = pool.submit([&]() {
+    std::atomic<std::size_t> covered{0};
+    pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) { covered += hi - lo; });
+    return covered.load();
+  });
+  EXPECT_EQ(f.get(), 100u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  smp::thread_pool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10, [](std::size_t, std::size_t) { throw std::invalid_argument("x"); }),
+      std::invalid_argument);
+}
+
+// --- parallel split ----------------------------------------------------------
+
+TEST(ParallelSplit, PreservesContentAndReturnsConsistentOffsets) {
+  smp::thread_pool pool(3);
+  constexpr std::size_t n = 10'000;
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<std::uint64_t> scratch(n);
+  smp::split_options opt;
+  opt.fan_out = 16;
+  const auto off = smp::parallel_split(&pool, std::span<std::uint64_t>(v),
+                                       std::span<std::uint64_t>(scratch), /*seed=*/7,
+                                       /*node=*/1, opt);
+  ASSERT_EQ(off.size(), 17u);
+  EXPECT_EQ(off.front(), 0u);
+  EXPECT_EQ(off.back(), n);
+  for (std::size_t j = 0; j + 1 < off.size(); ++j) EXPECT_LE(off[j], off[j + 1]);
+  EXPECT_TRUE(stats::is_permutation_of_iota(v));  // multiset preserved
+}
+
+TEST(ParallelSplit, SequentialAndPooledExecutionsAreBitIdentical) {
+  constexpr std::size_t n = 4'096;
+  std::vector<std::uint64_t> a(n);
+  std::iota(a.begin(), a.end(), 0);
+  std::vector<std::uint64_t> b = a;
+  std::vector<std::uint64_t> scratch(n);
+  smp::split_options opt;
+  opt.fan_out = 8;
+  const auto off_seq = smp::parallel_split<std::uint64_t>(nullptr, a, scratch, 11, 1, opt);
+  smp::thread_pool pool(4);
+  const auto off_par = smp::parallel_split<std::uint64_t>(&pool, b, scratch, 11, 1, opt);
+  EXPECT_EQ(off_seq, off_par);
+  EXPECT_EQ(a, b);
+}
+
+// --- engine: correctness and uniformity --------------------------------------
+
+TEST(SmpEngine, PermutesContentWithDeepRecursion) {
+  smp::engine_options opt;
+  opt.threads = 4;
+  opt.fan_out = 4;
+  opt.cache_items = 64;  // force several recursion levels at n = 200k
+  smp::engine eng(opt);
+  auto pi = eng.random_permutation(200'000, /*seed=*/1);
+  EXPECT_TRUE(stats::is_permutation_of_iota(pi));
+}
+
+TEST(SmpEngine, SmallInputFallsBackToLeafShuffle) {
+  smp::engine eng;  // default cache_items far above n
+  auto pi = eng.random_permutation(100, 3);
+  EXPECT_TRUE(stats::is_permutation_of_iota(pi));
+  std::vector<int> one{9};
+  eng.shuffle(std::span<int>(one), 4);
+  EXPECT_EQ(one[0], 9);
+  std::vector<int> empty;
+  eng.shuffle(std::span<int>(empty), 5);
+}
+
+// Chi-square the Lehmer-rank histogram of the full engine over all k!
+// outcomes; every rep uses a distinct seed (independent runs of the whole
+// parallel pipeline).
+stats::gof_result engine_uniformity_gof(const smp::engine_options& opt, unsigned k, int reps,
+                                        std::uint64_t seed0) {
+  smp::engine eng(opt);
+  const std::uint64_t cells = stats::factorial(k);
+  std::vector<std::uint64_t> counts(cells, 0);
+  std::vector<std::uint64_t> v(k);
+  for (int rep = 0; rep < reps; ++rep) {
+    std::iota(v.begin(), v.end(), 0);
+    eng.shuffle(std::span<std::uint64_t>(v), seed0 + static_cast<std::uint64_t>(rep));
+    EXPECT_TRUE(stats::is_permutation_of_iota(v));
+    ++counts[stats::permutation_rank(v)];
+  }
+  return stats::chi_square_uniform(counts);
+}
+
+TEST(SmpEngine, UniformOverS5WithBinaryRecursion) {
+  smp::engine_options opt;
+  opt.threads = 2;
+  opt.fan_out = 2;     // binary splits
+  opt.cache_items = 2; // recursion all the way down even for k = 5
+  const auto res = engine_uniformity_gof(opt, 5, 120 * 100, 1000);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST(SmpEngine, UniformOverS4WideFanOut) {
+  smp::engine_options opt;
+  opt.threads = 2;
+  opt.fan_out = 8;  // clamped to n = 4 buckets of one item each
+  opt.cache_items = 2;
+  const auto res = engine_uniformity_gof(opt, 4, 24 * 400, 2000);
+  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+}
+
+TEST(SmpEngine, SingleItemPositionUniformInLargeShuffle) {
+  smp::engine_options opt;
+  opt.threads = 2;
+  opt.fan_out = 4;
+  opt.cache_items = 8;
+  smp::engine eng(opt);
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> counts(n, 0);
+  std::vector<std::uint64_t> v(n);
+  for (int rep = 0; rep < 16'000; ++rep) {
+    std::iota(v.begin(), v.end(), 0);
+    eng.shuffle(std::span<std::uint64_t>(v), 3000 + static_cast<std::uint64_t>(rep));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] == 0) {
+        ++counts[i];
+        break;
+      }
+    }
+  }
+  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+}
+
+// --- engine: reproducibility -------------------------------------------------
+
+TEST(SmpEngine, BitReproducibleAcrossThreadCounts) {
+  constexpr std::uint64_t n = 50'000;
+  constexpr std::uint64_t seed = 0xDEC0DEull;
+  smp::engine_options base;
+  base.fan_out = 8;
+  base.cache_items = 64;  // deep recursion so every code path is exercised
+  std::vector<std::uint64_t> reference;
+  for (const unsigned p : {1u, 2u, 4u, 8u}) {
+    smp::engine_options opt = base;
+    opt.threads = p;
+    smp::engine eng(opt);
+    auto pi = eng.random_permutation(n, seed);
+    ASSERT_TRUE(stats::is_permutation_of_iota(pi));
+    if (reference.empty()) {
+      reference = std::move(pi);
+    } else {
+      ASSERT_EQ(pi, reference) << "thread count " << p << " changed the permutation";
+    }
+  }
+}
+
+TEST(SmpEngine, RepeatedCallsWithSameSeedAgree) {
+  smp::engine_options opt;
+  opt.threads = 4;
+  opt.fan_out = 4;
+  opt.cache_items = 256;
+  smp::engine eng(opt);
+  EXPECT_EQ(eng.random_permutation(10'000, 5), eng.random_permutation(10'000, 5));
+}
+
+TEST(SmpEngine, DifferentSeedsProduceDifferentPermutations) {
+  smp::engine eng;
+  EXPECT_NE(eng.random_permutation(1'000, 1), eng.random_permutation(1'000, 2));
+}
+
+// --- backend dispatch --------------------------------------------------------
+
+TEST(Backend, SmpDispatchMatchesDirectEngineOnSameSeed) {
+  core::backend_options opt;
+  opt.which = core::backend::smp;
+  opt.parallelism = 2;
+  opt.seed = 77;
+  opt.smp_engine.fan_out = 8;
+  opt.smp_engine.cache_items = 128;
+  const auto via_dispatch = core::random_permutation(20'000, opt);
+
+  smp::engine_options eopt = opt.smp_engine;
+  eopt.threads = 2;
+  smp::engine eng(eopt);
+  EXPECT_EQ(via_dispatch, eng.random_permutation(20'000, 77));
+}
+
+TEST(Backend, SmpDispatchReusesProvidedEngine) {
+  smp::engine_options eopt;
+  eopt.threads = 2;
+  eopt.cache_items = 64;
+  smp::engine eng(eopt);
+  core::backend_options opt;
+  opt.which = core::backend::smp;
+  opt.engine = &eng;
+  opt.seed = 123;
+  EXPECT_EQ(core::random_permutation(5'000, opt), eng.random_permutation(5'000, 123));
+}
+
+TEST(Backend, CgmDispatchMatchesPermuteGlobalOnSameSeed) {
+  core::backend_options opt;
+  opt.which = core::backend::cgm_simulator;
+  opt.parallelism = 4;
+  opt.seed = 99;
+  const auto via_dispatch = core::random_permutation(4'000, opt);
+
+  cgm::machine mach(4, 99);
+  const auto direct = core::random_permutation_global(mach, 4'000);
+  EXPECT_EQ(via_dispatch, direct);
+}
+
+TEST(Backend, SequentialDispatchMatchesFisherYates) {
+  core::backend_options opt;
+  opt.which = core::backend::sequential;
+  opt.seed = 1234;
+  const auto via_dispatch = core::random_permutation(1'000, opt);
+
+  rng::philox4x64 e(1234, 0);
+  std::vector<std::uint64_t> direct(1'000);
+  seq::random_permutation(e, direct);
+  EXPECT_EQ(via_dispatch, direct);
+}
+
+TEST(Backend, AllBackendsProduceValidPermutations) {
+  for (const auto b :
+       {core::backend::cgm_simulator, core::backend::smp, core::backend::sequential}) {
+    core::backend_options opt;
+    opt.which = b;
+    opt.parallelism = 2;
+    const auto pi = core::random_permutation(997, opt);  // prime: general-margins CGM path
+    EXPECT_TRUE(stats::is_permutation_of_iota(pi)) << core::backend_name(b);
+  }
+}
+
+TEST(Backend, NamesAreStable) {
+  EXPECT_STREQ(core::backend_name(core::backend::cgm_simulator), "cgm");
+  EXPECT_STREQ(core::backend_name(core::backend::smp), "smp");
+  EXPECT_STREQ(core::backend_name(core::backend::sequential), "seq");
+}
+
+}  // namespace
