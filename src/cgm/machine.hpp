@@ -50,7 +50,9 @@ struct message {
     static_assert(std::is_trivially_copyable_v<T>);
     CGP_EXPECTS(payload.size() % sizeof(T) == 0);
     std::vector<T> out(payload.size() / sizeof(T));
-    std::memcpy(out.data(), payload.data(), payload.size());
+    // Empty messages are legal (empty vectors have null data()); memcpy's
+    // pointer arguments must not be null even for size 0.
+    if (!payload.empty()) std::memcpy(out.data(), payload.data(), payload.size());
     return out;
   }
 };

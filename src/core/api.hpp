@@ -26,6 +26,9 @@
 #include "core/routing.hpp"      // IWYU pragma: export
 #include "core/sample_matrix.hpp"  // IWYU pragma: export
 #include "core/sort_permute.hpp"  // IWYU pragma: export
+#include "em/async_shuffle.hpp"  // IWYU pragma: export
+#include "em/block_device.hpp"   // IWYU pragma: export
+#include "em/shuffle.hpp"        // IWYU pragma: export
 #include "hyp/multivariate.hpp"  // IWYU pragma: export
 #include "hyp/sample.hpp"        // IWYU pragma: export
 #include "seq/blocked_shuffle.hpp"  // IWYU pragma: export

@@ -1,7 +1,7 @@
 // core/backend.hpp
 //
 // Pluggable execution backends for the whole-vector permutation entry
-// points.  The library now has three ways to realize a uniform random
+// points.  The library now has four ways to realize a uniform random
 // permutation:
 //
 //   * `cgm_simulator` -- Algorithm 1 on the virtual coarse-grained machine
@@ -10,12 +10,19 @@
 //     model-faithful path for experiments.
 //   * `smp` -- the native shared-memory engine (smp/engine.hpp): the same
 //     recursive hypergeometric split executed by real threads, no
-//     accounting.  The fast path for production workloads.
+//     accounting.  The fast path for RAM-resident production workloads.
+//   * `em` -- the out-of-core engine (em/async_shuffle.hpp): the
+//     coarse-grained bucket distribution run against a block device with
+//     asynchronous, double-buffered I/O, for the n >> M regime.  Measured
+//     in block transfers (Aggarwal-Vitter I/O model).
 //   * `sequential` -- the reference seq::fisher_yates baseline.
 //
-// All three are exactly uniform; they draw from differently keyed Philox
+// All four are exactly uniform; they draw from differently keyed Philox
 // streams, so equal seeds do *not* imply equal permutations across
 // backends (each backend is individually bit-reproducible in its seed).
+// One designed exception: `em` with memory >= n degenerates to a single
+// in-memory Fisher-Yates from the very stream `sequential` uses, so the
+// two agree bit for bit in that regime (tests/test_em_async.cpp).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,8 @@
 
 #include "cgm/machine.hpp"
 #include "core/driver.hpp"
+#include "em/async_shuffle.hpp"
+#include "em/block_device.hpp"
 #include "rng/philox.hpp"
 #include "seq/fisher_yates.hpp"
 #include "smp/engine.hpp"
@@ -33,6 +42,7 @@ namespace cgp::core {
 enum class backend : std::uint8_t {
   cgm_simulator,  ///< model-faithful virtual machine (counts resources)
   smp,            ///< native shared-memory thread engine
+  em,             ///< out-of-core engine (async block-device scatter)
   sequential,     ///< seq::fisher_yates reference
 };
 
@@ -40,6 +50,7 @@ enum class backend : std::uint8_t {
   switch (b) {
     case backend::cgm_simulator: return "cgm";
     case backend::smp: return "smp";
+    case backend::em: return "em";
     case backend::sequential: return "seq";
   }
   return "?";
@@ -49,7 +60,7 @@ enum class backend : std::uint8_t {
 struct backend_options {
   backend which = backend::smp;
   /// Degree of parallelism: virtual processors (cgm_simulator) or worker
-  /// threads (smp); 0 picks a default (4 virtual processors / hardware
+  /// threads (smp, em); 0 picks a default (4 virtual processors / hardware
   /// concurrency).  Ignored by `sequential`.
   std::uint32_t parallelism = 0;
   std::uint64_t seed = 0xC0A2537E5EEDull;  ///< same default as cgm::machine
@@ -58,11 +69,42 @@ struct backend_options {
                                            ///< overridden by `parallelism`)
   /// Reuse an existing SMP engine (and its thread pool) instead of
   /// constructing one per call; when set, `parallelism` and `smp_engine`
-  /// are ignored for the smp backend.
+  /// are ignored for the smp backend, and the em backend runs its
+  /// computation on the engine's pool.
   smp::engine* engine = nullptr;
   /// Resource accounting of the run (cgm_simulator only).
   cgm::run_stats* stats_out = nullptr;
+  /// Out-of-core engine knobs (em only): M, buffer depth, spill policy.
+  em::async_options em_engine{};
+  /// Items per simulated device block, the B of the I/O model (em only).
+  /// em_engine.memory_items must stay >= 4 * em_block_items.
+  std::uint32_t em_block_items = 4096;
+  /// Transfer accounting of the run (em only).
+  em::async_report* em_report_out = nullptr;
 };
+
+namespace detail {
+
+/// Run the async out-of-core engine over the index identity and return the
+/// resulting permutation pi (pi[i] = image of i) read back off the device.
+[[nodiscard]] inline std::vector<std::uint64_t> em_permutation(std::uint64_t n,
+                                                               const backend_options& opt) {
+  em::block_device dev(n, opt.em_block_items);
+  for (std::uint64_t i = 0; i < n; ++i) dev.poke(i, i);
+  em::async_report report;
+  if (opt.engine != nullptr) {
+    report = em::async_em_shuffle(dev, n, opt.seed, opt.engine->pool(), opt.em_engine);
+  } else {
+    smp::thread_pool pool(opt.parallelism);
+    report = em::async_em_shuffle(dev, n, opt.seed, pool, opt.em_engine);
+  }
+  if (opt.em_report_out != nullptr) *opt.em_report_out = report;
+  std::vector<std::uint64_t> pi(n);
+  for (std::uint64_t i = 0; i < n; ++i) pi[i] = dev.peek(i);
+  return pi;
+}
+
+}  // namespace detail
 
 /// Return `data` permuted uniformly at random by the selected backend.
 template <typename T>
@@ -81,6 +123,18 @@ template <typename T>
       smp::engine eng(eopt);
       return eng.permute(std::move(data), opt.seed);
     }
+    case backend::em: {
+      if (data.size() < 2) return data;
+      // Shuffle the index identity out of core, then gather: the gather of
+      // any payload type through a uniform index permutation is the same
+      // permutation the engine would apply to the payload itself.
+      const std::vector<std::uint64_t> pi = detail::em_permutation(data.size(), opt);
+      std::vector<T> out(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        out[i] = data[static_cast<std::size_t>(pi[i])];
+      }
+      return out;
+    }
     case backend::sequential:
     default: {
       rng::philox4x64 e(opt.seed, 0);
@@ -93,6 +147,7 @@ template <typename T>
 /// Sample pi uniform over S_n with the selected backend (pi[i] = image of i).
 [[nodiscard]] inline std::vector<std::uint64_t> random_permutation(
     std::uint64_t n, const backend_options& opt = {}) {
+  if (opt.which == backend::em) return detail::em_permutation(n, opt);
   std::vector<std::uint64_t> iota(n);
   for (std::uint64_t i = 0; i < n; ++i) iota[i] = i;
   return permute(std::move(iota), opt);

@@ -1,6 +1,7 @@
 #include "em/block_device.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace cgp::em {
 
@@ -12,9 +13,20 @@ block_device::block_device(std::uint64_t item_capacity, std::uint32_t block_item
   data_.assign(blocks_ * block_items_, 0);
 }
 
+io_stats block_device::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void block_device::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = io_stats{};
+}
+
 void block_device::read_block(std::uint64_t b, std::span<std::uint64_t> out) {
   CGP_EXPECTS(b < blocks_);
   CGP_EXPECTS(out.size() == block_items_);
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto* src = data_.data() + b * block_items_;
   std::copy(src, src + block_items_, out.begin());
   ++stats_.block_reads;
@@ -23,8 +35,45 @@ void block_device::read_block(std::uint64_t b, std::span<std::uint64_t> out) {
 void block_device::write_block(std::uint64_t b, std::span<const std::uint64_t> in) {
   CGP_EXPECTS(b < blocks_);
   CGP_EXPECTS(in.size() == block_items_);
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::copy(in.begin(), in.end(), data_.begin() + static_cast<std::ptrdiff_t>(b * block_items_));
   ++stats_.block_writes;
+}
+
+void block_device::read_items(std::uint64_t item_lo, std::span<std::uint64_t> out) {
+  if (out.empty()) return;  // no phantom transfers on empty ranges
+  const std::uint64_t hi = item_lo + out.size();
+  CGP_EXPECTS(hi <= blocks_ * block_items_);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint64_t blk = item_lo / block_items_; blk * block_items_ < hi; ++blk) {
+    const std::uint64_t first = blk * block_items_;
+    const std::uint64_t lo = std::max<std::uint64_t>(first, item_lo);
+    const std::uint64_t up = std::min<std::uint64_t>(first + block_items_, hi);
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(lo),
+              data_.begin() + static_cast<std::ptrdiff_t>(up),
+              out.begin() + static_cast<std::ptrdiff_t>(lo - item_lo));
+    ++stats_.block_reads;
+  }
+}
+
+void block_device::write_items(std::uint64_t item_lo, std::span<const std::uint64_t> in) {
+  if (in.empty()) return;  // no phantom transfers on empty ranges
+  const std::uint64_t hi = item_lo + in.size();
+  CGP_EXPECTS(hi <= blocks_ * block_items_);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint64_t blk = item_lo / block_items_; blk * block_items_ < hi; ++blk) {
+    const std::uint64_t first = blk * block_items_;
+    const std::uint64_t lo = std::max<std::uint64_t>(first, item_lo);
+    const std::uint64_t up = std::min<std::uint64_t>(first + block_items_, hi);
+    const bool partial = lo != first || up != first + block_items_;
+    // A partial boundary block is a read-modify-write (one extra read);
+    // holding the lock across the whole cycle makes the patch atomic.
+    if (partial) ++stats_.block_reads;
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(lo - item_lo),
+              in.begin() + static_cast<std::ptrdiff_t>(up - item_lo),
+              data_.begin() + static_cast<std::ptrdiff_t>(lo));
+    ++stats_.block_writes;
+  }
 }
 
 void block_device::poke(std::uint64_t item, std::uint64_t value) noexcept {
@@ -98,6 +147,89 @@ void buffer_pool::flush() {
       ++stats_.block_writes;
       f.dirty = false;
     }
+  }
+}
+
+async_io_queue::async_io_queue(block_device& dev, std::uint32_t depth)
+    : dev_(dev), depth_(depth) {
+  CGP_EXPECTS(depth >= 1);
+  server_ = std::thread([this] { serve(); });
+}
+
+async_io_queue::~async_io_queue() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  pending_.notify_all();
+  server_.join();
+}
+
+void async_io_queue::enqueue(request req) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_.wait(lock, [this] { return in_flight_ < depth_; });
+    ++in_flight_;
+    stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+    if (req.is_read) {
+      ++stats_.reads_enqueued;
+    } else {
+      ++stats_.writes_enqueued;
+    }
+    queue_.push_back(std::move(req));
+  }
+  pending_.notify_one();
+}
+
+std::future<std::vector<std::uint64_t>> async_io_queue::read_block(std::uint64_t b) {
+  request req;
+  req.is_read = true;
+  req.block = b;
+  auto fut = req.out.get_future();
+  enqueue(std::move(req));
+  return fut;
+}
+
+void async_io_queue::write_items(std::uint64_t item_lo, std::vector<std::uint64_t> items) {
+  request req;
+  req.is_read = false;
+  req.item_lo = item_lo;
+  req.items = std::move(items);
+  enqueue(std::move(req));
+}
+
+void async_io_queue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+async_stats async_io_queue::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void async_io_queue::serve() {
+  for (;;) {
+    request req;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pending_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and nothing left to serve
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (req.is_read) {
+      std::vector<std::uint64_t> buf(dev_.block_items());
+      dev_.read_block(req.block, buf);
+      req.out.set_value(std::move(buf));
+    } else {
+      dev_.write_items(req.item_lo, req.items);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    space_.notify_all();
   }
 }
 

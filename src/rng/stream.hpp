@@ -29,4 +29,28 @@ namespace cgp::rng {
   return philox4x64(seed, mix64((std::uint64_t{proc} << 32) | phase));
 }
 
+/// Stream id for a node of a recursion tree addressed as (level, bucket
+/// ordinal within the level, role salt).  The out-of-core engine keys every
+/// draw by (seed, level, bucket, index) through this, which is what makes
+/// its output independent of buffer depth, worker count, and -- under a
+/// fixed spill policy -- of the (M, B) device geometry: the tree address of
+/// a draw never mentions any of them.
+[[nodiscard]] constexpr std::uint64_t nested_stream(std::uint64_t level, std::uint64_t bucket,
+                                                    std::uint64_t salt) noexcept {
+  return mix64(mix64(level ^ salt) + bucket);
+}
+
+/// The (seed, stream) engine positioned so the next draw returns word
+/// `word_index` of the stream's output sequence.  O(1) via counter
+/// arithmetic: this is what lets concurrent workers draw disjoint index
+/// ranges of ONE logical stream without any hand-off -- worker w jumps
+/// straight to its first index.
+[[nodiscard]] inline philox4x64 stream_engine_at(std::uint64_t seed, std::uint64_t stream,
+                                                 std::uint64_t word_index) noexcept {
+  philox4x64 e(seed, stream);
+  e.discard_blocks(word_index / 4);
+  for (unsigned i = 0; i < word_index % 4; ++i) (void)e();
+  return e;
+}
+
 }  // namespace cgp::rng

@@ -13,6 +13,7 @@
 #include "rng/philox.hpp"
 #include "stats/chisq.hpp"
 #include "stats/lehmer.hpp"
+#include "support/perm_check.hpp"
 
 namespace {
 
@@ -99,41 +100,31 @@ TEST(EmShuffle, InMemoryCaseIsOnePass) {
   EXPECT_EQ(rep.block_transfers, 16u);  // 8 reads + 8 writes
 }
 
+// Adapt the device-resident shuffle to the span-based support harness:
+// load the span onto a fresh device, shuffle, read it back.
+template <typename Engine>
+void em_shuffle_span(Engine& e, std::span<std::uint64_t> v, std::uint32_t block_items,
+                     std::uint64_t memory_items) {
+  em::block_device dev(v.size(), block_items);
+  for (std::uint64_t i = 0; i < v.size(); ++i) dev.poke(i, v[i]);
+  (void)em::em_shuffle(e, dev, v.size(), memory_items);
+  for (std::uint64_t i = 0; i < v.size(); ++i) v[i] = dev.peek(i);
+}
+
 TEST(EmShuffle, ExhaustiveUniformityOverS5OnTinyDevice) {
-  // 5 items, 2-item blocks, memory of 4 items: forces real scatter levels;
-  // chi-square over all 120 outcomes.
-  std::vector<std::uint64_t> counts(120, 0);
+  // 5 items, 2-item blocks, memory of 8 items: forces real scatter levels;
+  // chi-square over all 120 outcomes (shared harness).
   rng::philox4x64 e(3, 0);
-  const int reps = 120 * 100;
-  for (int rep = 0; rep < reps; ++rep) {
-    em::block_device dev(5, 2);
-    for (std::uint64_t i = 0; i < 5; ++i) dev.poke(i, i);
-    (void)em::em_shuffle(e, dev, 5, /*memory_items=*/8);
-    std::vector<std::uint64_t> out(5);
-    for (std::uint64_t i = 0; i < 5; ++i) out[i] = dev.peek(i);
-    ASSERT_TRUE(stats::is_permutation_of_iota(out));
-    ++counts[stats::permutation_rank(out)];
-  }
-  const auto res = stats::chi_square_uniform(counts);
-  EXPECT_GT(res.p_value, 1e-9) << "chi2=" << res.statistic;
+  test_support::expect_uniform_over_sk(
+      [&](std::span<std::uint64_t> v, int) { em_shuffle_span(e, v, 2, 8); }, 5, 120 * 100);
 }
 
 TEST(EmShuffle, SingleItemPositionUniformAtDepth) {
   // Track where item 0 of 64 lands under aggressive recursion.
   rng::philox4x64 e(4, 0);
-  std::vector<std::uint64_t> counts(64, 0);
-  for (int rep = 0; rep < 16000; ++rep) {
-    em::block_device dev(64, 4);
-    for (std::uint64_t i = 0; i < 64; ++i) dev.poke(i, i);
-    (void)em::em_shuffle(e, dev, 64, /*memory_items=*/16);
-    for (std::uint64_t i = 0; i < 64; ++i) {
-      if (dev.peek(i) == 0) {
-        ++counts[i];
-        break;
-      }
-    }
-  }
-  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+  const auto res = test_support::position_uniformity_gof(
+      [&](std::span<std::uint64_t> v, int) { em_shuffle_span(e, v, 4, 16); }, 64, 16000);
+  EXPECT_GT(res.p_value, 1e-9);
 }
 
 TEST(NaiveEmShuffle, PreservesMultisetAndShuffles) {

@@ -15,6 +15,7 @@
 #include "seq/rao_sandelius.hpp"
 #include "stats/chisq.hpp"
 #include "stats/lehmer.hpp"
+#include "support/perm_check.hpp"
 
 namespace {
 
@@ -22,21 +23,14 @@ using namespace cgp;
 
 using engine_t = rng::philox4x64;
 
-// Run `shuffle` many times on iota(k) and chi-square the Lehmer-rank
-// histogram over all k! outcomes.
+// Thread ONE engine through all reps of the shared exhaustive-uniformity
+// harness (tests/support/perm_check.hpp): sequential suites key the run by
+// the engine's seed, not per rep.
 template <typename Shuffle>
 stats::gof_result uniformity_gof(Shuffle&& shuffle, unsigned k, int reps, std::uint64_t seed) {
   engine_t e(seed, 0);
-  const std::uint64_t cells = stats::factorial(k);
-  std::vector<std::uint64_t> counts(cells, 0);
-  std::vector<std::uint64_t> v(k);
-  for (int rep = 0; rep < reps; ++rep) {
-    std::iota(v.begin(), v.end(), 0);
-    shuffle(e, std::span<std::uint64_t>(v));
-    EXPECT_TRUE(stats::is_permutation_of_iota(v));
-    ++counts[stats::permutation_rank(v)];
-  }
-  return stats::chi_square_uniform(counts);
+  return test_support::uniformity_gof(
+      [&](std::span<std::uint64_t> v, int) { shuffle(e, v); }, k, reps);
 }
 
 TEST(FisherYates, PermutesContent) {
@@ -163,23 +157,12 @@ TEST(RaoSandelius, UniformOverS4WideFanOut) {
 
 TEST(RaoSandelius, SingleItemPositionUniform) {
   engine_t e(23, 0);
-  const std::size_t n = 64;
-  std::vector<std::uint64_t> counts(n, 0);
-  std::vector<std::uint64_t> v(n);
   seq::rs_options opt;
   opt.cache_items = 8;
   opt.log2_fan_out = 2;
-  for (int rep = 0; rep < 16000; ++rep) {
-    std::iota(v.begin(), v.end(), 0);
-    seq::rs_shuffle(e, std::span<std::uint64_t>(v), opt);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (v[i] == 0) {
-        ++counts[i];
-        break;
-      }
-    }
-  }
-  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+  const auto res = test_support::position_uniformity_gof(
+      [&](std::span<std::uint64_t> v, int) { seq::rs_shuffle(e, v, opt); }, 64, 16000);
+  EXPECT_GT(res.p_value, 1e-9);
 }
 
 // --- sort-based baseline -----------------------------------------------------

@@ -19,6 +19,7 @@
 #include "smp/thread_pool.hpp"
 #include "stats/chisq.hpp"
 #include "stats/lehmer.hpp"
+#include "support/perm_check.hpp"
 
 namespace {
 
@@ -131,22 +132,17 @@ TEST(SmpEngine, SmallInputFallsBackToLeafShuffle) {
   eng.shuffle(std::span<int>(empty), 5);
 }
 
-// Chi-square the Lehmer-rank histogram of the full engine over all k!
-// outcomes; every rep uses a distinct seed (independent runs of the whole
-// parallel pipeline).
+// Shared exhaustive-uniformity harness (tests/support/perm_check.hpp) with
+// every rep on a distinct seed: independent runs of the whole parallel
+// pipeline.
 stats::gof_result engine_uniformity_gof(const smp::engine_options& opt, unsigned k, int reps,
                                         std::uint64_t seed0) {
   smp::engine eng(opt);
-  const std::uint64_t cells = stats::factorial(k);
-  std::vector<std::uint64_t> counts(cells, 0);
-  std::vector<std::uint64_t> v(k);
-  for (int rep = 0; rep < reps; ++rep) {
-    std::iota(v.begin(), v.end(), 0);
-    eng.shuffle(std::span<std::uint64_t>(v), seed0 + static_cast<std::uint64_t>(rep));
-    EXPECT_TRUE(stats::is_permutation_of_iota(v));
-    ++counts[stats::permutation_rank(v)];
-  }
-  return stats::chi_square_uniform(counts);
+  return test_support::uniformity_gof(
+      [&](std::span<std::uint64_t> v, int rep) {
+        eng.shuffle(v, seed0 + static_cast<std::uint64_t>(rep));
+      },
+      k, reps);
 }
 
 TEST(SmpEngine, UniformOverS5WithBinaryRecursion) {
@@ -173,20 +169,12 @@ TEST(SmpEngine, SingleItemPositionUniformInLargeShuffle) {
   opt.fan_out = 4;
   opt.cache_items = 8;
   smp::engine eng(opt);
-  const std::size_t n = 64;
-  std::vector<std::uint64_t> counts(n, 0);
-  std::vector<std::uint64_t> v(n);
-  for (int rep = 0; rep < 16'000; ++rep) {
-    std::iota(v.begin(), v.end(), 0);
-    eng.shuffle(std::span<std::uint64_t>(v), 3000 + static_cast<std::uint64_t>(rep));
-    for (std::size_t i = 0; i < n; ++i) {
-      if (v[i] == 0) {
-        ++counts[i];
-        break;
-      }
-    }
-  }
-  EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
+  const auto res = test_support::position_uniformity_gof(
+      [&](std::span<std::uint64_t> v, int rep) {
+        eng.shuffle(v, 3000 + static_cast<std::uint64_t>(rep));
+      },
+      64, 16'000);
+  EXPECT_GT(res.p_value, 1e-9);
 }
 
 // --- engine: reproducibility -------------------------------------------------
@@ -194,22 +182,18 @@ TEST(SmpEngine, SingleItemPositionUniformInLargeShuffle) {
 TEST(SmpEngine, BitReproducibleAcrossThreadCounts) {
   constexpr std::uint64_t n = 50'000;
   constexpr std::uint64_t seed = 0xDEC0DEull;
-  smp::engine_options base;
-  base.fan_out = 8;
-  base.cache_items = 64;  // deep recursion so every code path is exercised
-  std::vector<std::uint64_t> reference;
-  for (const unsigned p : {1u, 2u, 4u, 8u}) {
-    smp::engine_options opt = base;
-    opt.threads = p;
-    smp::engine eng(opt);
-    auto pi = eng.random_permutation(n, seed);
-    ASSERT_TRUE(stats::is_permutation_of_iota(pi));
-    if (reference.empty()) {
-      reference = std::move(pi);
-    } else {
-      ASSERT_EQ(pi, reference) << "thread count " << p << " changed the permutation";
-    }
-  }
+  const unsigned threads[] = {1u, 2u, 4u, 8u};
+  test_support::expect_bit_identical(
+      std::size(threads),
+      [&](std::size_t i) {
+        smp::engine_options opt;
+        opt.fan_out = 8;
+        opt.cache_items = 64;  // deep recursion so every code path is exercised
+        opt.threads = threads[i];
+        smp::engine eng(opt);
+        return eng.random_permutation(n, seed);
+      },
+      "smp thread count");
 }
 
 TEST(SmpEngine, RepeatedCallsWithSameSeedAgree) {
@@ -280,11 +264,13 @@ TEST(Backend, SequentialDispatchMatchesFisherYates) {
 }
 
 TEST(Backend, AllBackendsProduceValidPermutations) {
-  for (const auto b :
-       {core::backend::cgm_simulator, core::backend::smp, core::backend::sequential}) {
+  for (const auto b : {core::backend::cgm_simulator, core::backend::smp, core::backend::em,
+                       core::backend::sequential}) {
     core::backend_options opt;
     opt.which = b;
     opt.parallelism = 2;
+    opt.em_block_items = 64;  // keep the device tiny for n = 997
+    opt.em_engine.memory_items = 256;  // force the out-of-core path
     const auto pi = core::random_permutation(997, opt);  // prime: general-margins CGM path
     EXPECT_TRUE(stats::is_permutation_of_iota(pi)) << core::backend_name(b);
   }
@@ -293,6 +279,7 @@ TEST(Backend, AllBackendsProduceValidPermutations) {
 TEST(Backend, NamesAreStable) {
   EXPECT_STREQ(core::backend_name(core::backend::cgm_simulator), "cgm");
   EXPECT_STREQ(core::backend_name(core::backend::smp), "smp");
+  EXPECT_STREQ(core::backend_name(core::backend::em), "em");
   EXPECT_STREQ(core::backend_name(core::backend::sequential), "seq");
 }
 
