@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <iostream>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/api.hpp"
@@ -40,24 +41,35 @@ int main() {
   std::cout << "bit-identical at p=1 and p=4: "
             << (single.permute(data, 2026) == shuffled ? "yes" : "NO (bug!)") << "\n\n";
 
-  // Backend dispatch: one entry point, three engines.  The CGM simulator
-  // counts the paper's resource bounds; the SMP engine just goes fast.
+  // Backend dispatch: one entry point, three engines plus the planner.
+  // The CGM simulator counts the paper's resource bounds; the SMP engine
+  // just goes fast; `automatic` lets the cost model pick.  Repeated calls
+  // share warm thread pools through the process-wide registry.
   const std::uint64_t n = 2'000'000;
   cgp::table t({"backend", "T [ms]", "note"});
   for (const auto which : {cgp::core::backend::sequential, cgp::core::backend::cgm_simulator,
-                           cgp::core::backend::smp}) {
+                           cgp::core::backend::smp, cgp::core::backend::automatic}) {
     cgp::core::backend_options bopt;
     bopt.which = which;
     bopt.parallelism = 4;
     bopt.seed = 7;
+    cgp::core::permutation_plan plan;
+    bopt.plan_out = &plan;
     cgp::stopwatch sw;
     const auto pi = cgp::core::random_permutation(n, bopt);
     t.add_row({cgp::core::backend_name(which), cgp::fmt(sw.millis(), 1),
                which == cgp::core::backend::cgm_simulator ? "counts model resources"
                : which == cgp::core::backend::smp         ? "native threads"
-                                                          : "Fisher-Yates reference"});
+               : which == cgp::core::backend::automatic
+                   ? std::string("planner picked ") + cgp::core::backend_name(plan.chosen)
+                   : "Fisher-Yates reference"});
   }
   std::cout << "uniform permutation of " << cgp::fmt_count(n) << " items:\n";
   t.print(std::cout);
+
+  // The plan is explainable: ask the planner what it would do and why.
+  cgp::core::workload w;
+  w.n = n;
+  std::cout << "\n" << cgp::core::plan_permutation(w).explain();
   return 0;
 }

@@ -13,7 +13,11 @@
 #pragma once
 
 #include "cgm/collectives.hpp"   // IWYU pragma: export
+#include "core/apply.hpp"        // IWYU pragma: export
 #include "core/backend.hpp"      // IWYU pragma: export
+#include "core/executor.hpp"     // IWYU pragma: export
+#include "core/plan.hpp"         // IWYU pragma: export
+#include "core/registry.hpp"     // IWYU pragma: export
 #include "cgm/cost.hpp"          // IWYU pragma: export
 #include "cgm/pro.hpp"           // IWYU pragma: export
 #include "cgm/sample_sort.hpp"   // IWYU pragma: export

@@ -1,0 +1,177 @@
+// core/apply.hpp
+//
+// The streaming apply layer: move arbitrary trivially-copyable records
+// between RAM spans and a block device in O(chunk)-resident slices, using
+// ONLY the device's bulk item-range transfers (read_items/write_items --
+// every word moved here is visible to the device's I/O accounting, unlike
+// the poke/peek test hooks the old dispatch path abused).
+//
+// This is what lets the out-of-core backend hold at most O(M) staging in
+// RAM:
+//
+//   * records of <= 8 bytes pack one-per-device-word, so the payload
+//     itself streams onto the device, is shuffled there by the async
+//     engine, and streams back -- no index permutation exists at all;
+//   * larger records go through an on-device index permutation that is
+//     *streamed* through `for_each_pi_chunk` in O(chunk) slices -- the
+//     full-n pi vector never materializes in RAM.
+//
+// Shuffle-vs-gather equivalence (why the packed path is exact): the async
+// engine's data movement is value-independent -- labels are keyed by
+// (seed, level, bucket, index) and leaves swap positions by RNG draws --
+// so shuffling the payload in place lands record k exactly where
+// shuffling the identity would send index k.  shuffle(data) ==
+// gather(data, shuffle(iota)), bit for bit, for the same seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "em/block_device.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::core {
+
+/// True iff T streams through the packed (one record per device word)
+/// fast path.
+template <typename T>
+inline constexpr bool packs_into_word_v = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+/// Write the identity 0..n-1 onto the device in `chunk_items`-resident
+/// slices of bulk write_items calls (one blind write per covered block;
+/// at most two boundary RMWs per slice).
+inline void fill_iota_streamed(em::block_device& dev, std::uint64_t n,
+                               std::uint64_t chunk_items) {
+  CGP_EXPECTS(n <= dev.item_capacity());
+  chunk_items = std::max<std::uint64_t>(chunk_items, dev.block_items());
+  std::vector<std::uint64_t> stage;
+  for (std::uint64_t lo = 0; lo < n; lo += chunk_items) {
+    const std::uint64_t hi = std::min(n, lo + chunk_items);
+    stage.resize(static_cast<std::size_t>(hi - lo));
+    for (std::uint64_t i = lo; i < hi; ++i) stage[static_cast<std::size_t>(i - lo)] = i;
+    dev.write_items(lo, stage);
+  }
+}
+
+/// Stream `src` onto the device, one record per device word (records are
+/// zero-extended into the low bytes).  O(chunk_items) resident staging.
+template <typename T>
+void write_packed_streamed(em::block_device& dev, std::span<const T> src,
+                           std::uint64_t chunk_items) {
+  static_assert(packs_into_word_v<T>);
+  CGP_EXPECTS(src.size() <= dev.item_capacity());
+  chunk_items = std::max<std::uint64_t>(chunk_items, dev.block_items());
+  std::vector<std::uint64_t> stage;
+  for (std::uint64_t lo = 0; lo < src.size(); lo += chunk_items) {
+    const std::uint64_t hi = std::min<std::uint64_t>(src.size(), lo + chunk_items);
+    stage.assign(static_cast<std::size_t>(hi - lo), 0);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      std::memcpy(&stage[static_cast<std::size_t>(i - lo)], &src[static_cast<std::size_t>(i)],
+                  sizeof(T));
+    }
+    dev.write_items(lo, stage);
+  }
+}
+
+/// Stream the first dst.size() device words back into records.
+template <typename T>
+void read_packed_streamed(em::block_device& dev, std::span<T> dst, std::uint64_t chunk_items) {
+  static_assert(packs_into_word_v<T>);
+  CGP_EXPECTS(dst.size() <= dev.item_capacity());
+  chunk_items = std::max<std::uint64_t>(chunk_items, dev.block_items());
+  std::vector<std::uint64_t> stage;
+  for (std::uint64_t lo = 0; lo < dst.size(); lo += chunk_items) {
+    const std::uint64_t hi = std::min<std::uint64_t>(dst.size(), lo + chunk_items);
+    stage.resize(static_cast<std::size_t>(hi - lo));
+    dev.read_items(lo, stage);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      std::memcpy(&dst[static_cast<std::size_t>(i)], &stage[static_cast<std::size_t>(i - lo)],
+                  sizeof(T));
+    }
+  }
+}
+
+/// Stream the index permutation held by `pi_dev` (pi[i] at device item i)
+/// through `body(i, pi_i)` in O(chunk_items)-resident slices -- the pi
+/// vector never exists whole in RAM.
+template <typename Body>
+void for_each_pi_chunk(em::block_device& pi_dev, std::uint64_t n, std::uint64_t chunk_items,
+                       Body&& body) {
+  CGP_EXPECTS(n <= pi_dev.item_capacity());
+  chunk_items = std::max<std::uint64_t>(chunk_items, pi_dev.block_items());
+  std::vector<std::uint64_t> stage;
+  for (std::uint64_t lo = 0; lo < n; lo += chunk_items) {
+    const std::uint64_t hi = std::min(n, lo + chunk_items);
+    stage.resize(static_cast<std::size_t>(hi - lo));
+    pi_dev.read_items(lo, stage);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      body(i, stage[static_cast<std::size_t>(i - lo)]);
+    }
+  }
+}
+
+/// dst[i] = src[pi[i]] with pi streamed off the device in O(chunk_items)
+/// slices.  src and dst must not alias.
+template <typename T>
+void gather_streamed(em::block_device& pi_dev, std::span<const T> src, std::span<T> dst,
+                     std::uint64_t chunk_items) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CGP_EXPECTS(src.size() == dst.size());
+  for_each_pi_chunk(pi_dev, dst.size(), chunk_items, [&](std::uint64_t i, std::uint64_t pi_i) {
+    CGP_ASSERT(pi_i < src.size());
+    dst[static_cast<std::size_t>(i)] = src[static_cast<std::size_t>(pi_i)];
+  });
+}
+
+/// Device words per record of `elem_bytes` (records wider than a word
+/// occupy consecutive whole words, zero-padded).
+[[nodiscard]] constexpr std::uint64_t words_per_record(std::uint32_t elem_bytes) noexcept {
+  return (std::uint64_t{elem_bytes} + 7) / 8;
+}
+
+/// Stream `n` raw records of `elem_bytes` each onto the device at
+/// words_per_record words apiece, in O(chunk_items)-resident slices of
+/// bulk write_items calls.
+inline void write_records_streamed(em::block_device& dev, const unsigned char* src,
+                                   std::uint64_t n, std::uint32_t elem_bytes,
+                                   std::uint64_t chunk_items) {
+  const std::uint64_t wpr = words_per_record(elem_bytes);
+  CGP_EXPECTS(n * wpr <= dev.item_capacity());
+  const std::uint64_t chunk_records =
+      std::max<std::uint64_t>(1, std::max(chunk_items, std::uint64_t{dev.block_items()}) / wpr);
+  std::vector<std::uint64_t> stage;
+  for (std::uint64_t lo = 0; lo < n; lo += chunk_records) {
+    const std::uint64_t hi = std::min(n, lo + chunk_records);
+    stage.assign(static_cast<std::size_t>((hi - lo) * wpr), 0);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      std::memcpy(stage.data() + (i - lo) * wpr, src + i * elem_bytes, elem_bytes);
+    }
+    dev.write_items(lo * wpr, stage);
+  }
+}
+
+/// dst[i] = payload[pi[i]] over raw records, with pi streamed off its
+/// device in bulk chunks and each source record read from the payload
+/// device on demand.  O(chunk_items + words_per_record) resident -- the
+/// memory-bounded wide-record apply.  The per-record reads are random
+/// access, so this pays Theta(n) transfers; a transfer-optimal record
+/// apply would bucket-distribute the records themselves (future work,
+/// see DESIGN.md section 5).
+inline void gather_records_streamed(em::block_device& pi_dev, em::block_device& payload_dev,
+                                    unsigned char* dst, std::uint64_t n,
+                                    std::uint32_t elem_bytes, std::uint64_t chunk_items) {
+  const std::uint64_t wpr = words_per_record(elem_bytes);
+  CGP_EXPECTS(n * wpr <= payload_dev.item_capacity());
+  std::vector<std::uint64_t> rec(static_cast<std::size_t>(wpr));
+  for_each_pi_chunk(pi_dev, n, chunk_items, [&](std::uint64_t i, std::uint64_t pi_i) {
+    CGP_ASSERT(pi_i < n);
+    payload_dev.read_items(pi_i * wpr, rec);
+    std::memcpy(dst + i * elem_bytes, rec.data(), elem_bytes);
+  });
+}
+
+}  // namespace cgp::core

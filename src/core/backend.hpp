@@ -1,156 +1,81 @@
 // core/backend.hpp
 //
-// Pluggable execution backends for the whole-vector permutation entry
-// points.  The library now has four ways to realize a uniform random
-// permutation:
+// Backend-dispatched whole-vector entry points, now a thin shell over the
+// plan/executor core:
+//
+//   request --> resolve_plan (core/plan.hpp)  --> permutation_plan
+//           --> make_executor (core/executor.hpp) --> runs it
+//
+// The library has four engines plus a planner that picks among them:
 //
 //   * `cgm_simulator` -- Algorithm 1 on the virtual coarse-grained machine
 //     (core/driver.hpp): every model quantity of Theorems 1/2 is counted
-//     exactly, at the price of simulated message copies.  The
-//     model-faithful path for experiments.
-//   * `smp` -- the native shared-memory engine (smp/engine.hpp): the same
-//     recursive hypergeometric split executed by real threads, no
-//     accounting.  The fast path for RAM-resident production workloads.
-//   * `em` -- the out-of-core engine (em/async_shuffle.hpp): the
-//     coarse-grained bucket distribution run against a block device with
-//     asynchronous, double-buffered I/O, for the n >> M regime.  Measured
-//     in block transfers (Aggarwal-Vitter I/O model).
-//   * `sequential` -- the reference seq::fisher_yates baseline.
+//     exactly.  The model-faithful path for experiments.
+//   * `smp` -- the native shared-memory engine (smp/engine.hpp) on the
+//     process-wide shared pool (core/registry.hpp).  The fast path for
+//     RAM-resident production workloads.
+//   * `em` -- the out-of-core engine (em/async_shuffle.hpp) behind the
+//     streaming apply layer (core/apply.hpp), for the n >> M regime.
+//   * `sequential` -- the seq::fisher_yates reference.
+//   * `automatic` -- the cost-model planner picks seq / smp / em from the
+//     workload (n, element size, memory budget, repetitions) and the
+//     machine profile; the resolved plan is observable via
+//     backend_options::plan_out.
 //
-// All four are exactly uniform; they draw from differently keyed Philox
+// All engines are exactly uniform; they draw from differently keyed Philox
 // streams, so equal seeds do *not* imply equal permutations across
 // backends (each backend is individually bit-reproducible in its seed).
 // One designed exception: `em` with memory >= n degenerates to a single
 // in-memory Fisher-Yates from the very stream `sequential` uses, so the
-// two agree bit for bit in that regime (tests/test_em_async.cpp).
+// two agree bit for bit in that regime (tests/test_em_async.cpp).  And by
+// construction `automatic` agrees bit for bit with whichever backend the
+// plan names (tests/test_plan.cpp).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
-#include "cgm/machine.hpp"
-#include "core/driver.hpp"
-#include "em/async_shuffle.hpp"
-#include "em/block_device.hpp"
-#include "rng/philox.hpp"
-#include "seq/fisher_yates.hpp"
-#include "smp/engine.hpp"
+#include "core/executor.hpp"
+#include "core/plan.hpp"
 
 namespace cgp::core {
 
-/// Which engine executes the permutation.
-enum class backend : std::uint8_t {
-  cgm_simulator,  ///< model-faithful virtual machine (counts resources)
-  smp,            ///< native shared-memory thread engine
-  em,             ///< out-of-core engine (async block-device scatter)
-  sequential,     ///< seq::fisher_yates reference
-};
-
-[[nodiscard]] constexpr const char* backend_name(backend b) noexcept {
-  switch (b) {
-    case backend::cgm_simulator: return "cgm";
-    case backend::smp: return "smp";
-    case backend::em: return "em";
-    case backend::sequential: return "seq";
-  }
-  return "?";
+/// Uniformly permute `data` in place with the selected (or planned)
+/// backend -- the zero-copy span entry point.  Returns the plan that ran.
+template <typename T>
+permutation_plan shuffle(std::span<T> data, const backend_options& opt = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const permutation_plan plan = resolve_plan(data.size(), sizeof(T), opt);
+  if (opt.plan_out != nullptr) *opt.plan_out = plan;
+  make_executor(plan, opt)->shuffle(data, opt.seed);
+  return plan;
 }
 
-/// Options for the backend-dispatched entry points.
-struct backend_options {
-  backend which = backend::smp;
-  /// Degree of parallelism: virtual processors (cgm_simulator) or worker
-  /// threads (smp, em); 0 picks a default (4 virtual processors / hardware
-  /// concurrency).  Ignored by `sequential`.
-  std::uint32_t parallelism = 0;
-  std::uint64_t seed = 0xC0A2537E5EEDull;  ///< same default as cgm::machine
-  permute_options cgm{};                   ///< CGM pipeline knobs
-  smp::engine_options smp_engine{};        ///< SMP engine knobs (threads is
-                                           ///< overridden by `parallelism`)
-  /// Reuse an existing SMP engine (and its thread pool) instead of
-  /// constructing one per call; when set, `parallelism` and `smp_engine`
-  /// are ignored for the smp backend, and the em backend runs its
-  /// computation on the engine's pool.
-  smp::engine* engine = nullptr;
-  /// Resource accounting of the run (cgm_simulator only).
-  cgm::run_stats* stats_out = nullptr;
-  /// Out-of-core engine knobs (em only): M, buffer depth, spill policy.
-  em::async_options em_engine{};
-  /// Items per simulated device block, the B of the I/O model (em only).
-  /// em_engine.memory_items must stay >= 4 * em_block_items.
-  std::uint32_t em_block_items = 4096;
-  /// Transfer accounting of the run (em only).
-  em::async_report* em_report_out = nullptr;
-};
-
-namespace detail {
-
-/// Run the async out-of-core engine over the index identity and return the
-/// resulting permutation pi (pi[i] = image of i) read back off the device.
-[[nodiscard]] inline std::vector<std::uint64_t> em_permutation(std::uint64_t n,
-                                                               const backend_options& opt) {
-  em::block_device dev(n, opt.em_block_items);
-  for (std::uint64_t i = 0; i < n; ++i) dev.poke(i, i);
-  em::async_report report;
-  if (opt.engine != nullptr) {
-    report = em::async_em_shuffle(dev, n, opt.seed, opt.engine->pool(), opt.em_engine);
-  } else {
-    smp::thread_pool pool(opt.parallelism);
-    report = em::async_em_shuffle(dev, n, opt.seed, pool, opt.em_engine);
-  }
-  if (opt.em_report_out != nullptr) *opt.em_report_out = report;
-  std::vector<std::uint64_t> pi(n);
-  for (std::uint64_t i = 0; i < n; ++i) pi[i] = dev.peek(i);
-  return pi;
-}
-
-}  // namespace detail
-
-/// Return `data` permuted uniformly at random by the selected backend.
+/// Return `data` permuted uniformly at random by the selected backend
+/// (vector convenience over `shuffle`).
 template <typename T>
 [[nodiscard]] std::vector<T> permute(std::vector<T> data, const backend_options& opt = {}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  switch (opt.which) {
-    case backend::cgm_simulator: {
-      const std::uint32_t p = opt.parallelism == 0 ? 4 : opt.parallelism;
-      cgm::machine mach(p, opt.seed);
-      return permute_global(mach, data, opt.cgm, opt.stats_out);
-    }
-    case backend::smp: {
-      if (opt.engine != nullptr) return opt.engine->permute(std::move(data), opt.seed);
-      smp::engine_options eopt = opt.smp_engine;
-      if (opt.parallelism != 0) eopt.threads = opt.parallelism;
-      smp::engine eng(eopt);
-      return eng.permute(std::move(data), opt.seed);
-    }
-    case backend::em: {
-      if (data.size() < 2) return data;
-      // Shuffle the index identity out of core, then gather: the gather of
-      // any payload type through a uniform index permutation is the same
-      // permutation the engine would apply to the payload itself.
-      const std::vector<std::uint64_t> pi = detail::em_permutation(data.size(), opt);
-      std::vector<T> out(data.size());
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        out[i] = data[static_cast<std::size_t>(pi[i])];
-      }
-      return out;
-    }
-    case backend::sequential:
-    default: {
-      rng::philox4x64 e(opt.seed, 0);
-      seq::fisher_yates(e, std::span<T>(data));
-      return data;
-    }
+  if (data.size() < 2) {
+    if (opt.plan_out != nullptr) *opt.plan_out = resolve_plan(data.size(), sizeof(T), opt);
+    return data;
   }
+  (void)shuffle(std::span<T>(data), opt);
+  return data;
 }
 
-/// Sample pi uniform over S_n with the selected backend (pi[i] = image of i).
+/// Sample pi uniform over S_n with the selected backend (pi[i] = image of
+/// i).  The permutation is filled in place inside the executor -- iota +
+/// in-place shuffle for the RAM backends, a bulk device read for em -- so
+/// there is no copy-in/copy-out round trip.
 [[nodiscard]] inline std::vector<std::uint64_t> random_permutation(
     std::uint64_t n, const backend_options& opt = {}) {
-  if (opt.which == backend::em) return detail::em_permutation(n, opt);
-  std::vector<std::uint64_t> iota(n);
-  for (std::uint64_t i = 0; i < n; ++i) iota[i] = i;
-  return permute(std::move(iota), opt);
+  const permutation_plan plan = resolve_plan(n, sizeof(std::uint64_t), opt);
+  if (opt.plan_out != nullptr) *opt.plan_out = plan;
+  std::vector<std::uint64_t> pi(n);
+  make_executor(plan, opt)->fill_random_permutation(std::span<std::uint64_t>(pi), opt.seed);
+  return pi;
 }
 
 }  // namespace cgp::core

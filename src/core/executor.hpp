@@ -1,0 +1,454 @@
+// core/executor.hpp
+//
+// The executor half of the plan/executor core: a type-erased, span-based
+// execution interface that every backend (sequential, smp, em,
+// cgm_simulator) implements uniformly, replacing the old enum switch in
+// core/backend.hpp.  Two entry points:
+//
+//   * `shuffle_raw` / `shuffle<T>` -- uniformly permute n records of
+//     elem_bytes each IN PLACE.  The smp hot path runs straight on the
+//     caller's span with zero extra allocation or copying; record types
+//     are reconstituted from (pointer, elem_bytes) through fixed-size
+//     byte-array instantiations.
+//   * `fill_random_permutation` -- write a uniform permutation of
+//     {0..n-1} into the caller's span.  The sequential and smp executors
+//     iota the span and shuffle it in place (no copy-in/copy-out round
+//     trip); the em executor streams it off the device with one bulk
+//     read_items call straight into caller memory.
+//
+// Value-independence is what makes the type erasure exact: every engine
+// moves records by POSITION (RNG-keyed labels, swaps, offsets), never by
+// value, so permuting records as byte arrays of the same size -- or
+// gathering through the index permutation the same engine would produce
+// -- yields bit-for-bit the result of permuting the typed records
+// directly.
+//
+// Executors are cheap per-call shells; the expensive state (thread
+// pools) comes from the process-wide registry (core/registry.hpp) unless
+// the caller hands in an engine explicitly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cgm/machine.hpp"
+#include "core/apply.hpp"
+#include "core/driver.hpp"
+#include "core/plan.hpp"
+#include "core/registry.hpp"
+#include "em/async_shuffle.hpp"
+#include "em/block_device.hpp"
+#include "rng/philox.hpp"
+#include "rng/uniform.hpp"
+#include "seq/fisher_yates.hpp"
+#include "smp/engine.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::core {
+
+/// Options for the backend-dispatched entry points (core/backend.hpp).
+struct backend_options {
+  backend which = backend::smp;
+  /// Degree of parallelism: virtual processors (cgm_simulator) or worker
+  /// threads (smp, em); 0 picks a default (4 virtual processors / hardware
+  /// concurrency).  Ignored by `sequential` and by `automatic` (the
+  /// planner chooses).
+  std::uint32_t parallelism = 0;
+  std::uint64_t seed = 0xC0A2537E5EEDull;  ///< same default as cgm::machine
+  permute_options cgm{};                   ///< CGM pipeline knobs
+  smp::engine_options smp_engine{};        ///< SMP engine knobs (threads is
+                                           ///< overridden by `parallelism`)
+  /// Reuse an existing SMP engine (and its thread pool) instead of the
+  /// registry's shared one; when set, `parallelism` and `smp_engine` are
+  /// ignored for the smp backend, and the em backend runs its computation
+  /// on the engine's pool.
+  smp::engine* engine = nullptr;
+  /// Resource accounting of the run (cgm_simulator only).
+  cgm::run_stats* stats_out = nullptr;
+  /// Out-of-core engine knobs (em only): M, buffer depth, spill policy.
+  em::async_options em_engine{};
+  /// Items per simulated device block, the B of the I/O model (em only).
+  /// em_engine.memory_items must stay >= 4 * em_block_items.
+  std::uint32_t em_block_items = 4096;
+  /// Transfer accounting of the run (em only); now includes the payload /
+  /// identity streaming onto and off the device, which the old poke/peek
+  /// path silently omitted.
+  em::async_report* em_report_out = nullptr;
+
+  // --- planner inputs (backend::automatic) ------------------------------
+  /// RAM budget in bytes; 0 = unconstrained.  Below n * sizeof(T) the
+  /// planner is forced out of core.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Expected draws of this shape (amortizes dispatch overhead in the
+  /// planner's smp estimate).
+  std::uint64_t repetitions = 1;
+  /// Machine profile for the planner; nullptr = machine_profile::detect().
+  /// Point at a machine_profile::calibrate() result for measured costs.
+  const machine_profile* profile = nullptr;
+  /// If set, receives the resolved plan (also for explicit backends).
+  permutation_plan* plan_out = nullptr;
+};
+
+namespace detail {
+
+template <std::size_t N>
+using record = std::array<unsigned char, N>;
+
+/// Reconstitute a typed span from (pointer, elem_bytes) for the common
+/// record sizes; `fallback()` handles the rest.  Viewing a trivially
+/// copyable T through same-sized unsigned-char arrays is the standard
+/// type-erasure idiom: every element access is an unsigned char glvalue
+/// (which may alias anything), and the engines only ever swap/copy whole
+/// records.  Strictly, pointer arithmetic on the punned array type is
+/// outside the letter of the aliasing rules; it is universally supported
+/// (allocator/storage-reuse code depends on it) and the alternative --
+/// memcpy through typed temporaries -- would forfeit the zero-copy span
+/// contract.
+template <typename F, typename G>
+void with_record_span(void* data, std::uint64_t n, std::uint32_t elem_bytes, F&& f,
+                      G&& fallback) {
+  const auto span_of = [&](auto tag) {
+    using R = decltype(tag);
+    return std::span<R>(static_cast<R*>(data), static_cast<std::size_t>(n));
+  };
+  switch (elem_bytes) {
+    case 1: f(span_of(record<1>{})); return;
+    case 2: f(span_of(record<2>{})); return;
+    case 4: f(span_of(record<4>{})); return;
+    case 8: f(span_of(record<8>{})); return;
+    case 12: f(span_of(record<12>{})); return;
+    case 16: f(span_of(record<16>{})); return;
+    case 24: f(span_of(record<24>{})); return;
+    case 32: f(span_of(record<32>{})); return;
+    default: fallback(); return;
+  }
+}
+
+/// Like with_record_span but only for records that pack into one device
+/// word (<= 8 bytes), for the em packed streaming path.
+template <typename F, typename G>
+void with_word_record_span(void* data, std::uint64_t n, std::uint32_t elem_bytes, F&& f,
+                           G&& fallback) {
+  const auto span_of = [&](auto tag) {
+    using R = decltype(tag);
+    return std::span<R>(static_cast<R*>(data), static_cast<std::size_t>(n));
+  };
+  switch (elem_bytes) {
+    case 1: f(span_of(record<1>{})); return;
+    case 2: f(span_of(record<2>{})); return;
+    case 3: f(span_of(record<3>{})); return;
+    case 4: f(span_of(record<4>{})); return;
+    case 5: f(span_of(record<5>{})); return;
+    case 6: f(span_of(record<6>{})); return;
+    case 7: f(span_of(record<7>{})); return;
+    case 8: f(span_of(record<8>{})); return;
+    default: fallback(); return;
+  }
+}
+
+/// Fisher-Yates on raw records of arbitrary size: the identical draw
+/// sequence as seq::fisher_yates (one uniform_below per step, consumed
+/// whether or not the swap is trivial), so it extends the sequential
+/// backend's bit-exact behaviour to record sizes outside the instantiated
+/// set.
+template <rng::random_engine64 Engine>
+void fisher_yates_raw(Engine& engine, unsigned char* base, std::uint64_t n,
+                      std::uint32_t elem_bytes) {
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng::uniform_below(engine, i);
+    if (j != i - 1) {
+      unsigned char* a = base + (i - 1) * elem_bytes;
+      unsigned char* b = base + j * elem_bytes;
+      std::swap_ranges(a, a + elem_bytes, b);
+    }
+  }
+}
+
+/// In-place in-RAM gather through an index permutation: data[i] becomes
+/// data[pi[i]], staging one full payload copy.  Shared by the smp and cgm
+/// fallbacks for record sizes outside the instantiated set -- exact
+/// because those engines move records by position, never by value.
+inline void gather_in_ram(void* data, std::uint64_t n, std::uint32_t elem_bytes,
+                          std::span<const std::uint64_t> pi) {
+  auto* base = static_cast<unsigned char*>(data);
+  const std::vector<unsigned char> tmp(base, base + n * elem_bytes);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::memcpy(base + i * elem_bytes, tmp.data() + pi[i] * elem_bytes, elem_bytes);
+  }
+}
+
+}  // namespace detail
+
+/// Type-erased execution interface all backends implement.
+class executor {
+ public:
+  virtual ~executor() = default;
+
+  [[nodiscard]] virtual backend kind() const noexcept = 0;
+
+  /// Uniformly permute `n` records of `elem_bytes` bytes each, in place.
+  virtual void shuffle_raw(void* data, std::uint64_t n, std::uint32_t elem_bytes,
+                           std::uint64_t seed) = 0;
+
+  /// Write a uniform permutation of {0..out.size()-1} into `out` in place.
+  virtual void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) = 0;
+
+  /// Typed convenience over shuffle_raw (zero-copy: runs on the span).
+  template <typename T>
+  void shuffle(std::span<T> data, std::uint64_t seed) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    shuffle_raw(data.data(), data.size(), static_cast<std::uint32_t>(sizeof(T)), seed);
+  }
+};
+
+/// seq::fisher_yates on the stream philox(seed, 0).
+class sequential_executor final : public executor {
+ public:
+  [[nodiscard]] backend kind() const noexcept override { return backend::sequential; }
+
+  void shuffle_raw(void* data, std::uint64_t n, std::uint32_t elem_bytes,
+                   std::uint64_t seed) override {
+    rng::philox4x64 e(seed, 0);
+    detail::with_record_span(
+        data, n, elem_bytes, [&](auto span) { seq::fisher_yates(e, span); },
+        [&] { detail::fisher_yates_raw(e, static_cast<unsigned char*>(data), n, elem_bytes); });
+  }
+
+  void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) override {
+    std::iota(out.begin(), out.end(), 0);
+    rng::philox4x64 e(seed, 0);
+    seq::fisher_yates(e, out);
+  }
+};
+
+/// The native shared-memory engine (borrowed from the registry or the
+/// caller); bit-reproducible in (seed, engine options), thread-count
+/// independent.
+class smp_executor final : public executor {
+ public:
+  explicit smp_executor(smp::engine& eng) : eng_(eng) {}
+
+  [[nodiscard]] backend kind() const noexcept override { return backend::smp; }
+
+  void shuffle_raw(void* data, std::uint64_t n, std::uint32_t elem_bytes,
+                   std::uint64_t seed) override {
+    detail::with_record_span(
+        data, n, elem_bytes, [&](auto span) { eng_.shuffle(span, seed); },
+        [&] {
+          // Record sizes outside the instantiated set: gather through the
+          // engine's index permutation -- identical output, one extra pass.
+          detail::gather_in_ram(data, n, elem_bytes, eng_.random_permutation(n, seed));
+        });
+  }
+
+  void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) override {
+    std::iota(out.begin(), out.end(), 0);
+    eng_.shuffle(out, seed);
+  }
+
+ private:
+  smp::engine& eng_;
+};
+
+/// The model-faithful virtual machine; counts resources into `stats_out`.
+class cgm_executor final : public executor {
+ public:
+  cgm_executor(std::uint32_t procs, permute_options opt, cgm::run_stats* stats_out)
+      : procs_(procs), opt_(opt), stats_out_(stats_out) {}
+
+  [[nodiscard]] backend kind() const noexcept override { return backend::cgm_simulator; }
+
+  void shuffle_raw(void* data, std::uint64_t n, std::uint32_t elem_bytes,
+                   std::uint64_t seed) override {
+    detail::with_record_span(
+        data, n, elem_bytes,
+        [&](auto span) {
+          using R = typename decltype(span)::value_type;
+          std::vector<R> v(span.begin(), span.end());
+          cgm::machine mach(procs_, seed);
+          v = permute_global(mach, v, opt_, stats_out_);
+          std::copy(v.begin(), v.end(), span.begin());
+        },
+        [&] {
+          cgm::machine mach(procs_, seed);
+          detail::gather_in_ram(data, n, elem_bytes,
+                                random_permutation_global(mach, n, opt_, stats_out_));
+        });
+  }
+
+  void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) override {
+    std::iota(out.begin(), out.end(), 0);
+    shuffle_raw(out.data(), out.size(), sizeof(std::uint64_t), seed);
+  }
+
+ private:
+  std::uint32_t procs_;
+  permute_options opt_;
+  cgm::run_stats* stats_out_;
+};
+
+/// The out-of-core engine behind a streaming apply layer (core/apply.hpp):
+/// payloads of <= 8 bytes stream onto the device packed one-per-word and
+/// are shuffled there directly; larger records gather through an on-device
+/// index permutation streamed in O(M) chunks.  Either way no full-n index
+/// vector ever exists in RAM, and every transfer goes through the
+/// accounted bulk item-range calls.
+class em_executor final : public executor {
+ public:
+  em_executor(em::async_options aopt, std::uint32_t block_items, smp::thread_pool& pool,
+              em::async_report* report_out)
+      : aopt_(aopt), block_items_(block_items), pool_(pool), report_out_(report_out) {}
+
+  [[nodiscard]] backend kind() const noexcept override { return backend::em; }
+
+  void shuffle_raw(void* data, std::uint64_t n, std::uint32_t elem_bytes,
+                   std::uint64_t seed) override {
+    if (n < 2) return;
+    detail::with_word_record_span(
+        data, n, elem_bytes,
+        [&](auto span) {
+          using R = typename decltype(span)::value_type;
+          em::block_device dev(n, block_items_);
+          const std::uint64_t t0 = dev.stats().transfers();
+          write_packed_streamed(dev, std::span<const R>(span), aopt_.memory_items);
+          const std::uint64_t t1 = dev.stats().transfers();
+          em::async_report rep = em::async_em_shuffle(dev, n, seed, pool_, aopt_);
+          const std::uint64_t t2 = dev.stats().transfers();
+          read_packed_streamed(dev, span, aopt_.memory_items);
+          rep.block_transfers += (t1 - t0) + (dev.stats().transfers() - t2);
+          if (report_out_ != nullptr) *report_out_ = rep;
+        },
+        [&] {
+          // Records wider than a device word: the payload streams onto
+          // its own device (whole words per record), the index
+          // permutation is built out of core, and the gather reads each
+          // source record back off the payload device -- O(M) resident
+          // staging end to end, no full-n pi vector and no RAM payload
+          // copy, at the price of Theta(n) random-read transfers for the
+          // gather (see core/apply.hpp).
+          auto* base = static_cast<unsigned char*>(data);
+          const std::uint64_t wpr = words_per_record(elem_bytes);
+          em::block_device payload_dev(n * wpr, block_items_);
+          write_records_streamed(payload_dev, base, n, elem_bytes, aopt_.memory_items);
+          em::block_device pi_dev(n, block_items_);
+          const std::uint64_t t0 = pi_dev.stats().transfers();
+          fill_iota_streamed(pi_dev, n, aopt_.memory_items);
+          const std::uint64_t t1 = pi_dev.stats().transfers();
+          em::async_report rep = em::async_em_shuffle(pi_dev, n, seed, pool_, aopt_);
+          const std::uint64_t t2 = pi_dev.stats().transfers();
+          gather_records_streamed(pi_dev, payload_dev, base, n, elem_bytes,
+                                  aopt_.memory_items);
+          rep.block_transfers += (t1 - t0) + (pi_dev.stats().transfers() - t2) +
+                                 payload_dev.stats().transfers();
+          if (report_out_ != nullptr) *report_out_ = rep;
+        });
+  }
+
+  void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) override {
+    const std::uint64_t n = out.size();
+    em::block_device dev(n, block_items_);
+    const std::uint64_t t0 = dev.stats().transfers();
+    fill_iota_streamed(dev, n, aopt_.memory_items);
+    const std::uint64_t t1 = dev.stats().transfers();
+    em::async_report rep = em::async_em_shuffle(dev, n, seed, pool_, aopt_);
+    const std::uint64_t t2 = dev.stats().transfers();
+    dev.read_items(0, out);  // one bulk call, straight into caller memory
+    rep.block_transfers += (t1 - t0) + (dev.stats().transfers() - t2);
+    if (report_out_ != nullptr) *report_out_ = rep;
+  }
+
+ private:
+  em::async_options aopt_;
+  std::uint32_t block_items_;
+  smp::thread_pool& pool_;
+  em::async_report* report_out_;
+};
+
+/// Resolve the plan for a request: explicit backends get a trivial plan
+/// mirroring their options (so plan_out is always populated and the em
+/// geometry is always visible); `automatic` runs the cost-model planner.
+[[nodiscard]] inline permutation_plan resolve_plan(std::uint64_t n, std::uint32_t elem_bytes,
+                                                   const backend_options& opt) {
+  if (opt.which == backend::automatic) {
+    workload w;
+    w.n = n;
+    w.element_bytes = elem_bytes;
+    w.memory_budget_bytes = opt.memory_budget_bytes;
+    w.repetitions = opt.repetitions;
+    return plan_permutation(w, opt.profile != nullptr ? *opt.profile
+                                                      : machine_profile::detect());
+  }
+  // Normalize 0 (= "default") to the count the executor will actually
+  // run with, so plan_out reports real worker counts for explicit
+  // backends too.
+  const auto hw_threads = [](std::uint32_t t) {
+    if (t != 0) return t;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  };
+  permutation_plan plan;
+  plan.chosen = opt.which;
+  switch (opt.which) {
+    case backend::cgm_simulator:
+      plan.threads = opt.parallelism == 0 ? 4 : opt.parallelism;
+      break;
+    case backend::smp:
+      plan.threads = opt.engine != nullptr
+                         ? opt.engine->threads()
+                         : hw_threads(opt.parallelism != 0 ? opt.parallelism
+                                                           : opt.smp_engine.threads);
+      break;
+    case backend::em:
+      plan.threads = opt.engine != nullptr ? opt.engine->threads() : hw_threads(opt.parallelism);
+      plan.em_memory_items = opt.em_engine.memory_items;
+      plan.em_block_items = opt.em_block_items;
+      break;
+    default:
+      plan.threads = 1;
+      break;
+  }
+  return plan;
+}
+
+/// Build the executor that realizes `plan` under the per-call options.
+[[nodiscard]] inline std::unique_ptr<executor> make_executor(const permutation_plan& plan,
+                                                             const backend_options& opt) {
+  switch (plan.chosen) {
+    case backend::sequential:
+      return std::make_unique<sequential_executor>();
+    case backend::smp: {
+      if (opt.engine != nullptr) return std::make_unique<smp_executor>(*opt.engine);
+      smp::engine_options eopt = opt.smp_engine;
+      if (opt.which == backend::automatic) {
+        eopt.threads = plan.threads;
+      } else if (opt.parallelism != 0) {
+        eopt.threads = opt.parallelism;
+      }
+      return std::make_unique<smp_executor>(shared_engine(eopt));
+    }
+    case backend::cgm_simulator:
+      return std::make_unique<cgm_executor>(plan.threads, opt.cgm, opt.stats_out);
+    case backend::em: {
+      em::async_options aopt = opt.em_engine;
+      aopt.memory_items = plan.em_memory_items != 0 ? plan.em_memory_items
+                                                    : opt.em_engine.memory_items;
+      const std::uint32_t b = plan.em_block_items != 0 ? plan.em_block_items
+                                                       : opt.em_block_items;
+      smp::thread_pool& pool =
+          opt.engine != nullptr ? opt.engine->pool() : shared_pool(plan.threads);
+      return std::make_unique<em_executor>(aopt, b, pool, opt.em_report_out);
+    }
+    case backend::automatic:
+    default:
+      CGP_ASSERT(false && "resolve_plan never leaves backend::automatic in a plan");
+      return std::make_unique<sequential_executor>();
+  }
+}
+
+}  // namespace cgp::core

@@ -1,0 +1,285 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "rng/philox.hpp"
+#include "seq/fisher_yates.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cgp::core {
+
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+std::uint32_t normalized_threads(std::uint32_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// smp recursion depth: split until a bucket is at or below the leaf
+/// cutoff, fan-out 16 per level (smp::engine_options defaults).
+std::uint32_t smp_levels(std::uint64_t n, std::uint64_t leaf_items) {
+  if (n <= leaf_items || leaf_items == 0) return 0;
+  const double ratio = static_cast<double>(n) / static_cast<double>(leaf_items);
+  return static_cast<std::uint32_t>(std::ceil(std::log2(ratio) / 4.0));  // log_16
+}
+
+/// Fisher-Yates ns/item as a function of the working set: the hit rate up
+/// to hit_bytes, ramping (log-interpolated) to the miss rate at
+/// miss_bytes, then -- when a far calibration point exists -- ramping on
+/// to seq_ns_far at far_bytes and extrapolating that slope beyond it
+/// (capped at 2x seq_ns_far).  The random-access pattern degrades
+/// gradually as the set outgrows each cache level and then the TLB reach.
+double seq_ns_per_item(const machine_profile& prof, std::uint64_t bytes) {
+  const auto log_interp = [](double lo_ns, double hi_ns, std::uint64_t lo_b, std::uint64_t hi_b,
+                             std::uint64_t at_b) {
+    const double span = std::log2(static_cast<double>(hi_b) / static_cast<double>(lo_b));
+    const double at = std::log2(static_cast<double>(at_b) / static_cast<double>(lo_b));
+    return lo_ns + (hi_ns - lo_ns) * (at / span);
+  };
+  if (bytes <= prof.hit_bytes) return prof.seq_ns_hit;
+  if (bytes < prof.miss_bytes) {
+    return log_interp(prof.seq_ns_hit, prof.seq_ns_miss, prof.hit_bytes, prof.miss_bytes, bytes);
+  }
+  const bool has_far = prof.far_bytes > prof.miss_bytes && prof.seq_ns_far > 0.0;
+  if (!has_far) return prof.seq_ns_miss;
+  const double ns =
+      log_interp(prof.seq_ns_miss, prof.seq_ns_far, prof.miss_bytes, prof.far_bytes, bytes);
+  return std::clamp(ns, std::min(prof.seq_ns_miss, prof.seq_ns_far), 2.0 * prof.seq_ns_far);
+}
+
+/// The adaptive fan-out the async em engine derives from (M, B):
+/// pow2-floor(M/B - 2), clamped to [2, 256].  Must match
+/// em::detail_async::engine_state exactly so the plan's geometry predicts
+/// the engine's actual tree.
+std::uint32_t adaptive_fan_out(std::uint64_t memory_items, std::uint32_t block_items) {
+  const std::uint64_t ratio = memory_items / block_items;
+  const std::uint64_t k_raw = std::max<std::uint64_t>(2, ratio > 2 ? ratio - 2 : 2);
+  std::uint32_t fan = 2;
+  while (2ull * fan <= k_raw && fan < 256) fan *= 2;
+  return fan;
+}
+
+/// Pick the (M, B) device geometry from the byte budget.  Device items
+/// are u64 words; B defaults to the dispatch layer's 4096 and shrinks
+/// (power-of-two) under tight budgets to respect the engine's M >= 4B
+/// contract.
+void fill_em_geometry(permutation_plan& plan, std::uint64_t n, std::uint64_t budget_bytes) {
+  std::uint64_t m = budget_bytes == 0 ? (std::uint64_t{1} << 16) : budget_bytes / 8;
+  std::uint32_t b = 4096;
+  while (b > 16 && m < 4ull * b) b /= 2;
+  m = std::max<std::uint64_t>(m, 4ull * b);
+  plan.em_memory_items = m;
+  plan.em_block_items = b;
+  plan.em_fan_out = adaptive_fan_out(m, b);
+  if (n <= m) {
+    plan.em_levels = 0;
+  } else {
+    const double ratio = static_cast<double>(n) / static_cast<double>(m);
+    plan.em_levels = static_cast<std::uint32_t>(
+        std::ceil(std::log2(ratio) / std::log2(static_cast<double>(plan.em_fan_out))));
+  }
+}
+
+std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  if (s >= 1.0) {
+    os.precision(3);
+    os << s << " s";
+  } else if (s >= 1e-3) {
+    os.precision(3);
+    os << s * 1e3 << " ms";
+  } else {
+    os.precision(3);
+    os << s * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+machine_profile machine_profile::detect() {
+  machine_profile prof;
+  prof.threads = normalized_threads(0);
+  return prof;
+}
+
+machine_profile machine_profile::calibrate(std::uint64_t small_n, std::uint64_t large_n) {
+  machine_profile prof = detect();
+  small_n = std::max<std::uint64_t>(small_n, 1024);
+  large_n = std::max(large_n, small_n * 4);
+
+  // Sequential Fisher-Yates at a cache-resident size, a memory-bound
+  // size, and a far (4x) size: the third point captures how the
+  // random-access cost keeps growing past the last cache level, which the
+  // planner extrapolates for still-larger inputs.
+  const auto time_fy = [](std::uint64_t n, std::uint64_t seed, int reps) {
+    std::vector<std::uint64_t> v(n);
+    std::iota(v.begin(), v.end(), 0);
+    double best = kInfeasible;
+    for (int r = 0; r < reps; ++r) {
+      rng::philox4x64 e(seed, static_cast<std::uint64_t>(r));
+      stopwatch sw;
+      seq::fisher_yates(e, std::span<std::uint64_t>(v));
+      best = std::min(best, sw.seconds());
+    }
+    return best;
+  };
+  const std::uint64_t far_n = large_n * 4;
+  const double t_small = time_fy(small_n, 0xCA71B0, 3);
+  const double t_large = time_fy(large_n, 0xCA71B1, 3);
+  const double t_far = time_fy(far_n, 0xCA71B3, 2);
+  prof.seq_ns_hit = t_small * 1e9 / static_cast<double>(small_n);
+  prof.seq_ns_miss =
+      std::max(prof.seq_ns_hit, t_large * 1e9 / static_cast<double>(large_n));
+  prof.hit_bytes = small_n * 8;
+  prof.miss_bytes = std::max(large_n * 8, prof.hit_bytes * 2);
+  prof.far_bytes = std::max(far_n * 8, prof.miss_bytes * 2);
+  prof.seq_ns_far = std::max(prof.seq_ns_miss, t_far * 1e9 / static_cast<double>(far_n));
+
+  // The smp engine at the memory-bound size, through the shared registry
+  // engine (a warm pool, exactly what production dispatch uses).  Invert
+  // the T_smp model for the per-level streaming cost; the inversion
+  // reproduces the measured ordering of seq vs smp at this size by
+  // construction (clamped below only when smp is far ahead, where the
+  // clamp cannot flip the ordering).
+  smp::engine_options eopt;
+  eopt.threads = prof.threads;
+  smp::engine& eng = shared_engine(eopt);
+  {
+    std::vector<std::uint64_t> v(large_n);
+    std::iota(v.begin(), v.end(), 0);
+    double best = kInfeasible;
+    for (int r = 0; r < 3; ++r) {
+      stopwatch sw;
+      eng.shuffle(std::span<std::uint64_t>(v), 0xCA71B2 + static_cast<std::uint64_t>(r));
+      best = std::min(best, sw.seconds());
+    }
+    const double p = static_cast<double>(eng.threads());
+    const auto levels = std::max<std::uint32_t>(1, smp_levels(large_n, prof.cache_items));
+    const double fixed = prof.dispatch_overhead_ns * 1e-9 +
+                         static_cast<double>(levels) * prof.level_overhead_ns * 1e-9 +
+                         static_cast<double>(large_n) * prof.seq_ns_hit * 1e-9 / p;
+    const double per_level_item =
+        (best - fixed) * 1e9 * p / (static_cast<double>(levels) * static_cast<double>(large_n));
+    prof.split_ns = std::max(0.05, per_level_item);
+  }
+  return prof;
+}
+
+permutation_plan plan_permutation(const workload& w, const machine_profile& prof) {
+  permutation_plan plan;
+  const std::uint64_t n = std::max<std::uint64_t>(w.n, 1);
+  const std::uint64_t bytes = n * w.element_bytes;
+  const std::uint32_t p = normalized_threads(prof.threads);
+  const double reps = static_cast<double>(std::max<std::uint64_t>(w.repetitions, 1));
+  const bool ram_feasible = w.memory_budget_bytes == 0 || w.memory_budget_bytes >= bytes;
+
+  // --- candidate costs (seconds per draw) -----------------------------
+  const double t_seq =
+      ram_feasible ? static_cast<double>(n) * seq_ns_per_item(prof, bytes) * 1e-9 : kInfeasible;
+
+  const std::uint32_t levels_smp = smp_levels(n, prof.cache_items);
+  double t_smp = kInfeasible;
+  if (ram_feasible) {
+    if (levels_smp == 0) {
+      // At or below the leaf cutoff the engine IS a Fisher-Yates; the
+      // epsilon keeps the planner on the simpler sequential path at ties.
+      t_smp = t_seq + 1e-6;
+    } else {
+      t_smp = prof.dispatch_overhead_ns * 1e-9 / reps +
+              static_cast<double>(levels_smp) *
+                  (static_cast<double>(n) * prof.split_ns * 1e-9 / p +
+                   prof.level_overhead_ns * 1e-9) +
+              static_cast<double>(n) * prof.seq_ns_hit * 1e-9 / p;
+    }
+  }
+
+  fill_em_geometry(plan, n, w.memory_budget_bytes);
+  const double em_passes = static_cast<double>(plan.em_levels) + 1.0;
+  const double t_em = em_passes * static_cast<double>(n) * prof.em_ns_per_item_pass * 1e-9;
+
+  plan.candidates = {
+      {backend::sequential, ram_feasible, t_seq},
+      {backend::smp, ram_feasible, t_smp},
+      {backend::em, true, t_em},
+  };
+
+  // --- choose ----------------------------------------------------------
+  const backend_estimate* best = &plan.candidates[0];
+  for (const auto& c : plan.candidates) {
+    if (c.feasible && c.seconds < best->seconds) best = &c;
+  }
+  if (!best->feasible) best = &plan.candidates[2];  // em is always feasible
+  plan.chosen = best->which;
+  plan.predicted_seconds = best->seconds;
+  plan.split_levels = levels_smp;
+  plan.threads = plan.chosen == backend::sequential ? 1 : p;
+
+  // --- phase breakdown of the choice -----------------------------------
+  switch (plan.chosen) {
+    case backend::sequential:
+      plan.phases = {{"fisher-yates", t_seq}};
+      break;
+    case backend::smp:
+      if (levels_smp == 0) {
+        plan.phases = {{"leaf fisher-yates (fits cache cutoff)", t_smp}};
+      } else {
+        plan.phases = {
+            {"dispatch (amortized over repetitions)", prof.dispatch_overhead_ns * 1e-9 / reps},
+            {"split levels (stream + matrix)",
+             static_cast<double>(levels_smp) *
+                 (static_cast<double>(n) * prof.split_ns * 1e-9 / p +
+                  prof.level_overhead_ns * 1e-9)},
+            {"leaf fisher-yates", static_cast<double>(n) * prof.seq_ns_hit * 1e-9 / p},
+        };
+      }
+      break;
+    default:
+      plan.phases = {
+          {"distribution levels", static_cast<double>(plan.em_levels) * static_cast<double>(n) *
+                                      prof.em_ns_per_item_pass * 1e-9},
+          {"leaf pass", static_cast<double>(n) * prof.em_ns_per_item_pass * 1e-9},
+      };
+      break;
+  }
+  return plan;
+}
+
+std::string permutation_plan::explain() const {
+  std::ostringstream os;
+  os << "plan: backend=" << backend_name(chosen) << " threads=" << threads;
+  if (chosen == backend::smp) os << " split_levels=" << split_levels;
+  if (chosen == backend::em) {
+    os << " M=" << em_memory_items << " B=" << em_block_items << " K=" << em_fan_out
+       << " levels=" << em_levels;
+  }
+  os << " predicted=" << fmt_seconds(predicted_seconds) << "\n";
+  os << "candidates:\n";
+  for (const auto& c : candidates) {
+    os << "  " << backend_name(c.which) << ": ";
+    if (!c.feasible) {
+      os << "infeasible (exceeds memory budget)";
+    } else {
+      os << fmt_seconds(c.seconds);
+    }
+    if (c.which == chosen) os << "  <- chosen";
+    os << "\n";
+  }
+  os << "phases:\n";
+  for (const auto& ph : phases) {
+    os << "  " << ph.label << ": " << fmt_seconds(ph.seconds) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cgp::core

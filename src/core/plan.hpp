@@ -1,0 +1,143 @@
+// core/plan.hpp
+//
+// The planner of the plan/executor core: turn a *workload descriptor*
+// (how many records, how big, how much memory, how often) plus a *machine
+// profile* (threads, cache geometry, calibrated per-item costs) into an
+// executable `permutation_plan` -- which backend runs, with how many
+// threads, and (for the out-of-core engine) with what (M, B) geometry and
+// fan-out -- together with an explainable per-phase cost estimate.
+//
+// This is the paper's Section 6 message made operational: "the best
+// algorithm depends on the regime".  Matrix sampling / fixed overheads
+// dominate small n, memory traffic dominates large RAM-resident n, and
+// the out-of-core variant is the only feasible choice once the input
+// exceeds the memory budget.  The cost formulas mirror the calibrated
+// BSP model of cgm/cost.hpp -- T = sum of (c * work + g * traffic + L)
+// over phases -- with the (c, g, L) roles played by the profile's
+// per-item costs, per-level streaming costs, and per-level overheads:
+//
+//   T_seq(n)    = n * c_seq(n)                 c_seq ramps from the
+//                                              cache-hit to the cache-miss
+//                                              rate as n * elem grows past
+//                                              the cache (the paper's
+//                                              memory-bound Fisher-Yates)
+//   T_smp(n, p) = D/r + L_s * (n * c_split / p + O_level)
+//                 + n * c_hit / p              L_s = ceil(log_K(n / leaf)),
+//                                              D = dispatch overhead,
+//                                              amortized over r repetitions
+//   T_em(n)     = (L_e + 1) * n * c_em         L_e = ceil(log_K(n / M)),
+//                                              one streaming pass per
+//                                              distribution level + leaves
+//
+// The cgm_simulator backend is never chosen automatically: it is the
+// model-faithful measurement instrument, not a production path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgp::core {
+
+/// Which engine executes the permutation.
+enum class backend : std::uint8_t {
+  cgm_simulator,  ///< model-faithful virtual machine (counts resources)
+  smp,            ///< native shared-memory thread engine
+  em,             ///< out-of-core engine (async block-device scatter)
+  sequential,     ///< seq::fisher_yates reference
+  automatic,      ///< planner-chosen: cost model picks seq / smp / em
+};
+
+[[nodiscard]] constexpr const char* backend_name(backend b) noexcept {
+  switch (b) {
+    case backend::cgm_simulator: return "cgm";
+    case backend::smp: return "smp";
+    case backend::em: return "em";
+    case backend::sequential: return "seq";
+    case backend::automatic: return "auto";
+  }
+  return "?";
+}
+
+/// What the caller wants permuted.
+struct workload {
+  std::uint64_t n = 0;                    ///< number of records
+  std::uint32_t element_bytes = 8;        ///< size of one record
+  /// RAM the permutation may use, in bytes; 0 = unconstrained.  A budget
+  /// below n * element_bytes makes the RAM-resident backends infeasible
+  /// and forces the out-of-core engine.
+  std::uint64_t memory_budget_bytes = 0;
+  /// How many permutations of this shape the caller will draw (repeated
+  /// generation amortizes fixed dispatch overhead, favouring smp earlier).
+  std::uint64_t repetitions = 1;
+};
+
+/// Probed / calibrated machine description.  `detect()` fills conservative
+/// defaults from the hardware; `calibrate()` measures the per-item rates
+/// with short in-process probes (a few milliseconds) -- what bench e15
+/// uses, and what servers should run once at startup.
+struct machine_profile {
+  std::uint32_t threads = 0;            ///< worker threads (0 = hardware)
+  std::uint64_t cache_items = 65536;    ///< smp leaf cutoff (items) -- must
+                                        ///< match smp::engine_options
+  std::uint64_t hit_bytes = 1ull << 18;   ///< working sets <= this run at seq_ns_hit
+  std::uint64_t miss_bytes = 1ull << 25;  ///< seq_ns_miss is reached here
+  /// Optional third calibration point: Fisher-Yates keeps degrading past
+  /// the last cache level (TLB reach, DRAM page locality), so the seq
+  /// cost ramps on from (miss_bytes, seq_ns_miss) to (far_bytes,
+  /// seq_ns_far) and extrapolates that slope beyond, capped at 2x
+  /// seq_ns_far.  far_bytes == 0 disables the segment (flat past miss).
+  std::uint64_t far_bytes = 0;
+  double seq_ns_hit = 2.5;    ///< Fisher-Yates ns/item, cache-resident
+  double seq_ns_miss = 10.0;  ///< Fisher-Yates ns/item, memory-bound
+  double seq_ns_far = 0.0;    ///< ns/item at far_bytes (0 = seq_ns_miss)
+  double split_ns = 3.0;      ///< smp streaming split, ns/item/level (per thread)
+  double level_overhead_ns = 3.0e4;     ///< matrix sampling + barrier per split level
+  double dispatch_overhead_ns = 5.0e4;  ///< per-call engine lookup/dispatch
+  double em_ns_per_item_pass = 25.0;    ///< em engine ns/item per streaming pass
+
+  [[nodiscard]] static machine_profile detect();
+  [[nodiscard]] static machine_profile calibrate(std::uint64_t small_n = 1ull << 15,
+                                                 std::uint64_t large_n = 1ull << 22);
+};
+
+/// One line of the plan's cost breakdown.
+struct phase_estimate {
+  std::string label;
+  double seconds = 0.0;
+};
+
+/// Predicted cost of one candidate backend (feasible or not).
+struct backend_estimate {
+  backend which = backend::sequential;
+  bool feasible = true;
+  double seconds = 0.0;  ///< predicted seconds per draw (infinite if infeasible)
+};
+
+/// The planner's output: everything an executor needs, plus the evidence.
+struct permutation_plan {
+  backend chosen = backend::sequential;
+  std::uint32_t threads = 1;      ///< worker threads (smp/em) or virtual procs (cgm)
+  std::uint32_t split_levels = 0; ///< predicted smp recursion depth
+
+  // Out-of-core geometry (meaningful when chosen == backend::em).
+  std::uint64_t em_memory_items = 0;  ///< M, in device items
+  std::uint32_t em_block_items = 0;   ///< B, items per device block
+  std::uint32_t em_fan_out = 0;       ///< K = pow2-floor(M/B - 2), clamped to [2, 256]
+  std::uint32_t em_levels = 0;        ///< predicted distribution depth ceil(log_K(n/M))
+
+  double predicted_seconds = 0.0;        ///< per draw, for the chosen backend
+  std::vector<phase_estimate> phases;    ///< per-phase breakdown of the choice
+  std::vector<backend_estimate> candidates;  ///< every candidate's prediction
+
+  /// Human-readable account of the decision: the workload, every
+  /// candidate's predicted cost, the choice, and its phase breakdown.
+  [[nodiscard]] std::string explain() const;
+};
+
+/// Plan a permutation of `w` on `prof`.  Deterministic: same inputs, same
+/// plan.  The chosen backend is always feasible under the budget.
+[[nodiscard]] permutation_plan plan_permutation(const workload& w,
+                                                const machine_profile& prof = machine_profile::detect());
+
+}  // namespace cgp::core

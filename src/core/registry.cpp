@@ -1,0 +1,72 @@
+#include "core/registry.hpp"
+
+#include <list>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+namespace cgp::core {
+
+namespace {
+
+// Two configurations share an engine iff every knob that can change the
+// engine's OUTPUT or its pool agrees.  threads is normalized first so the
+// "default" and "explicitly hardware concurrency" spellings coincide.
+bool same_config(const smp::engine_options& a, const smp::engine_options& b) {
+  return a.threads == b.threads && a.fan_out == b.fan_out && a.cache_items == b.cache_items &&
+         a.sampling.pol.how == b.sampling.pol.how &&
+         a.sampling.pol.hin_sd_threshold == b.sampling.pol.hin_sd_threshold &&
+         a.sampling.split == b.sampling.split &&
+         a.sampling.recursive_rows == b.sampling.recursive_rows;
+}
+
+smp::engine_options normalized(smp::engine_options opt) {
+  if (opt.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opt.threads = hw == 0 ? 1 : hw;
+  }
+  return opt;
+}
+
+struct registry {
+  std::mutex mutex;
+  // std::list: node stability -- references handed out stay valid while
+  // later registrations grow the registry.
+  std::list<std::pair<smp::engine_options, smp::engine>> engines;
+};
+
+registry& instance() {
+  static registry reg;
+  return reg;
+}
+
+}  // namespace
+
+smp::engine& shared_engine(const smp::engine_options& opt) {
+  const smp::engine_options key = normalized(opt);
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [cfg, eng] : reg.engines) {
+    if (same_config(cfg, key)) return eng;
+  }
+  // Piecewise: smp::engine owns a thread_pool and is neither copyable nor
+  // movable, so it must be constructed in place.
+  reg.engines.emplace_back(std::piecewise_construct, std::forward_as_tuple(key),
+                           std::forward_as_tuple(key));
+  return reg.engines.back().second;
+}
+
+smp::thread_pool& shared_pool(std::uint32_t threads) {
+  smp::engine_options opt;
+  opt.threads = threads;
+  return shared_engine(opt).pool();
+}
+
+std::size_t registered_engine_count() {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.engines.size();
+}
+
+}  // namespace cgp::core

@@ -1,0 +1,42 @@
+// core/registry.hpp
+//
+// Process-wide engine/pool registry.  Thread pools are expensive to spin
+// up and tear down; before this registry every `core::permute` call that
+// did not hand in an explicit `smp::engine*` constructed a fresh pool and
+// joined it on return -- pure overhead for servers that draw permutations
+// in a loop (core/repeat.hpp, the benches, the examples).  The registry
+// keeps ONE engine per distinct configuration for the lifetime of the
+// process; every caller that asks for the same configuration shares the
+// same warm pool.
+//
+// Lifetime rules (also documented in DESIGN.md):
+//   * engines are created on first use and never destroyed until process
+//     exit (static-duration registry; pools join their workers in the
+//     registry's destructor);
+//   * references returned by shared_engine()/shared_pool() therefore stay
+//     valid for the remainder of the process -- callers may cache them;
+//   * the registry is fully thread-safe; engine construction is serialized,
+//     use of a returned engine is as thread-safe as the engine itself
+//     (smp::engine::shuffle is safe for concurrent calls on disjoint data).
+#pragma once
+
+#include "smp/engine.hpp"
+
+namespace cgp::core {
+
+/// The shared engine for `opt` (one per distinct configuration, created on
+/// first use, alive until process exit).  opt.threads == 0 normalizes to
+/// hardware concurrency, so explicit-0 and explicit-hw callers share.
+[[nodiscard]] smp::engine& shared_engine(const smp::engine_options& opt = {});
+
+/// The shared thread pool with `threads` workers (0 = hardware
+/// concurrency).  This is the pool of the shared engine with otherwise
+/// default options -- em executors run their computation here when the
+/// caller did not provide an engine.
+[[nodiscard]] smp::thread_pool& shared_pool(std::uint32_t threads = 0);
+
+/// Number of distinct engine configurations currently registered (test /
+/// introspection hook).
+[[nodiscard]] std::size_t registered_engine_count();
+
+}  // namespace cgp::core

@@ -1,0 +1,373 @@
+// Tests for the plan/executor core: planner regime boundaries
+// (tiny -> sequential, RAM-resident mid -> smp, over-budget -> em),
+// bit-for-bit agreement of backend::automatic with the explicitly
+// selected backend, the streaming apply layer's bulk I/O and O(M)
+// residency contract, the process-wide engine registry, and the native
+// permutation_stream mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/apply.hpp"
+#include "core/backend.hpp"
+#include "core/executor.hpp"
+#include "core/plan.hpp"
+#include "core/registry.hpp"
+#include "core/repeat.hpp"
+#include "em/block_device.hpp"
+#include "stats/lehmer.hpp"
+
+namespace {
+
+using namespace cgp;
+
+// A fixed synthetic profile: 8 threads, cache-resident Fisher-Yates at
+// 2 ns/item degrading to 10 ns/item past 32 MiB, cheap streaming splits.
+// Pinning the profile makes the regime assertions machine-independent.
+core::machine_profile test_profile() {
+  core::machine_profile prof;
+  prof.threads = 8;
+  prof.cache_items = 65536;
+  prof.hit_bytes = std::uint64_t{1} << 18;
+  prof.miss_bytes = std::uint64_t{1} << 25;
+  prof.seq_ns_hit = 2.0;
+  prof.seq_ns_miss = 10.0;
+  prof.split_ns = 2.0;
+  prof.level_overhead_ns = 3.0e4;
+  prof.dispatch_overhead_ns = 5.0e4;
+  prof.em_ns_per_item_pass = 25.0;
+  return prof;
+}
+
+// --- planner regimes ---------------------------------------------------------
+
+TEST(Planner, TinyInputsChooseSequential) {
+  for (const std::uint64_t n : {2ull, 100ull, 1000ull, 65536ull}) {
+    core::workload w;
+    w.n = n;
+    const auto plan = core::plan_permutation(w, test_profile());
+    EXPECT_EQ(plan.chosen, core::backend::sequential) << "n=" << n;
+    EXPECT_EQ(plan.threads, 1u);
+  }
+}
+
+TEST(Planner, RamResidentMidSizesChooseSmp) {
+  for (const std::uint64_t n : {1'000'000ull, 10'000'000ull, 100'000'000ull}) {
+    core::workload w;
+    w.n = n;
+    const auto plan = core::plan_permutation(w, test_profile());
+    EXPECT_EQ(plan.chosen, core::backend::smp) << "n=" << n;
+    EXPECT_EQ(plan.threads, 8u);
+    EXPECT_GE(plan.split_levels, 1u);
+  }
+}
+
+TEST(Planner, BudgetBelowInputForcesEm) {
+  core::workload w;
+  w.n = 1'000'000;
+  w.element_bytes = 8;
+  w.memory_budget_bytes = w.n * 8 / 4;  // a quarter of the input
+  const auto plan = core::plan_permutation(w, test_profile());
+  EXPECT_EQ(plan.chosen, core::backend::em);
+  // The RAM candidates must be marked infeasible, not merely slower.
+  for (const auto& c : plan.candidates) {
+    if (c.which != core::backend::em) {
+      EXPECT_FALSE(c.feasible);
+    }
+  }
+  // Geometry respects the budget and the engine's M >= 4B contract.
+  EXPECT_LE(plan.em_memory_items * 8, w.memory_budget_bytes);
+  EXPECT_GE(plan.em_memory_items, 4ull * plan.em_block_items);
+  EXPECT_GE(plan.em_fan_out, 2u);
+  EXPECT_EQ(plan.em_fan_out & (plan.em_fan_out - 1), 0u) << "fan-out must be a power of two";
+  EXPECT_GE(plan.em_levels, 1u);
+}
+
+TEST(Planner, RepetitionsAmortizeDispatchOverhead) {
+  // Just past the leaf cutoff the one-shot smp estimate carries the full
+  // dispatch overhead; a repeated workload amortizes it away, so the
+  // repeated prediction must be strictly cheaper (and never flips to a
+  // slower backend).
+  core::workload once;
+  once.n = 200'000;
+  core::workload often = once;
+  often.repetitions = 10'000;
+  const auto prof = test_profile();
+  const auto p1 = core::plan_permutation(once, prof);
+  const auto pn = core::plan_permutation(often, prof);
+  ASSERT_EQ(p1.chosen, core::backend::smp);
+  ASSERT_EQ(pn.chosen, core::backend::smp);
+  EXPECT_LT(pn.predicted_seconds, p1.predicted_seconds);
+}
+
+TEST(Planner, ExplainNamesTheChoiceAndEveryCandidate) {
+  core::workload w;
+  w.n = 1'000'000;
+  const auto plan = core::plan_permutation(w, test_profile());
+  const std::string text = plan.explain();
+  EXPECT_NE(text.find("backend=smp"), std::string::npos) << text;
+  EXPECT_NE(text.find("seq:"), std::string::npos);
+  EXPECT_NE(text.find("smp:"), std::string::npos);
+  EXPECT_NE(text.find("em:"), std::string::npos);
+  EXPECT_NE(text.find("<- chosen"), std::string::npos);
+  EXPECT_FALSE(plan.phases.empty());
+}
+
+// --- automatic == explicit, bit for bit --------------------------------------
+
+TEST(BackendAutomatic, MatchesSequentialAtTinyN) {
+  const auto prof = test_profile();
+  core::backend_options auto_opt;
+  auto_opt.which = core::backend::automatic;
+  auto_opt.profile = &prof;
+  auto_opt.seed = 41;
+  core::permutation_plan plan;
+  auto_opt.plan_out = &plan;
+
+  core::backend_options seq_opt;
+  seq_opt.which = core::backend::sequential;
+  seq_opt.seed = 41;
+
+  const auto via_auto = core::random_permutation(4096, auto_opt);
+  EXPECT_EQ(plan.chosen, core::backend::sequential);
+  EXPECT_EQ(via_auto, core::random_permutation(4096, seq_opt));
+
+  std::vector<std::uint32_t> payload(4096);
+  std::iota(payload.begin(), payload.end(), 7u);
+  EXPECT_EQ(core::permute(payload, auto_opt), core::permute(payload, seq_opt));
+}
+
+TEST(BackendAutomatic, MatchesSmpAtMidN) {
+  const auto prof = test_profile();
+  core::backend_options auto_opt;
+  auto_opt.which = core::backend::automatic;
+  auto_opt.profile = &prof;
+  auto_opt.seed = 42;
+  core::permutation_plan plan;
+  auto_opt.plan_out = &plan;
+
+  core::backend_options smp_opt;
+  smp_opt.which = core::backend::smp;
+  smp_opt.seed = 42;
+
+  const auto via_auto = core::random_permutation(1'000'000, auto_opt);
+  EXPECT_EQ(plan.chosen, core::backend::smp);
+  EXPECT_EQ(via_auto, core::random_permutation(1'000'000, smp_opt));
+}
+
+TEST(BackendAutomatic, MatchesEmUnderBudget) {
+  const auto prof = test_profile();
+  core::backend_options auto_opt;
+  auto_opt.which = core::backend::automatic;
+  auto_opt.profile = &prof;
+  auto_opt.seed = 43;
+  auto_opt.memory_budget_bytes = 64 * 1024;  // << n * 8
+  core::permutation_plan plan;
+  auto_opt.plan_out = &plan;
+
+  const auto via_auto = core::random_permutation(100'000, auto_opt);
+  ASSERT_EQ(plan.chosen, core::backend::em);
+  EXPECT_TRUE(stats::is_permutation_of_iota(via_auto));
+
+  // Explicit em with the plan's geometry must reproduce it bit for bit.
+  core::backend_options em_opt;
+  em_opt.which = core::backend::em;
+  em_opt.seed = 43;
+  em_opt.em_engine.memory_items = plan.em_memory_items;
+  em_opt.em_block_items = plan.em_block_items;
+  EXPECT_EQ(via_auto, core::random_permutation(100'000, em_opt));
+}
+
+TEST(BackendAutomatic, PlanOutPopulatedForExplicitBackends) {
+  core::backend_options opt;
+  opt.which = core::backend::em;
+  opt.em_engine.memory_items = 512;
+  opt.em_block_items = 32;
+  core::permutation_plan plan;
+  opt.plan_out = &plan;
+  (void)core::random_permutation(10'000, opt);
+  EXPECT_EQ(plan.chosen, core::backend::em);
+  EXPECT_EQ(plan.em_memory_items, 512u);
+  EXPECT_EQ(plan.em_block_items, 32u);
+}
+
+TEST(BackendAutomatic, BackendNameCoversAuto) {
+  EXPECT_STREQ(core::backend_name(core::backend::automatic), "auto");
+}
+
+// --- streaming apply layer ---------------------------------------------------
+
+TEST(ApplyStreamed, FillIotaUsesBulkAccountedWrites) {
+  em::block_device dev(10'000, 64);
+  core::fill_iota_streamed(dev, 10'000, 1024);
+  for (std::uint64_t i = 0; i < 10'000; ++i) ASSERT_EQ(dev.peek(i), i);
+  const auto st = dev.stats();
+  EXPECT_GE(st.block_writes, 10'000 / 64);  // every word moved is accounted
+  EXPECT_LE(st.transfers(), 2 * (10'000 / 64 + 2 * (10'000 / 1024 + 1)));
+}
+
+TEST(ApplyStreamed, PackedRoundTripPreservesNarrowRecords) {
+  std::vector<std::uint16_t> src(5000);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::uint16_t>(i * 13);
+  em::block_device dev(src.size(), 32);
+  core::write_packed_streamed(dev, std::span<const std::uint16_t>(src), 256);
+  std::vector<std::uint16_t> dst(src.size());
+  core::read_packed_streamed(dev, std::span<std::uint16_t>(dst), 256);
+  EXPECT_EQ(src, dst);
+  EXPECT_GT(dev.stats().block_reads, 0u);
+  EXPECT_GT(dev.stats().block_writes, 0u);
+}
+
+TEST(ApplyStreamed, GatherAppliesDevicePermutation) {
+  // pi on the device: reverse permutation; gather must produce src reversed.
+  const std::uint64_t n = 3000;
+  em::block_device pi_dev(n, 16);
+  std::vector<std::uint64_t> rev(n);
+  for (std::uint64_t i = 0; i < n; ++i) rev[i] = n - 1 - i;
+  pi_dev.write_items(0, rev);
+  std::vector<double> src(n);
+  for (std::uint64_t i = 0; i < n; ++i) src[i] = 0.5 * static_cast<double>(i);
+  std::vector<double> dst(n);
+  core::gather_streamed(pi_dev, std::span<const double>(src), std::span<double>(dst), 128);
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(dst[i], src[n - 1 - i]);
+}
+
+TEST(EmApply, PayloadShuffleEqualsGatherThroughIndexPermutation) {
+  // The packed path's correctness argument: shuffling the payload on the
+  // device is the same map as gathering through the index permutation the
+  // same seed produces.
+  core::backend_options opt;
+  opt.which = core::backend::em;
+  opt.seed = 777;
+  opt.em_block_items = 32;
+  opt.em_engine.memory_items = 512;  // n >> M
+
+  std::vector<std::uint64_t> payload(20'000);
+  for (std::uint64_t i = 0; i < payload.size(); ++i) payload[i] = i * 3 + 1;
+  const auto shuffled = core::permute(payload, opt);
+
+  const auto pi = core::random_permutation(payload.size(), opt);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    ASSERT_EQ(shuffled[i], payload[static_cast<std::size_t>(pi[i])]) << "i=" << i;
+  }
+}
+
+TEST(EmApply, WideRecordsGatherStreamedOffDevice) {
+  struct wide {
+    std::uint64_t key;
+    std::uint64_t tag;
+    std::uint64_t extra;
+  };
+  static_assert(sizeof(wide) == 24);
+  core::backend_options opt;
+  opt.which = core::backend::em;
+  opt.seed = 778;
+  opt.em_block_items = 32;
+  opt.em_engine.memory_items = 512;
+
+  std::vector<wide> payload(10'000);
+  for (std::uint64_t i = 0; i < payload.size(); ++i) payload[i] = {i, i * 7, ~i};
+  const auto shuffled = core::permute(payload, opt);
+
+  const auto pi = core::random_permutation(payload.size(), opt);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const wide& expect = payload[static_cast<std::size_t>(pi[i])];
+    ASSERT_EQ(shuffled[i].key, expect.key);
+    ASSERT_EQ(shuffled[i].tag, expect.tag);
+    ASSERT_EQ(shuffled[i].extra, expect.extra);
+  }
+}
+
+TEST(EmApply, ReportCountsSetupAndReadbackTransfers) {
+  // The old poke/peek path moved the identity on and the result off the
+  // device with ZERO accounted transfers; the streaming layer must count
+  // at least one write per block of fill and one read per block of
+  // readback on top of the engine's own traffic.
+  const std::uint64_t n = 20'000;
+  const std::uint32_t b = 32;
+  core::backend_options opt;
+  opt.which = core::backend::em;
+  opt.seed = 779;
+  opt.em_block_items = b;
+  opt.em_engine.memory_items = 512;
+  em::async_report report;
+  opt.em_report_out = &report;
+  (void)core::random_permutation(n, opt);
+  EXPECT_GE(report.block_transfers, 2ull * (n / b)) << "fill + readback must be visible";
+  EXPECT_GT(report.async_reads, 0u);
+  EXPECT_GE(report.levels, 1u);
+}
+
+// --- engine registry ---------------------------------------------------------
+
+TEST(Registry, SameConfigurationSharesOneEngine) {
+  smp::engine_options opt;
+  opt.threads = 2;
+  smp::engine& a = core::shared_engine(opt);
+  smp::engine& b = core::shared_engine(opt);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.threads(), 2u);
+}
+
+TEST(Registry, DistinctConfigurationsGetDistinctEngines) {
+  smp::engine_options two;
+  two.threads = 2;
+  smp::engine_options three;
+  three.threads = 3;
+  EXPECT_NE(&core::shared_engine(two), &core::shared_engine(three));
+}
+
+TEST(Registry, SharedPoolIsTheSharedEnginesPool) {
+  smp::engine_options opt;
+  opt.threads = 2;
+  EXPECT_EQ(&core::shared_pool(2), &core::shared_engine(opt).pool());
+}
+
+TEST(Registry, RepeatedDispatchDoesNotGrowTheRegistry) {
+  core::backend_options opt;
+  opt.which = core::backend::smp;
+  opt.parallelism = 2;
+  (void)core::random_permutation(100, opt);
+  const std::size_t count = core::registered_engine_count();
+  for (int i = 0; i < 5; ++i) (void)core::random_permutation(100, opt);
+  EXPECT_EQ(core::registered_engine_count(), count);
+}
+
+// --- native permutation_stream mode ------------------------------------------
+
+TEST(PermutationStreamNative, ValidDeterministicAndSeekable) {
+  core::backend_options base;
+  base.which = core::backend::smp;
+  base.parallelism = 2;
+  base.seed = 99;
+  core::permutation_stream s1(base, 500);
+  std::vector<std::vector<std::uint64_t>> first;
+  for (int i = 0; i < 4; ++i) {
+    first.push_back(s1.next());
+    EXPECT_TRUE(stats::is_permutation_of_iota(first.back()));
+  }
+  EXPECT_NE(first[0], first[1]);
+
+  core::permutation_stream s2(base, 500);
+  s2.seek(2);
+  EXPECT_EQ(s2.next(), first[2]);
+}
+
+TEST(PermutationStreamNative, AutomaticBackendDrawsThroughThePlanner) {
+  const auto prof = test_profile();
+  core::backend_options base;
+  base.which = core::backend::automatic;
+  base.profile = &prof;
+  base.seed = 100;
+  base.repetitions = 1000;
+  core::permutation_stream stream(base, 256);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(stats::is_permutation_of_iota(stream.next()));
+  }
+  EXPECT_EQ(stream.count(), 3u);
+}
+
+}  // namespace
