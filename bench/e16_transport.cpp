@@ -1,0 +1,136 @@
+// E16 -- transport sweep: the distributed CGM engine over the threaded
+// mailbox transport vs the shared-memory engine at equal core counts.
+//
+// Both engines execute the SAME permutation law (identical split plans,
+// label streams, and leaf engines -- tests/test_transport.cpp pins the
+// outputs bit-for-bit equal); what differs is the data movement: smp
+// streams buckets through shared memory, while cgm pays the BSP terms --
+// (pos, value) pairs through rank mailboxes (g) plus exchange barriers
+// (L).  Sweeping the rank count p at equal parallelism therefore
+// isolates exactly the communication overhead the planner's (p, g, L)
+// cgm candidate must model, and the per-p ratio is the
+// communication-vs-shared-memory crossover evidence: on one host the
+// transport can only lose, by the factor this bench measures; a real
+// cluster transport wins once p ranks bring memory and cores one host
+// lacks.
+//
+// Output: a table on stdout plus BENCH_cgm.json (one record per p:
+// measured cgm/smp seconds, the ratio, and the planner's predicted cgm
+// seconds for a profile describing p ranks).
+//
+// Usage: e16_transport [mode] [json_path]   mode: full (default) | small
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cgm/distributed.hpp"
+#include "comm/transport.hpp"
+#include "core/plan.hpp"
+#include "core/registry.hpp"
+#include "smp/engine.hpp"
+#include "stats/lehmer.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cgp;
+
+double best_of(int reps, const std::function<void(std::uint64_t)>& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    stopwatch sw;
+    body(static_cast<std::uint64_t>(r));
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "full";
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_cgm.json";
+  const bool small = mode == "small";
+  const std::uint64_t n = small ? 300'000 : 4'000'000;
+  const int reps = small ? 3 : 5;
+
+  std::cout << "E16: threaded-transport cgm shuffle vs smp engine, equal core counts\n"
+            << "n = " << n << " u64 items, best of " << reps << "\n\n";
+
+  std::vector<std::uint64_t> v(n);
+  table t({"p", "T_cgm [ms]", "T_smp [ms]", "cgm/smp", "T_cgm planned [ms]"});
+  std::vector<json_record> out;
+
+  for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
+    // The distributed engine over p mailbox ranks.
+    comm::threaded_transport tr(p);
+    cgm::distributed_options dopt;
+    const double t_cgm = best_of(reps, [&](std::uint64_t r) {
+      std::iota(v.begin(), v.end(), 0);
+      cgm::transport_shuffle(tr, std::span<std::uint64_t>(v), 0xE16 + r, dopt);
+    });
+    if (!stats::is_permutation_of_iota(v)) {
+      std::cerr << "INVALID permutation from transport cgm at p=" << p << "\n";
+      return 1;
+    }
+
+    // The shared-memory engine at the same parallelism (shared warm pool).
+    smp::engine_options eopt;
+    eopt.threads = p;
+    smp::engine& eng = core::shared_engine(eopt);
+    const double t_smp = best_of(reps, [&](std::uint64_t r) {
+      std::iota(v.begin(), v.end(), 0);
+      eng.shuffle(std::span<std::uint64_t>(v), 0xE16 + r);
+    });
+    if (!stats::is_permutation_of_iota(v)) {
+      std::cerr << "INVALID permutation from smp engine at p=" << p << "\n";
+      return 1;
+    }
+
+    // What the planner would predict for a profile describing p ranks
+    // (the (p, g, L) candidate this bench exists to ground).
+    core::machine_profile prof = core::machine_profile::detect();
+    prof.comm_ranks = p;
+    core::workload w;
+    w.n = n;
+    double planned_cgm = std::numeric_limits<double>::infinity();
+    for (const auto& c : core::plan_permutation(w, prof).candidates) {
+      if (c.which == core::backend::cgm && c.feasible) planned_cgm = c.seconds;
+    }
+
+    const double ratio = t_cgm / t_smp;
+    const auto ms = [](double s) {
+      return std::isinf(s) ? std::string("-") : fmt(s * 1e3, 3);
+    };
+    t.add_row({fmt_count(p), ms(t_cgm), ms(t_smp), fmt(ratio, 2), ms(planned_cgm)});
+
+    json_record rec;
+    rec.add("bench", "e16_transport")
+        .add("mode", mode)
+        .add("transport", tr.name())
+        .add("p", static_cast<std::uint64_t>(p))
+        .add("n", n)
+        .add("cgm_seconds", t_cgm)
+        .add("smp_seconds", t_smp)
+        .add("cgm_over_smp", ratio);
+    if (!std::isinf(planned_cgm)) rec.add("planned_cgm_seconds", planned_cgm);
+    out.push_back(std::move(rec));
+  }
+  t.print(std::cout);
+  std::cout << "\ncgm/smp > 1 on one host is the transport's communication tax\n"
+            << "(pairs through mailboxes + exchange barriers); the planner's\n"
+            << "(p, g, L) terms model exactly this gap.\n";
+
+  if (write_json_records(json_path, out)) {
+    std::cout << "\nwrote " << out.size() << " records to " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,337 @@
+// cgm/distributed.hpp
+//
+// The distributed CGM permutation engine: the paper's recursive
+// splitting strategy executed over a pluggable comm::transport instead of
+// shared memory -- the real coarse-grained engine behind `backend::cgm`,
+// as opposed to the model-counting simulator behind
+// `backend::cgm_simulator`.
+//
+// The global array lives distributed over the p ranks in balanced
+// contiguous blocks.  The engine walks the SAME recursion tree as the
+// shared-memory engine (smp::shuffle_subtree): split a range into K
+// buckets under the exact communication-matrix law, recurse per bucket,
+// Fisher-Yates once a bucket fits the cache cutoff.  Ranges are handled
+// by ownership:
+//
+//   * a range inside one rank's block recurses locally -- zero
+//     communication (this is where almost all work happens: after the top
+//     split levels, buckets localize);
+//   * a large range spanning several ranks runs a *distributed split
+//     level*: every rank replicates the split plan
+//     (smp::make_split_plan -- O(K^2) work, zero bytes exchanged),
+//     replays the label streams of the chunks overlapping its block, and
+//     routes each of its items straight to the rank owning the item's
+//     destination slot.  One alltoallv-shaped superstep per level, total
+//     volume = one h-relation of Algorithm 1;
+//   * a small multi-rank range (at most ~one block) is gathered to its
+//     lead rank, finished there with the ordinary local recursion, and
+//     scattered back -- two supersteps, O(block) volume.
+//
+// RANK-COUNT INDEPENDENCE: every random stream is keyed by
+// (seed, recursion node, role) exactly as in the shared-memory engine --
+// never by rank or by p -- and which of the three execution paths handles
+// a range never changes the permutation it applies.  The output is a pure
+// function of (seed, n, engine options): bit-identical across p in
+// {1, 2, 4, 8, ...}, across transports (loopback == threaded), and equal
+// to smp::engine's output whenever n exceeds the cache cutoff.
+//
+// DEGENERACY AT THE LEAF (the em precedent): an input at or below the
+// cache cutoff is a single leaf and is Fisher-Yates'd from philox(seed, 0)
+// -- the very stream `backend::sequential` uses -- so in that regime
+// `backend::cgm` is bit-for-bit `backend::sequential`, for every rank
+// count and transport.  (The shared-memory engine keys its root leaf by
+// node instead; that root case is the one deliberate divergence.)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "rng/philox.hpp"
+#include "seq/fisher_yates.hpp"
+#include "smp/engine.hpp"
+#include "smp/parallel_split.hpp"
+#include "util/assert.hpp"
+#include "util/prefix.hpp"
+
+namespace cgp::cgm {
+
+/// Configuration of the distributed engine.  The embedded engine options
+/// define the permutation law (fan_out, cache_items, sampling -- shared
+/// verbatim with smp::engine; `threads` is ignored: each rank computes
+/// sequentially, parallelism comes from the ranks).
+struct distributed_options {
+  smp::engine_options engine{};
+  /// Multi-rank ranges at or below this many items are gathered to their
+  /// lead rank instead of split over the wire; 0 = auto
+  /// (max(cache_items, ceil(n/p)) -- at most ~one block of staging).
+  /// Affects only the communication pattern, never the output.
+  std::uint64_t gather_items = 0;
+};
+
+namespace detail_dist {
+
+inline constexpr std::uint32_t kTagMove = 0xD157'0001;
+inline constexpr std::uint32_t kTagRootGather = 0xD157'0002;
+inline constexpr std::uint32_t kTagRootScatter = 0xD157'0003;
+inline constexpr std::uint32_t kTagGatherBase = 0xD158'0000;   // + node ordinal
+inline constexpr std::uint32_t kTagScatterBase = 0xD159'0000;  // + node ordinal
+
+/// An item in flight: its destination slot in the global index space plus
+/// its payload.  (A production transport would ship per-destination runs
+/// instead of (pos, value) pairs; the simulator-grade transports keep the
+/// wire format simple.)
+template <typename T>
+struct routed {
+  std::uint64_t pos = 0;
+  T value{};
+};
+
+/// A range of the global index space at a node of the recursion tree.
+struct dist_node {
+  std::uint64_t lo = 0;
+  std::uint64_t len = 0;
+  std::uint64_t node = 0;
+};
+
+}  // namespace detail_dist
+
+/// SPMD collective: uniformly permute the distributed global array of `n`
+/// items, of which this rank holds the balanced contiguous block
+/// `block` == [balanced_block_offset(n, p, rank), +balanced_block_size).
+/// Every rank of the endpoint's transport must call it with the same
+/// (n, seed, opt).  See the header comment for the law; the permutation
+/// is independent of the rank count and of the transport.
+template <typename T>
+void distributed_shuffle(comm::endpoint& ep, std::span<T> block, std::uint64_t n,
+                         std::uint64_t seed, const distributed_options& opt = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  namespace dd = detail_dist;
+  const std::uint32_t p = ep.size();
+  const std::uint32_t r = ep.rank();
+  const std::uint64_t my_lo = balanced_block_offset(n, p, r);
+  const std::uint64_t my_len = balanced_block_size(n, p, r);
+  CGP_EXPECTS(block.size() == my_len);
+  if (n < 2) return;
+
+  const std::uint64_t leaf = std::max<std::uint64_t>(opt.engine.cache_items, 2);
+  const auto owner = [&](std::uint64_t g) { return balanced_block_owner(n, p, g); };
+
+  // --- root leaf: the whole input fits the cache cutoff -----------------
+  // One Fisher-Yates from philox(seed, 0), the sequential backend's
+  // stream: backend::cgm == backend::sequential in this regime, by
+  // design (compare em with memory >= n).
+  if (n <= leaf) {
+    if (p == 1) {
+      rng::philox4x64 e(seed, 0);
+      seq::fisher_yates(e, block);
+      return;
+    }
+    const std::uint32_t lead = owner(0);
+    if (my_len > 0) ep.send_span(lead, dd::kTagRootGather, std::span<const T>(block));
+    std::vector<comm::message> msgs = ep.exchange();
+    if (r == lead) {
+      std::vector<T> all(static_cast<std::size_t>(n));
+      for (const auto& msg : msgs) {
+        CGP_ASSERT(msg.tag == dd::kTagRootGather);
+        const std::uint64_t src_lo = balanced_block_offset(n, p, msg.source);
+        CGP_ASSERT(msg.payload.size() == balanced_block_size(n, p, msg.source) * sizeof(T));
+        std::memcpy(all.data() + src_lo, msg.payload.data(), msg.payload.size());
+      }
+      rng::philox4x64 e(seed, 0);
+      seq::fisher_yates(e, std::span<T>(all));
+      for (std::uint32_t o = 0; o < p; ++o) {
+        const std::uint64_t o_lo = balanced_block_offset(n, p, o);
+        const std::uint64_t o_len = balanced_block_size(n, p, o);
+        if (o_len == 0) continue;
+        ep.send_span(o, dd::kTagRootScatter,
+                     std::span<const T>(all.data() + o_lo, static_cast<std::size_t>(o_len)));
+      }
+    }
+    msgs = ep.exchange();
+    for (const auto& msg : msgs) {
+      CGP_ASSERT(msg.tag == dd::kTagRootScatter && msg.source == lead);
+      CGP_ASSERT(msg.payload.size() == my_len * sizeof(T));
+      if (my_len > 0) std::memcpy(block.data(), msg.payload.data(), msg.payload.size());
+    }
+    return;
+  }
+
+  const std::uint64_t gather_cut =
+      opt.gather_items != 0 ? opt.gather_items
+                            : std::max<std::uint64_t>(leaf, (n + p - 1) / p);
+
+  std::vector<T> scratch(block.size());
+  smp::split_options sopt;
+  sopt.fan_out = opt.engine.fan_out;
+  sopt.sampling = opt.engine.sampling;
+
+  std::vector<dd::dist_node> level = {{0, n, smp::kShuffleRoot}};
+  while (!level.empty()) {
+    // ---- one distributed split level over every node in `level` --------
+    // The plans are replicated knowledge: every rank samples the same
+    // matrices from the same node-keyed streams.
+    std::vector<smp::split_plan> plans;
+    plans.reserve(level.size());
+    for (const auto& nd : level) plans.push_back(smp::make_split_plan(nd.len, seed, nd.node, sopt));
+
+    // Stage every owned item of every node range to the rank owning its
+    // destination slot.  Label streams are replayed per overlapping chunk
+    // (cursor state needs the chunk's full prefix, so boundary chunks
+    // replay from their start -- O(len/K) extra work at worst).
+    std::vector<std::vector<dd::routed<T>>> out(p);
+    std::vector<std::uint8_t> labels;  // reused across chunks and nodes
+    for (std::size_t ni = 0; ni < level.size(); ++ni) {
+      const auto& nd = level[ni];
+      const auto& plan = plans[ni];
+      const std::uint64_t a = std::max(nd.lo, my_lo);
+      const std::uint64_t b = std::min(nd.lo + nd.len, my_lo + my_len);
+      if (a >= b) continue;
+      std::vector<std::uint64_t> cursor(plan.k);
+      for (std::uint32_t c = 0; c < plan.k; ++c) {
+        const std::uint64_t c_lo = nd.lo + balanced_block_offset(nd.len, plan.k, c);
+        const std::uint64_t c_len = plan.margins[c];
+        if (c_lo + c_len <= a) continue;
+        if (c_lo >= b) break;
+        smp::split_chunk_labels_into(plan, seed, nd.node, c, labels);
+        for (std::uint32_t j = 0; j < plan.k; ++j)
+          cursor[j] = plan.dest[static_cast<std::size_t>(c) * plan.k + j];
+        for (std::uint64_t i = 0; i < c_len; ++i) {
+          const std::uint64_t slot = cursor[labels[static_cast<std::size_t>(i)]]++;
+          const std::uint64_t g = c_lo + i;  // current position of the item
+          if (g < a || g >= b) continue;     // replay only: not my item
+          dd::routed<T> rec{};
+          rec.pos = nd.lo + slot;
+          rec.value = block[static_cast<std::size_t>(g - my_lo)];
+          out[owner(rec.pos)].push_back(rec);
+        }
+      }
+    }
+    for (std::uint32_t d = 0; d < p; ++d) {
+      ep.send_span(d, dd::kTagMove, std::span<const dd::routed<T>>(out[d]));
+    }
+    for (const auto& msg : ep.exchange()) {
+      CGP_ASSERT(msg.tag == dd::kTagMove);
+      const std::vector<dd::routed<T>> recs = msg.template as<dd::routed<T>>();
+      for (const auto& rec : recs) {
+        CGP_ASSERT(rec.pos >= my_lo && rec.pos < my_lo + my_len);
+        block[static_cast<std::size_t>(rec.pos - my_lo)] = rec.value;
+      }
+    }
+
+    // ---- classify the children ----------------------------------------
+    std::vector<dd::dist_node> next;
+    std::vector<dd::dist_node> gathered;
+    for (std::size_t ni = 0; ni < level.size(); ++ni) {
+      const auto& nd = level[ni];
+      const auto& plan = plans[ni];
+      for (std::uint32_t j = 0; j < plan.k; ++j) {
+        const dd::dist_node ch{nd.lo + plan.bucket_off[j], plan.margins[j],
+                               smp::split_child_node(nd.node, j, opt.engine.fan_out)};
+        if (ch.len < 2) continue;  // a 1-item leaf is the identity
+        if (owner(ch.lo) == owner(ch.lo + ch.len - 1)) {
+          // Single-rank child: its owner finishes the subtree locally.
+          if (owner(ch.lo) == r) {
+            smp::shuffle_subtree(
+                block.subspan(static_cast<std::size_t>(ch.lo - my_lo),
+                              static_cast<std::size_t>(ch.len)),
+                std::span<T>(scratch).subspan(static_cast<std::size_t>(ch.lo - my_lo),
+                                              static_cast<std::size_t>(ch.len)),
+                seed, ch.node, opt.engine, nullptr, false);
+          }
+        } else if (ch.len <= gather_cut) {
+          gathered.push_back(ch);
+        } else {
+          next.push_back(ch);
+        }
+      }
+    }
+
+    // ---- gather batch: small multi-rank children ----------------------
+    // Two supersteps for the whole batch.  `gathered` is replicated, so
+    // every rank agrees on whether these barriers happen and on the tag
+    // of each child (its ordinal in the batch).
+    if (!gathered.empty()) {
+      for (std::size_t gi = 0; gi < gathered.size(); ++gi) {
+        const auto& g = gathered[gi];
+        const std::uint64_t a = std::max(g.lo, my_lo);
+        const std::uint64_t b = std::min(g.lo + g.len, my_lo + my_len);
+        if (a < b) {
+          ep.send_span(owner(g.lo),
+                       dd::kTagGatherBase + static_cast<std::uint32_t>(gi),
+                       std::span<const T>(block.data() + (a - my_lo),
+                                          static_cast<std::size_t>(b - a)));
+        }
+      }
+      std::vector<comm::message> msgs = ep.exchange();
+      for (std::size_t gi = 0; gi < gathered.size(); ++gi) {
+        const auto& g = gathered[gi];
+        if (owner(g.lo) != r) continue;
+        std::vector<T> buf(static_cast<std::size_t>(g.len));
+        for (const auto& msg : msgs) {
+          if (msg.tag != dd::kTagGatherBase + static_cast<std::uint32_t>(gi)) continue;
+          const std::uint64_t src_lo = balanced_block_offset(n, p, msg.source);
+          const std::uint64_t src_len = balanced_block_size(n, p, msg.source);
+          const std::uint64_t a = std::max(g.lo, src_lo);
+          CGP_ASSERT(msg.payload.size() ==
+                     (std::min(g.lo + g.len, src_lo + src_len) - a) * sizeof(T));
+          std::memcpy(buf.data() + (a - g.lo), msg.payload.data(), msg.payload.size());
+        }
+        std::vector<T> scr(buf.size());
+        smp::shuffle_subtree(std::span<T>(buf), std::span<T>(scr), seed, g.node, opt.engine,
+                             nullptr, false);
+        for (std::uint32_t o = owner(g.lo); o <= owner(g.lo + g.len - 1); ++o) {
+          const std::uint64_t o_lo = balanced_block_offset(n, p, o);
+          const std::uint64_t o_len = balanced_block_size(n, p, o);
+          const std::uint64_t a = std::max(g.lo, o_lo);
+          const std::uint64_t b = std::min(g.lo + g.len, o_lo + o_len);
+          if (a >= b) continue;
+          ep.send_span(o, dd::kTagScatterBase + static_cast<std::uint32_t>(gi),
+                       std::span<const T>(buf.data() + (a - g.lo),
+                                          static_cast<std::size_t>(b - a)));
+        }
+      }
+      msgs = ep.exchange();
+      for (std::size_t gi = 0; gi < gathered.size(); ++gi) {
+        const auto& g = gathered[gi];
+        const std::uint64_t a = std::max(g.lo, my_lo);
+        const std::uint64_t b = std::min(g.lo + g.len, my_lo + my_len);
+        if (a >= b) continue;
+        for (const auto& msg : msgs) {
+          if (msg.tag != dd::kTagScatterBase + static_cast<std::uint32_t>(gi)) continue;
+          CGP_ASSERT(msg.source == owner(g.lo));
+          CGP_ASSERT(msg.payload.size() == (b - a) * sizeof(T));
+          std::memcpy(block.data() + (a - my_lo), msg.payload.data(), msg.payload.size());
+        }
+      }
+    }
+
+    level = std::move(next);
+  }
+}
+
+/// Whole-array driver over a transport: every rank shuffles its balanced
+/// block view of `data` in place (the in-process transports share the
+/// caller's memory, so this is zero-copy up to the engine's own staging).
+/// Output is a pure function of (seed, data.size(), opt.engine) -- see
+/// distributed_shuffle.
+template <typename T>
+void transport_shuffle(comm::transport& tr, std::span<T> data, std::uint64_t seed,
+                       const distributed_options& opt = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint64_t n = data.size();
+  if (n < 2) return;
+  const std::uint32_t p = tr.size();
+  tr.run([&](comm::endpoint& ep) {
+    const std::uint64_t lo = balanced_block_offset(n, p, ep.rank());
+    const std::uint64_t len = balanced_block_size(n, p, ep.rank());
+    distributed_shuffle(ep, data.subspan(static_cast<std::size_t>(lo),
+                                         static_cast<std::size_t>(len)),
+                        n, seed, opt);
+  });
+}
+
+}  // namespace cgp::cgm

@@ -1,8 +1,7 @@
 #include "cgm/machine.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <exception>
+#include <utility>
 
 #include "rng/stream.hpp"
 
@@ -17,22 +16,40 @@ constexpr std::uint64_t words_of_bytes(std::size_t bytes) noexcept {
 void context::send_bytes(std::uint32_t dest, std::uint32_t tag,
                          std::span<const std::byte> bytes) {
   CGP_EXPECTS(dest < nprocs_);
-  message msg;
-  msg.source = dest;  // holds the *destination* while staged; fixed on routing
-  msg.tag = tag;
-  msg.payload.assign(bytes.begin(), bytes.end());
-  inflight_bytes_ += msg.payload.size();
+  CGP_EXPECTS(endpoint_ != nullptr);
+  inflight_bytes_ += bytes.size();
   if (inflight_bytes_ > peak_memory_) peak_memory_ = inflight_bytes_;
-  const std::uint64_t words = words_of_bytes(msg.payload.size());
+  const std::uint64_t words = words_of_bytes(bytes.size());
   words_sent_ += words;
   step_words_out_ += words;
   ++messages_sent_;
-  outbox_.push_back(std::move(msg));
+  endpoint_->send(dest, tag, bytes);
 }
 
 void context::sync() {
-  CGP_EXPECTS(machine_ != nullptr);
-  machine_->barrier_wait();
+  CGP_EXPECTS(endpoint_ != nullptr);
+  std::vector<message> fresh = endpoint_->exchange();
+
+  // Close out this superstep's accounting: what this processor computed
+  // and sent before the barrier, and what the barrier delivered to it.
+  step_delta rec;
+  rec.ops = step_ops_;
+  rec.words_out = step_words_out_;
+  for (const auto& msg : fresh) {
+    rec.words_in += words_of_bytes(msg.payload.size());
+    if (msg.source != id_) {
+      // Received payloads now live in this processor's memory (self
+      // messages were already counted when staged).
+      inflight_bytes_ += msg.payload.size();
+      if (inflight_bytes_ > peak_memory_) peak_memory_ = inflight_bytes_;
+    }
+  }
+  words_received_ += rec.words_in;
+  step_log_.push_back(rec);
+  step_ops_ = 0;
+  step_words_out_ = 0;
+  ++supersteps_;
+  inbox_ = std::move(fresh);
 }
 
 std::uint64_t context::shared_seed() const noexcept {
@@ -68,105 +85,84 @@ std::vector<message> context::take_all(std::uint32_t tag) {
 
 machine::machine(std::uint32_t nprocs, std::uint64_t seed) : nprocs_(nprocs), seed_(seed) {
   CGP_EXPECTS(nprocs >= 1);
+  if (nprocs == 1) {
+    owned_transport_ = std::make_unique<comm::loopback_transport>();
+  } else {
+    owned_transport_ = std::make_unique<comm::threaded_transport>(nprocs);
+  }
+  transport_ = owned_transport_.get();
   contexts_.reserve(nprocs);
   for (std::uint32_t i = 0; i < nprocs; ++i)
     contexts_.emplace_back(std::unique_ptr<context>(new context()));
 }
 
-machine::~machine() = default;
-
-void machine::barrier_wait() { barrier_->arrive_and_wait(); }
-
-void machine::route_and_record() {
-  // Runs inside the barrier's completion step: every virtual processor is
-  // parked, so touching all contexts is race-free.  Routing in processor
-  // order makes delivery order deterministic.
-  superstep_record rec;
-  for (auto& src : contexts_) {
-    for (auto& staged : src->outbox_) {
-      const std::uint32_t dest = staged.source;
-      message delivered;
-      delivered.source = src->id_;
-      delivered.tag = staged.tag;
-      delivered.payload = std::move(staged.payload);
-      const std::uint64_t words = words_of_bytes(delivered.payload.size());
-      auto& dst = *contexts_[dest];
-      dst.words_received_ += words;
-      dst.step_words_in_ += words;
-      rec.total_words += words;
-      if (&dst != src.get()) {
-        dst.inflight_bytes_ += delivered.payload.size();
-        if (dst.inflight_bytes_ > dst.peak_memory_) dst.peak_memory_ = dst.inflight_bytes_;
-      }
-      dst.pending_.push_back(std::move(delivered));
-    }
-    src->outbox_.clear();
-  }
-  for (auto& ctx : contexts_) {
-    rec.max_compute = std::max(rec.max_compute, ctx->step_ops_);
-    rec.max_words_out = std::max(rec.max_words_out, ctx->step_words_out_);
-    rec.max_words_in = std::max(rec.max_words_in, ctx->step_words_in_);
-    ctx->step_ops_ = 0;
-    ctx->step_words_out_ = 0;
-    ctx->step_words_in_ = 0;
-    ctx->inbox_ = std::move(ctx->pending_);
-    ctx->pending_.clear();
-    ++ctx->supersteps_;
-  }
-  records_.push_back(rec);
+machine::machine(comm::transport& transport, std::uint64_t seed)
+    : nprocs_(transport.size()), seed_(seed), transport_(&transport) {
+  CGP_EXPECTS(nprocs_ >= 1);
+  contexts_.reserve(nprocs_);
+  for (std::uint32_t i = 0; i < nprocs_; ++i)
+    contexts_.emplace_back(std::unique_ptr<context>(new context()));
 }
 
+machine::~machine() = default;
+
 run_stats machine::run(const std::function<void(context&)>& program) {
-  // Fresh per-run state: contexts, streams, accounting.
+  // Fresh per-run state: contexts, streams, accounting.  The run ordinal
+  // keys each processor's stream (rng::processor_run_stream) so repeated
+  // runs on one machine draw independently.
+  const std::uint64_t ordinal = runs_;
   for (std::uint32_t i = 0; i < nprocs_; ++i) {
     auto& ctx = *contexts_[i];
     ctx.id_ = i;
     ctx.nprocs_ = nprocs_;
     ctx.machine_ = this;
-    ctx.engine_ = context::engine_type(rng::processor_stream(seed_, i));
+    ctx.endpoint_ = nullptr;
+    ctx.engine_ = context::engine_type(rng::processor_run_stream(seed_, i, ordinal));
     ctx.compute_ops_ = ctx.hyp_calls_ = ctx.words_sent_ = ctx.words_received_ = 0;
     ctx.messages_sent_ = ctx.peak_memory_ = ctx.inflight_bytes_ = ctx.supersteps_ = 0;
-    ctx.step_ops_ = ctx.step_words_out_ = ctx.step_words_in_ = 0;
+    ctx.step_ops_ = ctx.step_words_out_ = 0;
     ctx.extra_rng_draws_ = 0;
-    ctx.outbox_.clear();
-    ctx.pending_.clear();
+    ctx.step_log_.clear();
     ctx.inbox_.clear();
   }
-  records_.clear();
-  barrier_ = std::make_unique<std::barrier<std::function<void()>>>(
-      static_cast<std::ptrdiff_t>(nprocs_), std::function<void()>([this] { route_and_record(); }));
 
-  std::vector<std::thread> threads;
-  threads.reserve(nprocs_);
-  for (std::uint32_t i = 0; i < nprocs_; ++i) {
-    threads.emplace_back([this, i, &program] {
-      try {
-        program(*contexts_[i]);
-      } catch (const std::exception& e) {
-        // A throwing SPMD program would deadlock the barrier, exactly like
-        // a crashed rank wedges an MPI job; fail fast and loudly instead.
-        std::fprintf(stderr, "cgmperm: uncaught exception on virtual processor %u: %s\n", i,
-                     e.what());
-        std::abort();
-      } catch (...) {
-        std::fprintf(stderr, "cgmperm: uncaught exception on virtual processor %u\n", i);
-        std::abort();
-      }
-    });
+  transport_->run([this, &program](comm::endpoint& ep) {
+    context& ctx = *contexts_[ep.rank()];
+    ctx.endpoint_ = &ep;
+    program(ctx);
+    ctx.endpoint_ = nullptr;
+  });
+  ++runs_;
+
+  // Zip the per-processor superstep logs into the global records: the BSP
+  // discipline guarantees every processor logged the same number of
+  // barriers, so step s of every log describes the same superstep.
+  std::size_t steps = 0;
+  for (const auto& ctx : contexts_) steps = std::max(steps, ctx->step_log_.size());
+  std::vector<superstep_record> records(steps);
+  for (const auto& ctx : contexts_) {
+    CGP_ASSERT(ctx->step_log_.size() == steps && "BSP discipline: unbalanced sync() counts");
+    for (std::size_t s = 0; s < steps; ++s) {
+      const auto& d = ctx->step_log_[s];
+      auto& rec = records[s];
+      rec.max_compute = std::max(rec.max_compute, d.ops);
+      rec.max_words_out = std::max(rec.max_words_out, d.words_out);
+      rec.max_words_in = std::max(rec.max_words_in, d.words_in);
+      rec.total_words += d.words_in;
+    }
   }
-  for (auto& t : threads) t.join();
 
   // Tail segment after the last sync() (compute-only by construction:
   // sends without a following sync are a program bug and stay undelivered).
   superstep_record tail;
   bool tail_used = false;
-  for (auto& ctx : contexts_) {
+  for (const auto& ctx : contexts_) {
     if (ctx->step_ops_ > 0) {
       tail.max_compute = std::max(tail.max_compute, ctx->step_ops_);
       tail_used = true;
     }
   }
-  if (tail_used) records_.push_back(tail);
+  if (tail_used) records.push_back(tail);
 
   run_stats stats;
   stats.per_proc.resize(nprocs_);
@@ -182,7 +178,7 @@ run_stats machine::run(const std::function<void(context&)>& program) {
     ps.peak_memory_bytes = ctx.peak_memory_;
     ps.supersteps = ctx.supersteps_;
   }
-  stats.supersteps = records_;
+  stats.supersteps = std::move(records);
   return stats;
 }
 

@@ -3,7 +3,7 @@
 // The coarse-grained parallel machine: our stand-in for SSCRAP (Essaidi,
 // Guerin Lassous & Gustedt 2002), the environment the paper's experiments
 // ran in.  `machine` executes an SPMD program on `p` *virtual processors*
-// (std::thread each) under BSP superstep semantics:
+// under BSP superstep semantics:
 //
 //   * between two `sync()` calls a processor computes locally and enqueues
 //     point-to-point messages;
@@ -11,51 +11,44 @@
 //     are delivered, atomically and deterministically (routed in processor
 //     order), becoming visible after the barrier.
 //
-// Substitution note (see DESIGN.md): the physical host may have a single
-// core -- the paper's machine quantities (per-processor work, h-relations,
-// random numbers, memory) are *counted exactly* per virtual processor and
-// converted to predicted wall-clock through `cost_model`, so every claim of
-// Theorems 1 and 2 is measurable regardless of physical parallelism.
-// Because each virtual processor draws from its own counter-based Philox
-// stream, runs are bit-reproducible for any thread schedule.
+// Since the transport redesign, the machine is a thin ADAPTER over
+// comm::transport: the transport moves the bytes (by default the
+// in-process mailbox transports of comm/transport.hpp -- loopback at
+// p = 1, thread-pool ranks otherwise -- i.e. the old simulator machinery
+// is now just one pluggable transport), while the machine layers the
+// paper's exact resource accounting on top: per-processor work,
+// h-relations, random draws, and peak memory are counted per virtual
+// processor and converted to predicted wall-clock through `cost_model`,
+// so every claim of Theorems 1 and 2 is measurable regardless of physical
+// parallelism (see the substitution note in DESIGN.md).
+//
+// Randomness: each virtual processor draws from its own counter-based
+// Philox stream keyed by (seed, run ordinal, processor) through
+// rng::processor_run_stream, so (a) runs are bit-reproducible for any
+// thread schedule, and (b) REPEATED collective calls on one machine draw
+// from fresh streams instead of silently replaying the first run's
+// permutation (`reseed` and `set_stream_offset` reset / relocate the run
+// ordinal).
 #pragma once
 
-#include <barrier>
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "cgm/cost.hpp"
+#include "comm/transport.hpp"
 #include "rng/counting.hpp"
 #include "rng/philox.hpp"
 #include "util/assert.hpp"
 
 namespace cgp::cgm {
 
-/// A delivered point-to-point message.
-struct message {
-  std::uint32_t source = 0;
-  std::uint32_t tag = 0;
-  std::vector<std::byte> payload;
-
-  /// Reinterpret the payload as a vector of trivially copyable T.
-  template <typename T>
-  [[nodiscard]] std::vector<T> as() const {
-    static_assert(std::is_trivially_copyable_v<T>);
-    CGP_EXPECTS(payload.size() % sizeof(T) == 0);
-    std::vector<T> out(payload.size() / sizeof(T));
-    // Empty messages are legal (empty vectors have null data()); memcpy's
-    // pointer arguments must not be null even for size 0.
-    if (!payload.empty()) std::memcpy(out.data(), payload.data(), payload.size());
-    return out;
-  }
-};
+/// A delivered point-to-point message (now the transport's wire unit).
+using message = comm::message;
 
 class machine;
 
@@ -131,6 +124,13 @@ class context {
   /// order.
   [[nodiscard]] std::vector<message> take_all(std::uint32_t tag);
 
+  /// The raw transport endpoint (for code that talks to the transport
+  /// directly, e.g. the distributed engine run under accounting).
+  [[nodiscard]] comm::endpoint& transport() noexcept {
+    CGP_ASSERT(endpoint_ != nullptr);
+    return *endpoint_;
+  }
+
   context(const context&) = delete;
   context& operator=(const context&) = delete;
 
@@ -142,6 +142,7 @@ class context {
   std::uint32_t nprocs_ = 1;
   engine_type engine_{};
   machine* machine_ = nullptr;
+  comm::endpoint* endpoint_ = nullptr;
 
   // Accumulated totals.
   std::uint64_t compute_ops_ = 0;
@@ -154,21 +155,35 @@ class context {
   std::uint64_t supersteps_ = 0;
   std::uint64_t extra_rng_draws_ = 0;
 
-  // Per-superstep deltas (reset by the barrier's completion step).
+  // Per-superstep deltas (closed out by each sync()).
   std::uint64_t step_ops_ = 0;
   std::uint64_t step_words_out_ = 0;
-  std::uint64_t step_words_in_ = 0;
 
-  std::vector<message> outbox_;   // staged sends (message.source = dest here)
-  std::vector<message> pending_;  // routed by the barrier completion
-  std::vector<message> inbox_;    // visible to the program after sync()
+  /// This processor's per-superstep log; the machine zips the logs of all
+  /// processors into the run's `superstep_record`s after the program ends
+  /// (transport-independent: no global completion hook needed).
+  struct step_delta {
+    std::uint64_t ops = 0;
+    std::uint64_t words_out = 0;
+    std::uint64_t words_in = 0;
+  };
+  std::vector<step_delta> step_log_;
+
+  std::vector<message> inbox_;  // visible to the program after sync()
 };
 
-/// The virtual machine.  Construct with the processor count and a seed;
-/// `run` executes the SPMD program once and returns the measured stats.
+/// The virtual machine: resource accounting over a pluggable transport.
+/// Construct with the processor count and a seed (the machine then owns a
+/// default in-process transport: loopback at p = 1, threaded otherwise),
+/// or adopt any comm::transport; `run` executes the SPMD program once and
+/// returns the measured stats.
 class machine {
  public:
   explicit machine(std::uint32_t nprocs, std::uint64_t seed = 0xC0A2537E5EEDull);
+
+  /// Adapt an existing transport (not owned; must outlive the machine).
+  explicit machine(comm::transport& transport, std::uint64_t seed = 0xC0A2537E5EEDull);
+
   ~machine();
 
   machine(const machine&) = delete;
@@ -177,27 +192,43 @@ class machine {
   [[nodiscard]] std::uint32_t nprocs() const noexcept { return nprocs_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
-  /// Change the seed for subsequent runs (tests re-run the same program
-  /// under many seeds to collect statistics).
-  void reseed(std::uint64_t seed) noexcept { seed_ = seed; }
+  /// The transport this machine runs on.
+  [[nodiscard]] comm::transport& transport() noexcept { return *transport_; }
 
-  /// Execute `program(ctx)` on every virtual processor (one std::thread
-  /// each), wait for completion, and return the resource accounting.
-  /// Programs must reach the same number of `sync()` calls on every
-  /// processor (BSP discipline); violations deadlock by construction, as on
-  /// a real machine.
+  /// Change the seed for subsequent runs (tests re-run the same program
+  /// under many seeds to collect statistics).  Resets the run ordinal, so
+  /// the first run after a reseed uses the same keying a fresh machine
+  /// would.
+  void reseed(std::uint64_t seed) noexcept {
+    seed_ = seed;
+    runs_ = 0;
+  }
+
+  /// Place subsequent runs at run ordinal `offset`, `offset + 1`, ...:
+  /// the caller-provided stream offset that makes a machine reproduce the
+  /// k-th collective of another machine without replaying the first k.
+  void set_stream_offset(std::uint64_t offset) noexcept { runs_ = offset; }
+
+  /// Ordinal the next `run` will use (== completed runs since the last
+  /// reseed, plus any stream offset).
+  [[nodiscard]] std::uint64_t stream_offset() const noexcept { return runs_; }
+
+  /// Execute `program(ctx)` on every virtual processor, wait for
+  /// completion, and return the resource accounting.  Programs must reach
+  /// the same number of `sync()` calls on every processor (BSP
+  /// discipline); violations deadlock by construction, as on a real
+  /// machine.
   run_stats run(const std::function<void(context&)>& program);
 
  private:
   friend class context;
-  void barrier_wait();           // arrive at the superstep barrier
-  void route_and_record();       // completion step: deliver messages
 
   std::uint32_t nprocs_;
   std::uint64_t seed_;
+  std::uint64_t runs_ = 0;  // ordinal of the next run (stream offset base)
+  comm::transport* transport_ = nullptr;
+  std::unique_ptr<comm::transport> owned_transport_;
   std::vector<std::unique_ptr<context>> contexts_;
-  std::unique_ptr<std::barrier<std::function<void()>>> barrier_;
-  std::vector<superstep_record> records_;
 };
 
 }  // namespace cgp::cgm

@@ -1,27 +1,65 @@
 // core/api.hpp
 //
-// Umbrella header: the public API of cgmperm.
+// Umbrella header: the public API of cgmperm, curated.
+//
+// The one object most callers need is the context facade:
 //
 //   #include "core/api.hpp"
 //
-//   cgp::cgm::machine mach(/*p=*/8);
+//   cgp::context ctx;                         // planner-driven defaults
 //   std::vector<std::uint64_t> v = ...;
-//   auto shuffled = cgp::core::permute_global(mach, v);
+//   auto plan = ctx.shuffle(std::span<std::uint64_t>(v));
+//
+// Everything else is exported in layers, facade first:
+//
+//   facade      cgp::context (core/context.hpp) -- owns profile,
+//               transport, registry access, seed discipline
+//   dispatch    core::shuffle / permute / random_permutation
+//               (core/backend.hpp) -- compatibility shims over the same
+//               plan/executor core
+//   planning    core::plan_permutation, machine_profile (core/plan.hpp)
+//   execution   core::executor and the per-backend executors
+//               (core/executor.hpp), engine registry (core/registry.hpp)
+//   transport   comm::transport / loopback / threaded (comm/transport.hpp)
+//   engines     smp::engine, em::async_em_shuffle, cgm::distributed_shuffle,
+//               seq::* reference shuffles
+//   simulator   cgm::machine + Algorithm 1 (model-faithful accounting)
 //
 // See README.md for the architecture overview and examples/ for runnable
 // programs.
 #pragma once
 
-#include "cgm/collectives.hpp"   // IWYU pragma: export
+// --- the facade ----------------------------------------------------------
+#include "core/context.hpp"      // IWYU pragma: export
+
+// --- dispatch + plan/executor core (compatibility entry points) ----------
 #include "core/apply.hpp"        // IWYU pragma: export
 #include "core/backend.hpp"      // IWYU pragma: export
 #include "core/executor.hpp"     // IWYU pragma: export
 #include "core/plan.hpp"         // IWYU pragma: export
 #include "core/registry.hpp"     // IWYU pragma: export
+
+// --- the transport layer -------------------------------------------------
+#include "comm/transport.hpp"    // IWYU pragma: export
+
+// --- engines -------------------------------------------------------------
+#include "cgm/distributed.hpp"   // IWYU pragma: export
+#include "em/async_shuffle.hpp"  // IWYU pragma: export
+#include "em/block_device.hpp"   // IWYU pragma: export
+#include "em/shuffle.hpp"        // IWYU pragma: export
+#include "seq/blocked_shuffle.hpp"  // IWYU pragma: export
+#include "seq/fisher_yates.hpp"  // IWYU pragma: export
+#include "seq/rao_sandelius.hpp"  // IWYU pragma: export
+#include "smp/engine.hpp"        // IWYU pragma: export
+#include "smp/parallel_split.hpp"  // IWYU pragma: export
+#include "smp/thread_pool.hpp"   // IWYU pragma: export
+
+// --- the model-faithful simulator world ----------------------------------
+#include "cgm/collectives.hpp"   // IWYU pragma: export
 #include "cgm/cost.hpp"          // IWYU pragma: export
+#include "cgm/machine.hpp"       // IWYU pragma: export
 #include "cgm/pro.hpp"           // IWYU pragma: export
 #include "cgm/sample_sort.hpp"   // IWYU pragma: export
-#include "cgm/machine.hpp"       // IWYU pragma: export
 #include "core/comm_matrix.hpp"  // IWYU pragma: export
 #include "core/driver.hpp"       // IWYU pragma: export
 #include "core/parallel_matrix.hpp"  // IWYU pragma: export
@@ -30,14 +68,7 @@
 #include "core/routing.hpp"      // IWYU pragma: export
 #include "core/sample_matrix.hpp"  // IWYU pragma: export
 #include "core/sort_permute.hpp"  // IWYU pragma: export
-#include "em/async_shuffle.hpp"  // IWYU pragma: export
-#include "em/block_device.hpp"   // IWYU pragma: export
-#include "em/shuffle.hpp"        // IWYU pragma: export
+
+// --- samplers ------------------------------------------------------------
 #include "hyp/multivariate.hpp"  // IWYU pragma: export
 #include "hyp/sample.hpp"        // IWYU pragma: export
-#include "seq/blocked_shuffle.hpp"  // IWYU pragma: export
-#include "seq/fisher_yates.hpp"  // IWYU pragma: export
-#include "seq/rao_sandelius.hpp"  // IWYU pragma: export
-#include "smp/engine.hpp"        // IWYU pragma: export
-#include "smp/parallel_split.hpp"  // IWYU pragma: export
-#include "smp/thread_pool.hpp"   // IWYU pragma: export

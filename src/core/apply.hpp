@@ -136,9 +136,19 @@ void gather_streamed(em::block_device& pi_dev, std::span<const T> src, std::span
 /// Stream `n` raw records of `elem_bytes` each onto the device at
 /// words_per_record words apiece, in O(chunk_items)-resident slices of
 /// bulk write_items calls.
+/// AUDIT NOTE (record sizes that do not divide the block): when wpr does
+/// not divide dev.block_items() (e.g. 24-byte records, wpr = 3, on
+/// B = 4096), records straddle block boundaries and every streamed slice
+/// below starts and ends mid-block.  That is correct by construction:
+/// write_items merge-writes the at-most-two partial boundary blocks of a
+/// slice atomically (read + patch + write under the device lock), and
+/// read_items assembles straddling ranges from whole-block reads.  The
+/// regression tests in tests/test_em_async.cpp (BackendEmApply.*) pin
+/// this for B = 4096.
 inline void write_records_streamed(em::block_device& dev, const unsigned char* src,
                                    std::uint64_t n, std::uint32_t elem_bytes,
                                    std::uint64_t chunk_items) {
+  CGP_EXPECTS(elem_bytes >= 1);
   const std::uint64_t wpr = words_per_record(elem_bytes);
   CGP_EXPECTS(n * wpr <= dev.item_capacity());
   const std::uint64_t chunk_records =
@@ -164,6 +174,7 @@ inline void write_records_streamed(em::block_device& dev, const unsigned char* s
 inline void gather_records_streamed(em::block_device& pi_dev, em::block_device& payload_dev,
                                     unsigned char* dst, std::uint64_t n,
                                     std::uint32_t elem_bytes, std::uint64_t chunk_items) {
+  CGP_EXPECTS(elem_bytes >= 1);
   const std::uint64_t wpr = words_per_record(elem_bytes);
   CGP_EXPECTS(n * wpr <= payload_dev.item_capacity());
   std::vector<std::uint64_t> rec(static_cast<std::size_t>(wpr));

@@ -1,12 +1,17 @@
 // core/backend.hpp
 //
-// Backend-dispatched whole-vector entry points, now a thin shell over the
+// Backend-dispatched whole-vector entry points, a thin shell over the
 // plan/executor core:
 //
 //   request --> resolve_plan (core/plan.hpp)  --> permutation_plan
 //           --> make_executor (core/executor.hpp) --> runs it
 //
-// The library has four engines plus a planner that picks among them:
+// DEPRECATED SURFACE: these free functions remain for compatibility (and
+// are what the facade itself runs on), but new code should go through
+// `cgp::context` (core/context.hpp), which additionally owns the machine
+// profile, the transport, and the seed discipline.
+//
+// The library has five engines plus a planner that picks among them:
 //
 //   * `cgm_simulator` -- Algorithm 1 on the virtual coarse-grained machine
 //     (core/driver.hpp): every model quantity of Theorems 1/2 is counted
@@ -16,11 +21,18 @@
 //     RAM-resident production workloads.
 //   * `em` -- the out-of-core engine (em/async_shuffle.hpp) behind the
 //     streaming apply layer (core/apply.hpp), for the n >> M regime.
+//   * `cgm` -- the distributed engine (cgm/distributed.hpp) over a
+//     pluggable comm::transport: the real coarse-grained backend.  Output
+//     is independent of the rank count and transport; at or below the
+//     cache cutoff it bit-matches `sequential` (one leaf on
+//     philox(seed, 0)), and above it it bit-matches `smp` under the same
+//     engine options.
 //   * `sequential` -- the seq::fisher_yates reference.
-//   * `automatic` -- the cost-model planner picks seq / smp / em from the
-//     workload (n, element size, memory budget, repetitions) and the
-//     machine profile; the resolved plan is observable via
-//     backend_options::plan_out.
+//   * `automatic` -- the cost-model planner picks seq / smp / em / cgm
+//     from the workload (n, element size, memory budget, repetitions) and
+//     the machine profile; the resolved plan is observable via
+//     backend_options::plan_out.  The cgm candidate is considered only
+//     when the profile describes a scale-out deployment (comm_ranks >= 2).
 //
 // All engines are exactly uniform; they draw from differently keyed Philox
 // streams, so equal seeds do *not* imply equal permutations across

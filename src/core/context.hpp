@@ -1,0 +1,160 @@
+// core/context.hpp
+//
+// The curated facade of cgmperm: ONE object that owns everything a caller
+// used to wire together by hand -- the machine profile the planner reads,
+// the transport the distributed backend runs on, the process-wide
+// engine/pool registry behind the executors, and the seed discipline --
+// with ONE entry point:
+//
+//   cgp::context ctx;                      // planner-driven defaults
+//   ctx.shuffle(std::span<T>(records));    // permute in place, get the plan
+//
+//   cgp::context_options copt;
+//   copt.which = cgp::core::backend::cgm;  // explicit backend...
+//   copt.parallelism = 8;                  // ...8 transport ranks
+//   cgp::context dist(copt);
+//   dist.shuffle(std::span<T>(records));
+//
+// Seed discipline: a context draws are *independent and reproducible* --
+// call k of `shuffle()` uses a seed derived from (base seed, k), so
+// repeated draws on one context never replay each other, while two
+// contexts with the same base seed replay each other call for call.  Pass
+// an explicit seed to pin a single call instead.
+//
+// The old free functions (core::shuffle / core::permute /
+// core::random_permutation in core/backend.hpp, core::permute_global in
+// core/driver.hpp) remain as thin compatibility shims over the same
+// plan/executor core; new code should construct a context.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/executor.hpp"
+#include "core/plan.hpp"
+#include "core/registry.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace cgp {
+
+/// What the caller curates; everything else is planned or defaulted.
+struct context_options {
+  /// Backend; `automatic` lets the cost model pick per call.
+  core::backend which = core::backend::automatic;
+  /// Transport ranks (cgm) or worker threads (smp/em); 0 = default.
+  std::uint32_t parallelism = 0;
+  /// RAM the permutation may use, in bytes; 0 = unconstrained.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Expected draws of one shape (amortizes dispatch in the planner).
+  std::uint64_t repetitions = 1;
+  /// Base seed of the context's draw sequence.
+  std::uint64_t seed = 0xC0A2537E5EEDull;
+  /// Measure the machine profile at construction (a few ms of probes)
+  /// instead of using detected defaults -- what servers should do once.
+  bool calibrate = false;
+  /// Expert escape hatch: engine knobs (em geometry, smp/cgm engine
+  /// options, simulator pipeline) forwarded verbatim.  The curated fields
+  /// above override their counterparts in here.
+  core::backend_options engine{};
+};
+
+class context {
+ public:
+  explicit context(context_options opt = {})
+      : opt_(opt),
+        profile_(opt.calibrate ? core::machine_profile::calibrate()
+                               : core::machine_profile::detect()),
+        seed_(opt.seed) {}
+
+  context(const context&) = delete;
+  context& operator=(const context&) = delete;
+
+  /// THE entry point: uniformly permute `data` in place on the context's
+  /// backend (or the planner's choice) and return the plan that ran.
+  /// Uses the next seed of the context's draw sequence.
+  template <typename T>
+  core::permutation_plan shuffle(std::span<T> data) {
+    return core::shuffle(data, options_for(next_seed()));
+  }
+
+  /// Same, under an explicit seed (does not advance the draw sequence).
+  template <typename T>
+  core::permutation_plan shuffle(std::span<T> data, std::uint64_t seed) {
+    return core::shuffle(data, options_for(seed));
+  }
+
+  /// Sample pi uniform over S_n (pi[i] = image of i), in the executor's
+  /// native fill mode.
+  [[nodiscard]] std::vector<std::uint64_t> random_permutation(std::uint64_t n) {
+    return core::random_permutation(n, options_for(next_seed()));
+  }
+  [[nodiscard]] std::vector<std::uint64_t> random_permutation(std::uint64_t n,
+                                                              std::uint64_t seed) {
+    return core::random_permutation(n, options_for(seed));
+  }
+
+  /// The plan a shuffle of `n` records of `elem_bytes` would run, without
+  /// running it (inspect plan.explain() for the evidence).
+  [[nodiscard]] core::permutation_plan plan_for(std::uint64_t n,
+                                               std::uint32_t elem_bytes) const {
+    return core::resolve_plan(n, elem_bytes, options_for(seed_));
+  }
+
+  /// The profile the planner reads.
+  [[nodiscard]] const core::machine_profile& profile() const noexcept { return profile_; }
+
+  /// Re-measure the profile with in-process probes.
+  void recalibrate() { profile_ = core::machine_profile::calibrate(); }
+
+  /// The transport the distributed cgm backend runs on: the injected one,
+  /// else the registry's shared transport for the context's rank count.
+  [[nodiscard]] comm::transport& transport() {
+    if (opt_.engine.transport != nullptr) return *opt_.engine.transport;
+    return core::shared_transport(opt_.parallelism != 0 ? opt_.parallelism : 1);
+  }
+
+  /// Run over `t` (not owned; must outlive the context).
+  void set_transport(comm::transport* t) noexcept { opt_.engine.transport = t; }
+
+  /// Restart the draw sequence at `seed`.
+  void reseed(std::uint64_t seed) noexcept {
+    seed_ = seed;
+    draws_ = 0;
+  }
+
+  /// Calls consumed from the draw sequence so far.
+  [[nodiscard]] std::uint64_t draws() const noexcept { return draws_; }
+
+ private:
+  /// Seed of draw k: the base seed verbatim first (so a context replays
+  /// the corresponding free-function call), then streams derived like
+  /// core/repeat.hpp's permutation_stream -- mixing k through its own
+  /// mix64 before xoring keeps contexts with ADJACENT base seeds on
+  /// disjoint sequences (mix64(seed + k) would make seed 101's draw k
+  /// collide with seed 100's draw k+1).
+  [[nodiscard]] std::uint64_t next_seed() noexcept {
+    const std::uint64_t k = draws_++;
+    return k == 0 ? seed_ : rng::mix64(seed_ ^ rng::mix64(k + 0x9E3779B97F4A7C15ull));
+  }
+
+  /// The curated fields projected onto the expert options.
+  [[nodiscard]] core::backend_options options_for(std::uint64_t seed) const {
+    core::backend_options o = opt_.engine;
+    o.which = opt_.which;
+    if (opt_.parallelism != 0) o.parallelism = opt_.parallelism;
+    if (opt_.memory_budget_bytes != 0) o.memory_budget_bytes = opt_.memory_budget_bytes;
+    o.repetitions = opt_.repetitions;
+    o.seed = seed;
+    o.profile = &profile_;
+    return o;
+  }
+
+  context_options opt_;
+  core::machine_profile profile_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace cgp

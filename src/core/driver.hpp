@@ -2,9 +2,15 @@
 //
 // Whole-vector convenience drivers: scatter a global vector over the
 // machine's processors, run Algorithm 1, gather the permuted vector back.
-// This is the entry point the examples and most tests use; production
-// SPMD code would call `parallel_random_permutation` directly on
-// already-distributed data.
+//
+// DEPRECATED SURFACE: `permute_global` remains as a thin shim kept for
+// the model-counting experiments and existing tests -- the machine it
+// drives is itself an adapter over the transport layer now.  Production
+// code should call `cgp::context::shuffle` (core/context.hpp), which
+// dispatches to the distributed `backend::cgm` engine over the same
+// transports; SPMD code on already-distributed data should call
+// `parallel_random_permutation` (simulator, counted) or
+// `cgm::distributed_shuffle` (native, over any comm::endpoint) directly.
 #pragma once
 
 #include <cstdint>

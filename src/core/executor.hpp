@@ -1,7 +1,7 @@
 // core/executor.hpp
 //
 // The executor half of the plan/executor core: a type-erased, span-based
-// execution interface that every backend (sequential, smp, em,
+// execution interface that every backend (sequential, smp, em, cgm,
 // cgm_simulator) implements uniformly, replacing the old enum switch in
 // core/backend.hpp.  Two entry points:
 //
@@ -37,7 +37,9 @@
 #include <thread>
 #include <vector>
 
+#include "cgm/distributed.hpp"
 #include "cgm/machine.hpp"
+#include "comm/transport.hpp"
 #include "core/apply.hpp"
 #include "core/driver.hpp"
 #include "core/plan.hpp"
@@ -55,15 +57,23 @@ namespace cgp::core {
 /// Options for the backend-dispatched entry points (core/backend.hpp).
 struct backend_options {
   backend which = backend::smp;
-  /// Degree of parallelism: virtual processors (cgm_simulator) or worker
-  /// threads (smp, em); 0 picks a default (4 virtual processors / hardware
-  /// concurrency).  Ignored by `sequential` and by `automatic` (the
-  /// planner chooses).
+  /// Degree of parallelism: virtual processors (cgm_simulator), transport
+  /// ranks (cgm), or worker threads (smp, em); 0 picks a default (4
+  /// virtual processors / 1 rank / hardware concurrency).  Ignored by
+  /// `sequential` and by `automatic` (the planner chooses).
   std::uint32_t parallelism = 0;
   std::uint64_t seed = 0xC0A2537E5EEDull;  ///< same default as cgm::machine
-  permute_options cgm{};                   ///< CGM pipeline knobs
+  permute_options cgm{};                   ///< CGM *simulator* pipeline knobs
   smp::engine_options smp_engine{};        ///< SMP engine knobs (threads is
                                            ///< overridden by `parallelism`)
+  /// Transport the distributed cgm backend runs on; nullptr = the
+  /// registry's shared transport for the resolved rank count (the
+  /// loopback transport at one rank).  When set, it decides the rank
+  /// count and `parallelism` is ignored for the cgm backend.
+  comm::transport* transport = nullptr;
+  /// Distributed cgm engine knobs (fan_out / cache_items / sampling
+  /// define the permutation law, shared verbatim with the smp engine).
+  cgm::distributed_options cgm_engine{};
   /// Reuse an existing SMP engine (and its thread pool) instead of the
   /// registry's shared one; when set, `parallelism` and `smp_engine` are
   /// ignored for the smp backend, and the em backend runs its computation
@@ -257,9 +267,9 @@ class smp_executor final : public executor {
 };
 
 /// The model-faithful virtual machine; counts resources into `stats_out`.
-class cgm_executor final : public executor {
+class cgm_simulator_executor final : public executor {
  public:
-  cgm_executor(std::uint32_t procs, permute_options opt, cgm::run_stats* stats_out)
+  cgm_simulator_executor(std::uint32_t procs, permute_options opt, cgm::run_stats* stats_out)
       : procs_(procs), opt_(opt), stats_out_(stats_out) {}
 
   [[nodiscard]] backend kind() const noexcept override { return backend::cgm_simulator; }
@@ -291,6 +301,46 @@ class cgm_executor final : public executor {
   std::uint32_t procs_;
   permute_options opt_;
   cgm::run_stats* stats_out_;
+};
+
+/// The distributed CGM engine over a pluggable transport
+/// (cgm/distributed.hpp): the real coarse-grained backend.  Output is a
+/// pure function of (seed, n, engine options) -- independent of the rank
+/// count and the transport -- and inputs at or below the cache cutoff
+/// reproduce `backend::sequential` bit for bit (they are one leaf on
+/// philox(seed, 0)).
+class cgm_executor final : public executor {
+ public:
+  cgm_executor(comm::transport& transport, cgm::distributed_options opt)
+      : transport_(transport), opt_(opt) {}
+
+  [[nodiscard]] backend kind() const noexcept override { return backend::cgm; }
+
+  void shuffle_raw(void* data, std::uint64_t n, std::uint32_t elem_bytes,
+                   std::uint64_t seed) override {
+    if (n < 2) return;
+    detail::with_record_span(
+        data, n, elem_bytes,
+        [&](auto span) { cgm::transport_shuffle(transport_, span, seed, opt_); },
+        [&] {
+          // Record sizes outside the instantiated set: gather through the
+          // index permutation the same engine produces over the same
+          // transport -- identical output by value-independence.
+          std::vector<std::uint64_t> pi(n);
+          std::iota(pi.begin(), pi.end(), 0);
+          cgm::transport_shuffle(transport_, std::span<std::uint64_t>(pi), seed, opt_);
+          detail::gather_in_ram(data, n, elem_bytes, pi);
+        });
+  }
+
+  void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) override {
+    std::iota(out.begin(), out.end(), 0);
+    cgm::transport_shuffle(transport_, out, seed, opt_);
+  }
+
+ private:
+  comm::transport& transport_;
+  cgm::distributed_options opt_;
 };
 
 /// The out-of-core engine behind a streaming apply layer (core/apply.hpp):
@@ -398,6 +448,13 @@ class em_executor final : public executor {
     case backend::cgm_simulator:
       plan.threads = opt.parallelism == 0 ? 4 : opt.parallelism;
       break;
+    case backend::cgm:
+      // The transport decides the rank count; without one, parallelism
+      // (default 1: the loopback transport, where cgm == sequential).
+      plan.threads = opt.transport != nullptr ? opt.transport->size()
+                     : opt.parallelism != 0   ? opt.parallelism
+                                              : 1;
+      break;
     case backend::smp:
       plan.threads = opt.engine != nullptr
                          ? opt.engine->threads()
@@ -433,7 +490,12 @@ class em_executor final : public executor {
       return std::make_unique<smp_executor>(shared_engine(eopt));
     }
     case backend::cgm_simulator:
-      return std::make_unique<cgm_executor>(plan.threads, opt.cgm, opt.stats_out);
+      return std::make_unique<cgm_simulator_executor>(plan.threads, opt.cgm, opt.stats_out);
+    case backend::cgm: {
+      comm::transport& tr =
+          opt.transport != nullptr ? *opt.transport : shared_transport(plan.threads);
+      return std::make_unique<cgm_executor>(tr, opt.cgm_engine);
+    }
     case backend::em: {
       em::async_options aopt = opt.em_engine;
       aopt.memory_items = plan.em_memory_items != 0 ? plan.em_memory_items

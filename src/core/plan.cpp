@@ -208,10 +208,55 @@ permutation_plan plan_permutation(const workload& w, const machine_profile& prof
   const double em_passes = static_cast<double>(plan.em_levels) + 1.0;
   const double t_em = em_passes * static_cast<double>(n) * prof.em_ns_per_item_pass * 1e-9;
 
+  // The distributed cgm backend: Theorem 1's cost with the profile's BSP
+  // (p, g, L) terms.  Feasible only for a scale-out profile (>= 2 ranks,
+  // each bringing its own memory: the budget is per rank, and a rank must
+  // hold its block plus scratch plus message staging, ~3 blocks).
+  const std::uint32_t ranks = std::max(1u, prof.comm_ranks);
+  const std::uint64_t rank_block = (n + ranks - 1) / ranks;
+  const bool cgm_feasible =
+      ranks >= 2 && (w.memory_budget_bytes == 0 ||
+                     3 * rank_block * w.element_bytes <= w.memory_budget_bytes);
+  // Per-phase cost terms, shared between t_cgm and the phase breakdown
+  // below (one source of truth so explain() cannot drift from
+  // predicted_seconds).
+  double t_cgm = kInfeasible;
+  double cgm_dist_s = 0.0;   // distributed levels: split + h-relation + barriers
+  double cgm_local_s = 0.0;  // local levels, rank-parallel
+  double cgm_leaf_s = 0.0;   // leaf fisher-yates per rank
+  if (cgm_feasible) {
+    // Distributed split levels: the range localizes once buckets fall
+    // under a block, i.e. after ceil(log_K p) levels (K = 16, the smp
+    // fan-out).  The remaining depth of the smp recursion runs locally
+    // and rank-parallel.
+    const std::uint32_t levels_total = smp_levels(n, prof.cache_items);
+    std::uint32_t dist_levels = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::ceil(std::log2(static_cast<double>(ranks)) / 4.0)));
+    dist_levels = std::min(dist_levels, std::max(1u, levels_total));
+    const std::uint32_t local_levels =
+        levels_total > dist_levels ? levels_total - dist_levels : 0;
+    const double b = static_cast<double>(rank_block);
+    const double words_per_item =
+        static_cast<double>((std::uint64_t{w.element_bytes} + 7) / 8);
+    // Each distributed level moves every item off its rank and back in
+    // (pos + payload words, both directions counted once as g per word),
+    // plus three barriers (move, gather, scatter supersteps).
+    const double level_comm_s =
+        b * (1.0 + words_per_item) * 2.0 * prof.comm_g_ns_per_word * 1e-9 +
+        3.0 * prof.comm_l_ns * 1e-9;
+    cgm_dist_s =
+        static_cast<double>(dist_levels) * (b * prof.split_ns * 1e-9 + level_comm_s);
+    cgm_local_s = static_cast<double>(local_levels) * b * prof.split_ns * 1e-9;
+    cgm_leaf_s = b * prof.seq_ns_hit * 1e-9;
+    t_cgm = prof.dispatch_overhead_ns * 1e-9 / reps + cgm_dist_s + cgm_local_s + cgm_leaf_s;
+  }
+
   plan.candidates = {
       {backend::sequential, ram_feasible, t_seq},
       {backend::smp, ram_feasible, t_smp},
       {backend::em, true, t_em},
+      {backend::cgm, cgm_feasible, t_cgm},
   };
 
   // --- choose ----------------------------------------------------------
@@ -223,12 +268,22 @@ permutation_plan plan_permutation(const workload& w, const machine_profile& prof
   plan.chosen = best->which;
   plan.predicted_seconds = best->seconds;
   plan.split_levels = levels_smp;
-  plan.threads = plan.chosen == backend::sequential ? 1 : p;
+  plan.threads = plan.chosen == backend::sequential ? 1
+                 : plan.chosen == backend::cgm      ? ranks
+                                                    : p;
 
   // --- phase breakdown of the choice -----------------------------------
   switch (plan.chosen) {
     case backend::sequential:
       plan.phases = {{"fisher-yates", t_seq}};
+      break;
+    case backend::cgm:
+      plan.phases = {
+          {"dispatch (amortized over repetitions)", prof.dispatch_overhead_ns * 1e-9 / reps},
+          {"distributed split levels (h-relation + barriers)", cgm_dist_s},
+          {"local split levels (rank-parallel)", cgm_local_s},
+          {"leaf fisher-yates", cgm_leaf_s},
+      };
       break;
     case backend::smp:
       if (levels_smp == 0) {
@@ -259,6 +314,7 @@ std::string permutation_plan::explain() const {
   std::ostringstream os;
   os << "plan: backend=" << backend_name(chosen) << " threads=" << threads;
   if (chosen == backend::smp) os << " split_levels=" << split_levels;
+  if (chosen == backend::cgm) os << " ranks=" << threads;
   if (chosen == backend::em) {
     os << " M=" << em_memory_items << " B=" << em_block_items << " K=" << em_fan_out
        << " levels=" << em_levels;

@@ -28,6 +28,18 @@
 //   T_em(n)     = (L_e + 1) * n * c_em         L_e = ceil(log_K(n / M)),
 //                                              one streaming pass per
 //                                              distribution level + leaves
+//   T_cgm(n, p) = L_d * (b * c_split + 2 * b * w * g + 3 * L)
+//                 + L_l * b * c_split + b * c_hit
+//                                              b = n/p items per rank,
+//                                              w = words per item; L_d
+//                                              distributed levels pay the
+//                                              BSP (g, L) terms, L_l local
+//                                              levels run rank-parallel
+//                                              (the paper's Theorem 1 cost
+//                                              made a planner candidate;
+//                                              feasible only when the
+//                                              profile describes >= 2
+//                                              transport ranks)
 //
 // The cgm_simulator backend is never chosen automatically: it is the
 // model-faithful measurement instrument, not a production path.
@@ -44,15 +56,17 @@ enum class backend : std::uint8_t {
   cgm_simulator,  ///< model-faithful virtual machine (counts resources)
   smp,            ///< native shared-memory thread engine
   em,             ///< out-of-core engine (async block-device scatter)
+  cgm,            ///< distributed engine over a comm::transport
   sequential,     ///< seq::fisher_yates reference
-  automatic,      ///< planner-chosen: cost model picks seq / smp / em
+  automatic,      ///< planner-chosen: cost model picks seq / smp / em / cgm
 };
 
 [[nodiscard]] constexpr const char* backend_name(backend b) noexcept {
   switch (b) {
-    case backend::cgm_simulator: return "cgm";
+    case backend::cgm_simulator: return "cgm_sim";
     case backend::smp: return "smp";
     case backend::em: return "em";
+    case backend::cgm: return "cgm";
     case backend::sequential: return "seq";
     case backend::automatic: return "auto";
   }
@@ -95,6 +109,19 @@ struct machine_profile {
   double level_overhead_ns = 3.0e4;     ///< matrix sampling + barrier per split level
   double dispatch_overhead_ns = 5.0e4;  ///< per-call engine lookup/dispatch
   double em_ns_per_item_pass = 25.0;    ///< em engine ns/item per streaming pass
+
+  // --- BSP communication terms of the distributed cgm backend -----------
+  // The classic (p, g, L) triple: p ranks, a per-word streaming cost g
+  // through the transport, and a per-superstep latency L.  `detect()`
+  // leaves comm_ranks at 1, which marks the cgm candidate infeasible --
+  // on a single host the threaded transport shares the same cores as the
+  // smp engine and can only add overhead, so `automatic` considers the
+  // distributed path only when a profile explicitly describes a scale-out
+  // deployment (ranks with their OWN memory and cores: the memory budget
+  // is interpreted per rank for the cgm candidate).
+  std::uint32_t comm_ranks = 1;      ///< p: transport ranks (1 = no cluster)
+  double comm_g_ns_per_word = 5.0;   ///< g: ns per 8-byte word through the transport
+  double comm_l_ns = 2.0e4;          ///< L: per-superstep barrier/latency, ns
 
   [[nodiscard]] static machine_profile detect();
   [[nodiscard]] static machine_profile calibrate(std::uint64_t small_n = 1ull << 15,

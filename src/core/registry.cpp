@@ -1,6 +1,7 @@
 #include "core/registry.hpp"
 
 #include <list>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <tuple>
@@ -34,6 +35,7 @@ struct registry {
   // std::list: node stability -- references handed out stay valid while
   // later registrations grow the registry.
   std::list<std::pair<smp::engine_options, smp::engine>> engines;
+  std::list<std::pair<std::uint32_t, std::unique_ptr<comm::transport>>> transports;
 };
 
 registry& instance() {
@@ -61,6 +63,23 @@ smp::thread_pool& shared_pool(std::uint32_t threads) {
   smp::engine_options opt;
   opt.threads = threads;
   return shared_engine(opt).pool();
+}
+
+comm::transport& shared_transport(std::uint32_t ranks) {
+  if (ranks == 0) ranks = 1;
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [count, tr] : reg.transports) {
+    if (count == ranks) return *tr;
+  }
+  std::unique_ptr<comm::transport> made;
+  if (ranks == 1) {
+    made = std::make_unique<comm::loopback_transport>();
+  } else {
+    made = std::make_unique<comm::threaded_transport>(ranks);
+  }
+  reg.transports.emplace_back(ranks, std::move(made));
+  return *reg.transports.back().second;
 }
 
 std::size_t registered_engine_count() {

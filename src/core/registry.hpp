@@ -20,6 +20,7 @@
 //     (smp::engine::shuffle is safe for concurrent calls on disjoint data).
 #pragma once
 
+#include "comm/transport.hpp"
 #include "smp/engine.hpp"
 
 namespace cgp::core {
@@ -34,6 +35,14 @@ namespace cgp::core {
 /// default options -- em executors run their computation here when the
 /// caller did not provide an engine.
 [[nodiscard]] smp::thread_pool& shared_pool(std::uint32_t threads = 0);
+
+/// The shared transport for `ranks` ranks (0 normalizes to 1): the
+/// loopback transport at one rank, a threaded mailbox transport (with its
+/// own dedicated pool of `ranks` workers -- transport ranks block at
+/// barriers and must not starve the compute pool) otherwise.  One per
+/// distinct rank count, created on first use, alive until process exit --
+/// the same lifetime rules as the engines above.
+[[nodiscard]] comm::transport& shared_transport(std::uint32_t ranks);
 
 /// Number of distinct engine configurations currently registered (test /
 /// introspection hook).

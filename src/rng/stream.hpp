@@ -40,6 +40,20 @@ namespace cgp::rng {
   return mix64(mix64(level ^ salt) + bucket);
 }
 
+/// Engine for virtual processor `proc` on the `run`-th collective
+/// executed by a machine seeded with `seed`.  Run 0 keeps the historical
+/// `processor_stream` keying (so single-run behaviour and reseed-per-rep
+/// test loops are bit-unchanged); later runs derive fresh streams through
+/// `nested_stream`, which is what makes repeated collective calls on ONE
+/// machine (core::permute_global, cgm::sample_sort drivers, ...)
+/// independent yet reproducible -- the old code re-keyed every run
+/// identically, silently returning the same "random" permutation twice.
+[[nodiscard]] inline philox4x64 processor_run_stream(std::uint64_t seed, std::uint32_t proc,
+                                                     std::uint64_t run) noexcept {
+  if (run == 0) return processor_stream(seed, proc);
+  return philox4x64(seed, nested_stream(run, proc, 0x72756Eull /*'run'*/));
+}
+
 /// The (seed, stream) engine positioned so the next draw returns word
 /// `word_index` of the stream's output sequence.  O(1) via counter
 /// arithmetic: this is what lets concurrent workers draw disjoint index

@@ -43,6 +43,63 @@ struct engine_options {
   core::matrix_options sampling{};  ///< hypergeometric sampler knobs
 };
 
+/// Root of the shuffle recursion tree shared by the shared-memory and
+/// distributed engines.
+inline constexpr std::uint64_t kShuffleRoot = 1;
+
+/// Child j of recursion node `node` under fan-out K; node ids stay well
+/// below 2^64 for any input that fits in memory (depth <= log_K(n)
+/// levels).  Shared with the distributed CGM engine, which walks the
+/// identical tree across ranks.
+[[nodiscard]] constexpr std::uint64_t split_child_node(std::uint64_t node, std::uint64_t j,
+                                                       std::uint32_t fan_out) noexcept {
+  return node * fan_out + 1 + j;
+}
+
+/// The recursive subtree below `node`: split while above the cache
+/// cutoff, Fisher-Yates once a bucket fits.  Every random stream is keyed
+/// by (seed, node descendant, role) -- never by the executing thread --
+/// so the output is a pure function of (seed, node, opt) regardless of
+/// `pool` and `top`.  `top` fans the first split level and the per-bucket
+/// recursions out over `pool` (pass false / nullptr to run sequentially,
+/// e.g. inside an already-parallel bucket task or on a transport rank).
+/// This is the one recursion both the shared-memory engine and the
+/// distributed CGM engine (cgm/distributed.hpp) execute.
+template <typename T>
+void shuffle_subtree(std::span<T> data, std::span<T> scratch, std::uint64_t seed,
+                     std::uint64_t node, const engine_options& opt, thread_pool* pool,
+                     bool top) {
+  if (data.size() <= opt.cache_items || data.size() < 2) {
+    auto e = detail::node_engine(seed, node, detail::kLeafSalt);
+    seq::fisher_yates(e, data);
+    return;
+  }
+  split_options sopt;
+  sopt.fan_out = opt.fan_out;
+  sopt.sampling = opt.sampling;
+  // Only the top split fans its phases out over the pool; deeper splits
+  // run inside a single bucket task.
+  const std::vector<std::uint64_t> off =
+      parallel_split(top ? pool : nullptr, data, scratch, seed, node, sopt);
+  const auto buckets = static_cast<std::size_t>(off.size() - 1);
+
+  const auto recurse_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const auto b_lo = static_cast<std::size_t>(off[j]);
+      const auto b_len = static_cast<std::size_t>(off[j + 1] - off[j]);
+      // Bucket j recurses on its own slice of data *and* scratch: slices
+      // are disjoint, so bucket tasks never touch shared state.
+      shuffle_subtree(data.subspan(b_lo, b_len), scratch.subspan(b_lo, b_len), seed,
+                      split_child_node(node, j, opt.fan_out), opt, nullptr, false);
+    }
+  };
+  if (top && pool != nullptr) {
+    pool->parallel_for(0, buckets, recurse_range);
+  } else {
+    recurse_range(0, buckets);
+  }
+}
+
 class engine {
  public:
   explicit engine(engine_options opt = {}) : opt_(opt), pool_(opt.threads) {
@@ -61,12 +118,12 @@ class engine {
     static_assert(std::is_trivially_copyable_v<T>);
     if (data.size() < 2) return;
     if (data.size() <= opt_.cache_items) {
-      auto e = detail::node_engine(seed, kRootNode, detail::kLeafSalt);
+      auto e = detail::node_engine(seed, kShuffleRoot, detail::kLeafSalt);
       seq::fisher_yates(e, data);
       return;
     }
     std::vector<T> scratch(data.size());
-    shuffle_rec(data, std::span<T>(scratch), seed, kRootNode, /*top=*/true);
+    shuffle_subtree(data, std::span<T>(scratch), seed, kShuffleRoot, opt_, &pool_, /*top=*/true);
   }
 
   /// Uniformly permute a vector (convenience; same contract as `shuffle`).
@@ -86,48 +143,6 @@ class engine {
   }
 
  private:
-  // Root of the recursion tree; child j of node v is v*fan_out + 1 + j.
-  // Node ids stay well below 2^64 for any input that fits in memory
-  // (depth <= log_K(n) levels).
-  static constexpr std::uint64_t kRootNode = 1;
-
-  [[nodiscard]] std::uint64_t child_node(std::uint64_t node, std::uint64_t j) const noexcept {
-    return node * opt_.fan_out + 1 + j;
-  }
-
-  template <typename T>
-  void shuffle_rec(std::span<T> data, std::span<T> scratch, std::uint64_t seed,
-                   std::uint64_t node, bool top) {
-    if (data.size() <= opt_.cache_items || data.size() < 2) {
-      auto e = detail::node_engine(seed, node, detail::kLeafSalt);
-      seq::fisher_yates(e, data);
-      return;
-    }
-    split_options sopt;
-    sopt.fan_out = opt_.fan_out;
-    sopt.sampling = opt_.sampling;
-    // Only the top split fans its phases out over the pool; deeper splits
-    // run inside a single bucket task.
-    const std::vector<std::uint64_t> off =
-        parallel_split(top ? &pool_ : nullptr, data, scratch, seed, node, sopt);
-    const auto buckets = static_cast<std::size_t>(off.size() - 1);
-
-    const auto recurse_range = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t j = lo; j < hi; ++j) {
-        const auto b_lo = static_cast<std::size_t>(off[j]);
-        const auto b_len = static_cast<std::size_t>(off[j + 1] - off[j]);
-        // Bucket j recurses on its own slice of data *and* scratch: slices
-        // are disjoint, so bucket tasks never touch shared state.
-        shuffle_rec(data.subspan(b_lo, b_len), scratch.subspan(b_lo, b_len), seed,
-                    child_node(node, j), /*top=*/false);
-      }
-    };
-    if (top) {
-      pool_.parallel_for(0, buckets, recurse_range);
-    } else {
-      recurse_range(0, buckets);
-    }
-  }
 
   engine_options opt_;
   thread_pool pool_;

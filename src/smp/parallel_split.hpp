@@ -76,6 +76,92 @@ inline constexpr std::uint64_t kLeafSalt = 0x6C65'6166ull;         // 'leaf'
 
 }  // namespace detail
 
+/// Everything deterministic about one split level of `n` items at
+/// recursion `node`: the clamped fan-out k, the balanced chunk/bucket
+/// margins, the sampled communication matrix, the bucket offsets, and the
+/// column-prefix scatter offsets.  Replicable by ANY party that knows
+/// (n, seed, node, options) -- which is what lets the distributed CGM
+/// engine (cgm/distributed.hpp) reproduce the shared-memory engine's data
+/// movement bit for bit across ranks without exchanging a single plan
+/// byte.
+struct split_plan {
+  std::uint32_t k = 0;
+  std::vector<std::uint64_t> margins;     ///< chunk c size == bucket c capacity
+  core::comm_matrix a;                    ///< the k x k communication matrix
+  std::vector<std::uint64_t> bucket_off;  ///< k+1 bucket start offsets
+  std::vector<std::uint64_t> dest;        ///< dest[c*k+j]: chunk c's cursor start for bucket j
+};
+
+/// Sample the split plan for `n` items at `node` (phase 1 of the split).
+[[nodiscard]] inline split_plan make_split_plan(std::uint64_t n, std::uint64_t seed,
+                                                std::uint64_t node,
+                                                const split_options& opt = {}) {
+  CGP_EXPECTS(opt.fan_out >= 2 && opt.fan_out <= 256);  // labels are bytes
+  split_plan plan;
+  plan.k = static_cast<std::uint32_t>(std::min<std::uint64_t>(opt.fan_out, n));
+  CGP_EXPECTS(plan.k >= 2);
+  const std::uint32_t k = plan.k;
+
+  // Balanced margins on both sides: chunk c holds m_c = n/K +- 1 items and
+  // bucket j is filled with exactly m'_j = n/K +- 1 items (the PRO block
+  // distribution, util/prefix.hpp).
+  plan.margins = balanced_blocks(n, k);
+
+  // The communication matrix, from one dedicated stream.
+  auto matrix_engine = detail::node_engine(seed, node, detail::kMatrixSalt);
+  plan.a = core::sample_matrix_rowwise(matrix_engine, plan.margins, plan.margins, opt.sampling);
+
+  // Column-prefix scatter offsets: chunk c's segment for bucket j lands at
+  //   dest(c, j) = bucket_offset(j) + sum_{c' < c} a(c', j).
+  plan.bucket_off.assign(k + 1, 0);
+  inclusive_prefix_sum(plan.margins, std::span<std::uint64_t>(plan.bucket_off).subspan(1));
+  plan.dest.resize(static_cast<std::size_t>(k) * k);
+  for (std::uint32_t j = 0; j < k; ++j) {
+    std::uint64_t at = plan.bucket_off[j];
+    for (std::uint32_t c = 0; c < k; ++c) {
+      plan.dest[static_cast<std::size_t>(c) * k + j] = at;
+      at += plan.a(c, j);
+    }
+    CGP_ASSERT(at == plan.bucket_off[j + 1]);
+  }
+  return plan;
+}
+
+/// Fill `label` with the shuffled bucket-label sequence of chunk `c`
+/// under `plan` -- exactly the labels phase 2 of `parallel_split`
+/// consumes: a_{c,j} copies of label j, Fisher-Yates'd on the chunk's
+/// dedicated stream.  Item i of chunk c goes to bucket label[i]; its
+/// in-bucket slot is the running count of earlier same-label items plus
+/// plan.dest[c*k + label[i]].  Out-parameter form so hot loops can reuse
+/// one buffer across chunks.
+inline void split_chunk_labels_into(const split_plan& plan, std::uint64_t seed,
+                                    std::uint64_t node, std::uint32_t c,
+                                    std::vector<std::uint8_t>& label) {
+  CGP_EXPECTS(c < plan.k);
+  label.resize(static_cast<std::size_t>(plan.margins[c]));
+  std::size_t at = 0;
+  for (std::uint32_t j = 0; j < plan.k; ++j) {
+    const auto count = static_cast<std::size_t>(plan.a(c, j));
+    std::fill_n(label.begin() + static_cast<std::ptrdiff_t>(at), count,
+                static_cast<std::uint8_t>(j));
+    at += count;
+  }
+  CGP_ASSERT(at == label.size());
+  auto engine = detail::node_engine(seed, node, detail::kChunkSalt, c);
+  seq::fisher_yates(engine, std::span<std::uint8_t>(label));
+}
+
+/// Returning convenience over split_chunk_labels_into (replay paths that
+/// need one chunk at a time, e.g. the distributed engine).
+[[nodiscard]] inline std::vector<std::uint8_t> split_chunk_labels(const split_plan& plan,
+                                                                  std::uint64_t seed,
+                                                                  std::uint64_t node,
+                                                                  std::uint32_t c) {
+  std::vector<std::uint8_t> label;
+  split_chunk_labels_into(plan, seed, node, c, label);
+  return label;
+}
+
 /// Split `data` into fan_out contiguous buckets, uniformly: after the call,
 /// bucket j occupies data[off[j] .. off[j+1]) where `off` is the returned
 /// offset vector (size K+1), the multiset of items is preserved, and --
@@ -92,59 +178,25 @@ template <typename T>
                                                         const split_options& opt = {}) {
   static_assert(std::is_trivially_copyable_v<T>);
   CGP_EXPECTS(scratch.size() >= data.size());
-  CGP_EXPECTS(opt.fan_out >= 2 && opt.fan_out <= 256);  // labels are bytes
   const std::uint64_t n = data.size();
-  const auto k = static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(opt.fan_out, n));
-  CGP_EXPECTS(k >= 2);
 
-  // Balanced margins on both sides: chunk c holds m_c = n/K +- 1 items and
-  // bucket j is filled with exactly m'_j = n/K +- 1 items (the PRO block
-  // distribution, util/prefix.hpp).
-  const std::vector<std::uint64_t> margins = balanced_blocks(n, k);
-
-  // Phase 1: the communication matrix, from one dedicated stream.
-  auto matrix_engine = detail::node_engine(seed, node, detail::kMatrixSalt);
-  const core::comm_matrix a =
-      core::sample_matrix_rowwise(matrix_engine, margins, margins, opt.sampling);
-
-  // Column-prefix scatter offsets: chunk c's segment for bucket j lands at
-  //   dest(c, j) = bucket_offset(j) + sum_{c' < c} a(c', j).
-  std::vector<std::uint64_t> bucket_off(k + 1, 0);
-  inclusive_prefix_sum(margins, std::span<std::uint64_t>(bucket_off).subspan(1));
-  std::vector<std::uint64_t> dest(static_cast<std::size_t>(k) * k);
-  for (std::uint32_t j = 0; j < k; ++j) {
-    std::uint64_t at = bucket_off[j];
-    for (std::uint32_t c = 0; c < k; ++c) {
-      dest[static_cast<std::size_t>(c) * k + j] = at;
-      at += a(c, j);
-    }
-    CGP_ASSERT(at == bucket_off[j + 1]);
-  }
+  // Phase 1: the deterministic split plan (margins, matrix, offsets).
+  const split_plan plan = make_split_plan(n, seed, node, opt);
+  const std::uint32_t k = plan.k;
 
   // Phase 2: per-chunk label shuffle + streaming scatter (parallel over
   // chunks; cursors start at the precomputed offsets, so chunks write
   // disjoint scratch ranges and need no synchronization).
   const auto split_chunks = [&](std::size_t chunk_lo, std::size_t chunk_hi) {
-    std::vector<std::uint8_t> label;
+    std::vector<std::uint8_t> label;  // reused across this worker's chunks
     std::vector<std::uint64_t> cursor(k);
     for (std::size_t c = chunk_lo; c < chunk_hi; ++c) {
       const std::uint64_t off = balanced_block_offset(n, k, static_cast<std::uint32_t>(c));
-      const std::uint64_t len = margins[c];
+      const std::uint64_t len = plan.margins[c];
       const std::span<const T> chunk = data.subspan(static_cast<std::size_t>(off),
                                                     static_cast<std::size_t>(len));
-      label.resize(static_cast<std::size_t>(len));
-      std::size_t at = 0;
-      for (std::uint32_t j = 0; j < k; ++j) {
-        cursor[j] = dest[c * k + j];
-        const auto count = static_cast<std::size_t>(a(static_cast<std::uint32_t>(c), j));
-        std::fill_n(label.begin() + static_cast<std::ptrdiff_t>(at), count,
-                    static_cast<std::uint8_t>(j));
-        at += count;
-      }
-      CGP_ASSERT(at == len);
-      auto engine = detail::node_engine(seed, node, detail::kChunkSalt, c);
-      seq::fisher_yates(engine, std::span<std::uint8_t>(label));
+      for (std::uint32_t j = 0; j < k; ++j) cursor[j] = plan.dest[c * k + j];
+      split_chunk_labels_into(plan, seed, node, static_cast<std::uint32_t>(c), label);
       for (std::size_t i = 0; i < chunk.size(); ++i) {
         scratch[static_cast<std::size_t>(cursor[label[i]]++)] = chunk[i];
       }
@@ -158,8 +210,8 @@ template <typename T>
 
   // Phase 3: copy the bucketed order back so the split is in place.
   const auto copy_back = [&](std::size_t bucket_lo, std::size_t bucket_hi) {
-    const auto lo = static_cast<std::size_t>(bucket_off[bucket_lo]);
-    const auto hi = static_cast<std::size_t>(bucket_off[bucket_hi]);
+    const auto lo = static_cast<std::size_t>(plan.bucket_off[bucket_lo]);
+    const auto hi = static_cast<std::size_t>(plan.bucket_off[bucket_hi]);
     std::copy_n(scratch.begin() + static_cast<std::ptrdiff_t>(lo), hi - lo,
                 data.begin() + static_cast<std::ptrdiff_t>(lo));
   };
@@ -169,7 +221,7 @@ template <typename T>
     copy_back(0, k);
   }
 
-  return bucket_off;
+  return plan.bucket_off;
 }
 
 }  // namespace cgp::smp

@@ -98,19 +98,46 @@ TEST(Machine, MultiSuperstepPingPong) {
   });
 }
 
-TEST(Machine, DeterministicAcrossRuns) {
+TEST(Machine, RepeatedRunsAreIndependentAndReproducible) {
+  // Repeated runs on ONE machine draw from fresh run-keyed streams (the
+  // old behaviour replayed run 0's draws verbatim -- two permute_global
+  // calls returned the same "random" permutation); a second machine with
+  // the same seed replays the whole run sequence, and reseed resets it.
   cgm::machine mach(4, 77);
-  auto draw_all = [&] {
+  auto draw_all = [](cgm::machine& m) {
     std::vector<std::uint64_t> draws(4);
-    mach.run([&](cgm::context& ctx) { draws[ctx.id()] = ctx.rng()(); });
+    m.run([&](cgm::context& ctx) { draws[ctx.id()] = ctx.rng()(); });
     return draws;
   };
-  const auto a = draw_all();
-  const auto b = draw_all();
-  EXPECT_EQ(a, b);  // same seed => identical streams
+  const auto a = draw_all(mach);
+  const auto b = draw_all(mach);
+  EXPECT_NE(a, b);  // independent across runs
+
+  cgm::machine replay(4, 77);
+  EXPECT_EQ(a, draw_all(replay));  // reproducible run for run
+  EXPECT_EQ(b, draw_all(replay));
+
+  mach.reseed(77);
+  EXPECT_EQ(a, draw_all(mach));  // reseed resets the run ordinal
   mach.reseed(78);
-  const auto c = draw_all();
-  EXPECT_NE(a, c);
+  EXPECT_NE(a, draw_all(mach));  // different seed, different streams
+}
+
+TEST(Machine, StreamOffsetReproducesLaterRuns) {
+  cgm::machine mach(2, 123);
+  auto draw_all = [](cgm::machine& m) {
+    std::vector<std::uint64_t> draws(2);
+    m.run([&](cgm::context& ctx) { draws[ctx.id()] = ctx.rng()(); });
+    return draws;
+  };
+  std::vector<std::vector<std::uint64_t>> runs;
+  for (int i = 0; i < 3; ++i) runs.push_back(draw_all(mach));
+
+  // A fresh machine offset to run 2 reproduces the third run without
+  // replaying the first two.
+  cgm::machine skip(2, 123);
+  skip.set_stream_offset(2);
+  EXPECT_EQ(runs[2], draw_all(skip));
 }
 
 TEST(Machine, RngStreamsDifferAcrossProcessors) {

@@ -172,11 +172,22 @@ TEST(Permute, GeneralPipelineUniformOverS4) {
   EXPECT_GT(stats::chi_square_uniform(counts).p_value, 1e-9);
 }
 
-TEST(Permute, DeterministicForFixedSeed) {
+TEST(Permute, DeterministicForFixedSeedAndIndependentAcrossCalls) {
+  // Repeated calls on ONE machine are independent draws (the pre-fix
+  // dispatch re-keyed every run identically and returned the same
+  // permutation twice); a machine with the same seed replays the run
+  // sequence call for call, and reseed resets the sequence.
   cgm::machine mach(4, 600);
   const auto a = core::random_permutation_global(mach, 128);
   const auto b = core::random_permutation_global(mach, 128);
-  EXPECT_EQ(a, b);
+  EXPECT_NE(a, b);
+
+  cgm::machine replay(4, 600);
+  EXPECT_EQ(a, core::random_permutation_global(replay, 128));
+  EXPECT_EQ(b, core::random_permutation_global(replay, 128));
+
+  mach.reseed(600);
+  EXPECT_EQ(a, core::random_permutation_global(mach, 128));
   mach.reseed(601);
   EXPECT_NE(a, core::random_permutation_global(mach, 128));
 }

@@ -265,7 +265,7 @@ TEST(Backend, SequentialDispatchMatchesFisherYates) {
 
 TEST(Backend, AllBackendsProduceValidPermutations) {
   for (const auto b : {core::backend::cgm_simulator, core::backend::smp, core::backend::em,
-                       core::backend::sequential}) {
+                       core::backend::cgm, core::backend::sequential}) {
     core::backend_options opt;
     opt.which = b;
     opt.parallelism = 2;
@@ -277,7 +277,8 @@ TEST(Backend, AllBackendsProduceValidPermutations) {
 }
 
 TEST(Backend, NamesAreStable) {
-  EXPECT_STREQ(core::backend_name(core::backend::cgm_simulator), "cgm");
+  EXPECT_STREQ(core::backend_name(core::backend::cgm_simulator), "cgm_sim");
+  EXPECT_STREQ(core::backend_name(core::backend::cgm), "cgm");
   EXPECT_STREQ(core::backend_name(core::backend::smp), "smp");
   EXPECT_STREQ(core::backend_name(core::backend::em), "em");
   EXPECT_STREQ(core::backend_name(core::backend::sequential), "seq");
