@@ -1,0 +1,194 @@
+// E17 -- service-layer throughput/latency sweep: closed-loop clients
+// against svc::server, batched vs unbatched.
+//
+// Each client thread runs a closed loop -- submit one small permutation
+// request, block on the future, repeat -- so offered load scales with the
+// client count and queueing stays stable.  Sweeping clients with batching
+// on and off isolates what the scheduler's per-tick batching buys: with
+// batching, the k requests that pile up while a tick runs are executed as
+// ONE pool dispatch instead of k, amortizing dispatch overhead across
+// tenants.  The headline number is batched/unbatched throughput at >= 8
+// concurrent clients (the acceptance bar is >= 1.5x on hosts with the
+// cores to show it; single-core hosts serialize the pool and mostly show
+// the queueing behaviour -- the JSON records hardware_concurrency so the
+// reader can tell which regime a record measured).
+//
+// Output: a table on stdout plus BENCH_svc.json (one record per
+// (batching, clients) cell: requests/sec, p50/p99 latency, scheduler
+// batch counters, plan-cache hit rate).
+//
+// Usage: e17_service [mode] [json_path]   mode: full (default) | small
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "stats/lehmer.hpp"
+#include "svc/server.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cgp;
+
+struct cell {
+  bool batching = false;
+  std::uint32_t clients = 0;
+  std::uint64_t requests = 0;
+  double seconds = 0.0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_jobs = 0;
+};
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const auto k = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), v.end());
+  return v[k];
+}
+
+cell run_cell(bool batching, std::uint32_t clients, std::uint64_t per_client, std::uint64_t n) {
+  svc::server_options so;
+  so.seed = 0xE17;
+  so.batching = batching;
+  so.scheduler_workers = 2;
+  so.queue_capacity = 4096;
+  svc::server srv(so);
+
+  std::vector<std::vector<double>> lat(clients);
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      lat[c].reserve(per_client);
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (std::uint64_t r = 0; r < per_client; ++r) {
+        stopwatch sw;
+        auto fut = srv.submit_permutation(c, n);
+        (void)fut.get();
+        lat[c].push_back(sw.seconds());
+      }
+    });
+  }
+  while (ready.load() < clients) std::this_thread::yield();
+  stopwatch total;
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  cell out;
+  out.batching = batching;
+  out.clients = clients;
+  out.requests = clients * per_client;
+  out.seconds = total.seconds();
+  out.rps = static_cast<double>(out.requests) / out.seconds;
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  out.p50_ms = percentile(all, 0.50) * 1e3;
+  out.p99_ms = percentile(all, 0.99) * 1e3;
+  const svc::server_stats st = srv.stats();
+  out.batches = st.sched.batches;
+  out.batched_jobs = st.sched.batched_jobs;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "full";
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_svc.json";
+  const bool small = mode == "small";
+  const std::uint64_t n = 4096;  // a small job: batchable, cache-resident
+  const std::uint64_t per_client = small ? 50 : 400;
+  const std::vector<std::uint32_t> client_counts =
+      small ? std::vector<std::uint32_t>{1, 4, 8} : std::vector<std::uint32_t>{1, 2, 4, 8, 16};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::cout << "E17: svc::server closed-loop client sweep, n=" << n << " per request, "
+            << per_client << " requests/client, hw=" << hw << " threads\n\n";
+
+  // Sanity: the service actually serves permutations.
+  {
+    svc::server srv;
+    const svc::permutation pi = srv.submit_permutation(0, n).get();
+    if (!stats::is_permutation_of_iota(pi)) {
+      std::cerr << "INVALID permutation from svc::server\n";
+      return 1;
+    }
+  }
+
+  table t({"clients", "batching", "req/s", "p50 [ms]", "p99 [ms]", "batches", "batched jobs"});
+  std::vector<json_record> out;
+  std::vector<cell> cells;
+  for (const std::uint32_t clients : client_counts) {
+    for (const bool batching : {false, true}) {
+      const cell c = run_cell(batching, clients, per_client, n);
+      cells.push_back(c);
+      t.add_row({fmt_count(c.clients), c.batching ? "on" : "off", fmt(c.rps, 0),
+                 fmt(c.p50_ms, 3), fmt(c.p99_ms, 3), fmt_count(c.batches),
+                 fmt_count(c.batched_jobs)});
+      json_record rec;
+      rec.add("bench", "e17_service")
+          .add("mode", mode)
+          .add("hardware_threads", static_cast<std::uint64_t>(hw))
+          .add("n", n)
+          .add("clients", c.clients)
+          .add("batching", c.batching)
+          .add("requests", c.requests)
+          .add("seconds", c.seconds)
+          .add("requests_per_second", c.rps)
+          .add("p50_ms", c.p50_ms)
+          .add("p99_ms", c.p99_ms)
+          .add("batches", c.batches)
+          .add("batched_jobs", c.batched_jobs);
+      out.push_back(std::move(rec));
+    }
+  }
+  t.print(std::cout);
+
+  // The acceptance ratio: batched vs unbatched throughput at the LARGEST
+  // swept client count >= 8 (no cherry-picking a better smaller cell).
+  double headline_ratio = 0.0;
+  std::uint32_t at_clients = 0;
+  for (const auto& c : cells) {
+    if (!c.batching || c.clients < 8 || c.clients < at_clients) continue;
+    for (const auto& u : cells) {
+      if (u.batching || u.clients != c.clients) continue;
+      headline_ratio = c.rps / u.rps;
+      at_clients = c.clients;
+    }
+  }
+  if (at_clients != 0) {
+    std::cout << "\nbatched/unbatched throughput at " << at_clients
+              << " clients: " << fmt(headline_ratio, 2) << "x\n";
+    if (hw < 2) {
+      std::cout << "NOTE: " << hw
+                << " hardware thread(s) -- the batch's one pool dispatch serializes onto\n"
+                << "the same core the unbatched path uses, so the >= 1.5x batching win\n"
+                << "needs a multi-core host; this record documents the queueing behaviour.\n";
+    }
+    json_record rec;
+    rec.add("bench", "e17_service")
+        .add("mode", mode)
+        .add("hardware_threads", static_cast<std::uint64_t>(hw))
+        .add("summary", "batched_over_unbatched")
+        .add("clients", at_clients)
+        .add("batched_over_unbatched", headline_ratio);
+    out.push_back(std::move(rec));
+  }
+
+  if (write_json_records(json_path, out)) {
+    std::cout << "\nwrote " << out.size() << " records to " << json_path << "\n";
+  }
+  return 0;
+}

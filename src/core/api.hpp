@@ -29,6 +29,11 @@
 // programs.
 #pragma once
 
+// NOTE: the multi-tenant service layer (src/svc/) sits ABOVE this
+// umbrella -- include "svc/server.hpp" explicitly to use it.  Exporting
+// it from here would invert the layering (core must not depend on what
+// is built on top of it).
+
 // --- the facade ----------------------------------------------------------
 #include "core/context.hpp"      // IWYU pragma: export
 

@@ -21,12 +21,23 @@
 // contexts with the same base seed replay each other call for call.  Pass
 // an explicit seed to pin a single call instead.
 //
+// Thread safety: ONE context may be shared across worker threads.  The
+// explicit-seed entry points are `const` and touch no mutable state, so a
+// service (src/svc/) hands every scheduler worker a `const context&` and
+// keys each job's seed itself; the draw-sequence entry points reserve
+// their call index atomically, so concurrent sequence draws each get a
+// distinct seed (which draw gets which index is scheduling-dependent --
+// callers that need a deterministic (caller, index) -> seed map should key
+// explicit seeds, as the service layer does).  `reseed` / `recalibrate` /
+// `set_transport` are exclusive: do not run them concurrently with draws.
+//
 // The old free functions (core::shuffle / core::permute /
 // core::random_permutation in core/backend.hpp, core::permute_global in
 // core/driver.hpp) remain as thin compatibility shims over the same
 // plan/executor core; new code should construct a context.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -65,7 +76,7 @@ class context {
   explicit context(context_options opt = {})
       : opt_(opt),
         profile_(opt.calibrate ? core::machine_profile::calibrate()
-                               : core::machine_profile::detect()),
+                               : core::shared_profile()),
         seed_(opt.seed) {}
 
   context(const context&) = delete;
@@ -76,37 +87,58 @@ class context {
   /// Uses the next seed of the context's draw sequence.
   template <typename T>
   core::permutation_plan shuffle(std::span<T> data) {
-    return core::shuffle(data, options_for(next_seed()));
+    return core::shuffle(data, execution_options(next_seed()));
   }
 
   /// Same, under an explicit seed (does not advance the draw sequence).
+  /// `const`: safe to call concurrently on one shared context.
   template <typename T>
-  core::permutation_plan shuffle(std::span<T> data, std::uint64_t seed) {
-    return core::shuffle(data, options_for(seed));
+  core::permutation_plan shuffle(std::span<T> data, std::uint64_t seed) const {
+    return core::shuffle(data, execution_options(seed));
   }
 
   /// Sample pi uniform over S_n (pi[i] = image of i), in the executor's
   /// native fill mode.
   [[nodiscard]] std::vector<std::uint64_t> random_permutation(std::uint64_t n) {
-    return core::random_permutation(n, options_for(next_seed()));
+    return core::random_permutation(n, execution_options(next_seed()));
   }
   [[nodiscard]] std::vector<std::uint64_t> random_permutation(std::uint64_t n,
-                                                              std::uint64_t seed) {
-    return core::random_permutation(n, options_for(seed));
+                                                              std::uint64_t seed) const {
+    return core::random_permutation(n, execution_options(seed));
   }
 
   /// The plan a shuffle of `n` records of `elem_bytes` would run, without
   /// running it (inspect plan.explain() for the evidence).
   [[nodiscard]] core::permutation_plan plan_for(std::uint64_t n,
                                                std::uint32_t elem_bytes) const {
-    return core::resolve_plan(n, elem_bytes, options_for(seed_));
+    return core::resolve_plan(n, elem_bytes, execution_options(seed_.load(std::memory_order_relaxed)));
+  }
+
+  /// The exact per-call options a draw under `seed` executes with: the
+  /// curated fields projected onto the expert engine options, plus the
+  /// context's profile.  Public so a layer that schedules its own
+  /// execution (svc::server) can run jobs through the identical
+  /// plan/executor path -- `core::shuffle(data, ctx.execution_options(s))`
+  /// is bit-for-bit `ctx.shuffle(data, s)` by construction.  The returned
+  /// options point at this context's profile; they must not outlive it.
+  [[nodiscard]] core::backend_options execution_options(std::uint64_t seed) const {
+    core::backend_options o = opt_.engine;
+    o.which = opt_.which;
+    if (opt_.parallelism != 0) o.parallelism = opt_.parallelism;
+    if (opt_.memory_budget_bytes != 0) o.memory_budget_bytes = opt_.memory_budget_bytes;
+    o.repetitions = opt_.repetitions;
+    o.seed = seed;
+    o.profile = &profile_;
+    return o;
   }
 
   /// The profile the planner reads.
   [[nodiscard]] const core::machine_profile& profile() const noexcept { return profile_; }
 
-  /// Re-measure the profile with in-process probes.
-  void recalibrate() { profile_ = core::machine_profile::calibrate(); }
+  /// Re-measure the profile with in-process probes.  Also installs the
+  /// measurement as the process-wide shared profile (the cache behind
+  /// core::shared_profile()), so later contexts and servers see it too.
+  void recalibrate() { profile_ = core::recalibrate_shared_profile(); }
 
   /// The transport the distributed cgm backend runs on: the injected one,
   /// else the registry's shared transport for the context's rank count.
@@ -118,14 +150,18 @@ class context {
   /// Run over `t` (not owned; must outlive the context).
   void set_transport(comm::transport* t) noexcept { opt_.engine.transport = t; }
 
-  /// Restart the draw sequence at `seed`.
+  /// Restart the draw sequence at `seed`.  Exclusive: not safe to run
+  /// concurrently with draw-sequence calls (the pair of stores is not one
+  /// atomic transaction).
   void reseed(std::uint64_t seed) noexcept {
-    seed_ = seed;
-    draws_ = 0;
+    seed_.store(seed, std::memory_order_relaxed);
+    draws_.store(0, std::memory_order_relaxed);
   }
 
   /// Calls consumed from the draw sequence so far.
-  [[nodiscard]] std::uint64_t draws() const noexcept { return draws_; }
+  [[nodiscard]] std::uint64_t draws() const noexcept {
+    return draws_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Seed of draw k: the base seed verbatim first (so a context replays
@@ -133,28 +169,18 @@ class context {
   /// core/repeat.hpp's permutation_stream -- mixing k through its own
   /// mix64 before xoring keeps contexts with ADJACENT base seeds on
   /// disjoint sequences (mix64(seed + k) would make seed 101's draw k
-  /// collide with seed 100's draw k+1).
+  /// collide with seed 100's draw k+1).  The fetch_add reserves the call
+  /// index, so concurrent sequence draws never reuse a seed.
   [[nodiscard]] std::uint64_t next_seed() noexcept {
-    const std::uint64_t k = draws_++;
-    return k == 0 ? seed_ : rng::mix64(seed_ ^ rng::mix64(k + 0x9E3779B97F4A7C15ull));
-  }
-
-  /// The curated fields projected onto the expert options.
-  [[nodiscard]] core::backend_options options_for(std::uint64_t seed) const {
-    core::backend_options o = opt_.engine;
-    o.which = opt_.which;
-    if (opt_.parallelism != 0) o.parallelism = opt_.parallelism;
-    if (opt_.memory_budget_bytes != 0) o.memory_budget_bytes = opt_.memory_budget_bytes;
-    o.repetitions = opt_.repetitions;
-    o.seed = seed;
-    o.profile = &profile_;
-    return o;
+    const std::uint64_t k = draws_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t s = seed_.load(std::memory_order_relaxed);
+    return k == 0 ? s : rng::mix64(s ^ rng::mix64(k + 0x9E3779B97F4A7C15ull));
   }
 
   context_options opt_;
   core::machine_profile profile_;
-  std::uint64_t seed_ = 0;
-  std::uint64_t draws_ = 0;
+  std::atomic<std::uint64_t> seed_ = 0;
+  std::atomic<std::uint64_t> draws_ = 0;
 };
 
 }  // namespace cgp

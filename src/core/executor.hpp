@@ -343,6 +343,48 @@ class cgm_executor final : public executor {
   cgm::distributed_options opt_;
 };
 
+/// The resolved em execution configuration: plan geometry with
+/// per-option fallbacks, plus the compute pool.  The single source of
+/// truth shared by make_executor's em branch and the service layer's
+/// device-backed streams (svc/server.cpp) -- resolving through one
+/// function is what keeps a streamed job's device content bit-identical
+/// to what fill_random_permutation would read back.
+struct em_exec_config {
+  em::async_options aopt{};
+  std::uint32_t block_items = 0;
+  smp::thread_pool* pool = nullptr;
+};
+
+[[nodiscard]] inline em_exec_config resolve_em_config(const permutation_plan& plan,
+                                                      const backend_options& opt) {
+  em_exec_config cfg;
+  cfg.aopt = opt.em_engine;
+  cfg.aopt.memory_items =
+      plan.em_memory_items != 0 ? plan.em_memory_items : opt.em_engine.memory_items;
+  cfg.block_items = plan.em_block_items != 0 ? plan.em_block_items : opt.em_block_items;
+  cfg.pool = opt.engine != nullptr ? &opt.engine->pool() : &shared_pool(plan.threads);
+  return cfg;
+}
+
+/// A fresh device holding a uniform permutation of {0..n-1}: the
+/// identity streamed on, shuffled in place by the async em engine -- the
+/// em executor's native fill mode up to (but not including) its final
+/// bulk readback.  `rep_out`, if given, receives the engine report with
+/// the identity-fill transfers folded in (the readback, if any, is the
+/// caller's to count).
+[[nodiscard]] inline std::unique_ptr<em::block_device> em_shuffled_identity_device(
+    std::uint64_t n, std::uint64_t seed, const em_exec_config& cfg,
+    em::async_report* rep_out = nullptr) {
+  auto dev = std::make_unique<em::block_device>(n, cfg.block_items);
+  const std::uint64_t t0 = dev->stats().transfers();
+  fill_iota_streamed(*dev, n, cfg.aopt.memory_items);
+  const std::uint64_t t1 = dev->stats().transfers();
+  em::async_report rep = em::async_em_shuffle(*dev, n, seed, *cfg.pool, cfg.aopt);
+  rep.block_transfers += t1 - t0;
+  if (rep_out != nullptr) *rep_out = rep;
+  return dev;
+}
+
 /// The out-of-core engine behind a streaming apply layer (core/apply.hpp):
 /// payloads of <= 8 bytes stream onto the device packed one-per-word and
 /// are shuffled there directly; larger records gather through an on-device
@@ -402,14 +444,11 @@ class em_executor final : public executor {
 
   void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) override {
     const std::uint64_t n = out.size();
-    em::block_device dev(n, block_items_);
-    const std::uint64_t t0 = dev.stats().transfers();
-    fill_iota_streamed(dev, n, aopt_.memory_items);
-    const std::uint64_t t1 = dev.stats().transfers();
-    em::async_report rep = em::async_em_shuffle(dev, n, seed, pool_, aopt_);
-    const std::uint64_t t2 = dev.stats().transfers();
-    dev.read_items(0, out);  // one bulk call, straight into caller memory
-    rep.block_transfers += (t1 - t0) + (dev.stats().transfers() - t2);
+    em::async_report rep;
+    const auto dev = em_shuffled_identity_device(n, seed, {aopt_, block_items_, &pool_}, &rep);
+    const std::uint64_t t = dev->stats().transfers();
+    dev->read_items(0, out);  // one bulk call, straight into caller memory
+    rep.block_transfers += dev->stats().transfers() - t;
     if (report_out_ != nullptr) *report_out_ = rep;
   }
 
@@ -497,14 +536,9 @@ class em_executor final : public executor {
       return std::make_unique<cgm_executor>(tr, opt.cgm_engine);
     }
     case backend::em: {
-      em::async_options aopt = opt.em_engine;
-      aopt.memory_items = plan.em_memory_items != 0 ? plan.em_memory_items
-                                                    : opt.em_engine.memory_items;
-      const std::uint32_t b = plan.em_block_items != 0 ? plan.em_block_items
-                                                       : opt.em_block_items;
-      smp::thread_pool& pool =
-          opt.engine != nullptr ? opt.engine->pool() : shared_pool(plan.threads);
-      return std::make_unique<em_executor>(aopt, b, pool, opt.em_report_out);
+      const em_exec_config cfg = resolve_em_config(plan, opt);
+      return std::make_unique<em_executor>(cfg.aopt, cfg.block_items, *cfg.pool,
+                                           opt.em_report_out);
     }
     case backend::automatic:
     default:

@@ -1,6 +1,7 @@
 #include "core/plan.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -10,6 +11,7 @@
 
 #include "core/registry.hpp"
 #include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
 #include "seq/fisher_yates.hpp"
 #include "util/stopwatch.hpp"
 
@@ -174,6 +176,33 @@ machine_profile machine_profile::calibrate(std::uint64_t small_n, std::uint64_t 
     prof.split_ns = std::max(0.05, per_level_item);
   }
   return prof;
+}
+
+std::uint64_t machine_profile::fingerprint() const noexcept {
+  // Chain every plan-relevant field through the same mix discipline the
+  // seed derivations use; doubles enter as their bit patterns, so any
+  // recalibration that moves a rate by one ulp already re-keys the cache.
+  const auto mix_in = [](std::uint64_t h, std::uint64_t v) {
+    return rng::mix64(h ^ rng::mix64(v + 0x9E3779B97F4A7C15ull));
+  };
+  const auto bits = [](double d) { return std::bit_cast<std::uint64_t>(d); };
+  std::uint64_t h = 0x50524F46ull;  // 'PROF'
+  h = mix_in(h, threads);
+  h = mix_in(h, cache_items);
+  h = mix_in(h, hit_bytes);
+  h = mix_in(h, miss_bytes);
+  h = mix_in(h, far_bytes);
+  h = mix_in(h, bits(seq_ns_hit));
+  h = mix_in(h, bits(seq_ns_miss));
+  h = mix_in(h, bits(seq_ns_far));
+  h = mix_in(h, bits(split_ns));
+  h = mix_in(h, bits(level_overhead_ns));
+  h = mix_in(h, bits(dispatch_overhead_ns));
+  h = mix_in(h, bits(em_ns_per_item_pass));
+  h = mix_in(h, comm_ranks);
+  h = mix_in(h, bits(comm_g_ns_per_word));
+  h = mix_in(h, bits(comm_l_ns));
+  return h;
 }
 
 permutation_plan plan_permutation(const workload& w, const machine_profile& prof) {

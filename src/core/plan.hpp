@@ -126,6 +126,13 @@ struct machine_profile {
   [[nodiscard]] static machine_profile detect();
   [[nodiscard]] static machine_profile calibrate(std::uint64_t small_n = 1ull << 15,
                                                  std::uint64_t large_n = 1ull << 22);
+
+  /// Stable 64-bit fingerprint over every field that can change a plan.
+  /// This is the profile component of the plan-cache key (core::cached_plan
+  /// in core/registry.hpp): two profiles with equal fingerprints plan every
+  /// workload identically, and recalibration changes the fingerprint, so
+  /// stale cached plans can never be served for a re-measured machine.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 /// One line of the plan's cost breakdown.

@@ -1,10 +1,12 @@
 #include "core/registry.hpp"
 
+#include <array>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
-#include <tuple>
 #include <utility>
 
 namespace cgp::core {
@@ -30,13 +32,52 @@ smp::engine_options normalized(smp::engine_options opt) {
   return opt;
 }
 
+// One registry entry: the key is fixed at insertion (under the registry
+// mutex), the payload is built exactly once OUTSIDE it via the per-node
+// once_flag.  Concurrent first-touch calls for one configuration all rally
+// on the same flag -- exactly one constructs, the rest block only on that
+// construction -- while a slow construction (an engine spins up a whole
+// thread pool) never holds the registry mutex, so lookups of other
+// configurations proceed.  std::list keeps node addresses stable as later
+// registrations grow the registry.
+struct engine_node {
+  explicit engine_node(smp::engine_options k) : key(k) {}
+  smp::engine_options key;
+  std::once_flag once;
+  std::unique_ptr<smp::engine> engine;
+};
+
+struct transport_node {
+  explicit transport_node(std::uint32_t r) : ranks(r) {}
+  std::uint32_t ranks;
+  std::once_flag once;
+  std::unique_ptr<comm::transport> transport;
+};
+
+// Plan-cache key: the workload fields that enter plan_permutation plus the
+// profile fingerprint (recalibration re-keys every entry).
+using plan_key = std::array<std::uint64_t, 5>;
+
 struct registry {
   std::mutex mutex;
-  // std::list: node stability -- references handed out stay valid while
-  // later registrations grow the registry.
-  std::list<std::pair<smp::engine_options, smp::engine>> engines;
-  std::list<std::pair<std::uint32_t, std::unique_ptr<comm::transport>>> transports;
+  std::list<engine_node> engines;
+  std::size_t engines_ready = 0;  // nodes whose construction completed
+  std::list<transport_node> transports;
+
+  // Process-wide machine profile (detect() on first touch).
+  std::mutex profile_mutex;
+  std::optional<machine_profile> profile;
+
+  // Plan cache.  Bounded: a multi-tenant server can see arbitrarily many
+  // distinct (n, elem) shapes, so on overflow the cache is cleared rather
+  // than grown without limit -- correctness never depends on a hit.
+  std::mutex plan_mutex;
+  std::map<plan_key, permutation_plan> plans;
+  std::size_t plan_lookups = 0;
+  std::size_t plan_hits = 0;
 };
+
+constexpr std::size_t kPlanCacheCapacity = 4096;
 
 registry& instance() {
   static registry reg;
@@ -48,15 +89,23 @@ registry& instance() {
 smp::engine& shared_engine(const smp::engine_options& opt) {
   const smp::engine_options key = normalized(opt);
   registry& reg = instance();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
-  for (auto& [cfg, eng] : reg.engines) {
-    if (same_config(cfg, key)) return eng;
+  engine_node* node = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& n : reg.engines) {
+      if (same_config(n.key, key)) {
+        node = &n;
+        break;
+      }
+    }
+    if (node == nullptr) node = &reg.engines.emplace_back(key);
   }
-  // Piecewise: smp::engine owns a thread_pool and is neither copyable nor
-  // movable, so it must be constructed in place.
-  reg.engines.emplace_back(std::piecewise_construct, std::forward_as_tuple(key),
-                           std::forward_as_tuple(key));
-  return reg.engines.back().second;
+  std::call_once(node->once, [&] {
+    node->engine = std::make_unique<smp::engine>(key);
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    ++reg.engines_ready;
+  });
+  return *node->engine;
 }
 
 smp::thread_pool& shared_pool(std::uint32_t threads) {
@@ -68,24 +117,87 @@ smp::thread_pool& shared_pool(std::uint32_t threads) {
 comm::transport& shared_transport(std::uint32_t ranks) {
   if (ranks == 0) ranks = 1;
   registry& reg = instance();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
-  for (auto& [count, tr] : reg.transports) {
-    if (count == ranks) return *tr;
+  transport_node* node = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& n : reg.transports) {
+      if (n.ranks == ranks) {
+        node = &n;
+        break;
+      }
+    }
+    if (node == nullptr) node = &reg.transports.emplace_back(ranks);
   }
-  std::unique_ptr<comm::transport> made;
-  if (ranks == 1) {
-    made = std::make_unique<comm::loopback_transport>();
-  } else {
-    made = std::make_unique<comm::threaded_transport>(ranks);
-  }
-  reg.transports.emplace_back(ranks, std::move(made));
-  return *reg.transports.back().second;
+  std::call_once(node->once, [&] {
+    if (ranks == 1) {
+      node->transport = std::make_unique<comm::loopback_transport>();
+    } else {
+      node->transport = std::make_unique<comm::threaded_transport>(ranks);
+    }
+  });
+  return *node->transport;
 }
 
 std::size_t registered_engine_count() {
   registry& reg = instance();
   const std::lock_guard<std::mutex> lock(reg.mutex);
-  return reg.engines.size();
+  return reg.engines_ready;
+}
+
+machine_profile shared_profile() {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.profile_mutex);
+  if (!reg.profile.has_value()) reg.profile = machine_profile::detect();
+  return *reg.profile;
+}
+
+machine_profile recalibrate_shared_profile() {
+  // Calibration runs OUTSIDE the profile mutex (it takes milliseconds and
+  // itself touches the engine registry); the swap at the end is atomic
+  // under the lock.  Concurrent recalibrations race benignly: each
+  // installs a complete measured profile.
+  const machine_profile measured = machine_profile::calibrate();
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.profile_mutex);
+  reg.profile = measured;
+  return measured;
+}
+
+permutation_plan cached_plan(const workload& w, const machine_profile& prof) {
+  const plan_key key = {w.n, w.element_bytes, w.memory_budget_bytes, w.repetitions,
+                        prof.fingerprint()};
+  registry& reg = instance();
+  {
+    const std::lock_guard<std::mutex> lock(reg.plan_mutex);
+    ++reg.plan_lookups;
+    const auto it = reg.plans.find(key);
+    if (it != reg.plans.end()) {
+      ++reg.plan_hits;
+      return it->second;
+    }
+  }
+  // Plan outside the lock: plan_permutation is pure arithmetic, but there
+  // is no reason to serialize concurrent misses on distinct shapes.  Two
+  // concurrent misses on one shape insert the identical plan.
+  permutation_plan plan = plan_permutation(w, prof);
+  {
+    const std::lock_guard<std::mutex> lock(reg.plan_mutex);
+    if (reg.plans.size() >= kPlanCacheCapacity) reg.plans.clear();
+    reg.plans.emplace(key, plan);
+  }
+  return plan;
+}
+
+std::size_t plan_cache_lookups() {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.plan_mutex);
+  return reg.plan_lookups;
+}
+
+std::size_t plan_cache_hits() {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.plan_mutex);
+  return reg.plan_hits;
 }
 
 }  // namespace cgp::core

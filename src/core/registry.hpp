@@ -15,12 +15,26 @@
 //     registry's destructor);
 //   * references returned by shared_engine()/shared_pool() therefore stay
 //     valid for the remainder of the process -- callers may cache them;
-//   * the registry is fully thread-safe; engine construction is serialized,
+//   * the registry is fully thread-safe; each entry is constructed exactly
+//     once (per-entry std::call_once: concurrent first-touch calls for the
+//     SAME configuration race into one construction, and a slow first
+//     construction -- an engine spins up a whole thread pool -- no longer
+//     blocks lookups of OTHER configurations behind the registry mutex);
 //     use of a returned engine is as thread-safe as the engine itself
 //     (smp::engine::shuffle is safe for concurrent calls on disjoint data).
+//
+// The registry also owns the two process-wide caches the service layer
+// (src/svc/) leans on: the detected machine profile (so every context /
+// server construction stops re-running machine_profile::detect(), with
+// explicit invalidation via recalibrate_shared_profile()) and the plan
+// cache (so repeated request shapes skip core::plan_permutation, keyed by
+// workload + profile fingerprint).
 #pragma once
 
+#include <cstddef>
+
 #include "comm/transport.hpp"
+#include "core/plan.hpp"
 #include "smp/engine.hpp"
 
 namespace cgp::core {
@@ -47,5 +61,32 @@ namespace cgp::core {
 /// Number of distinct engine configurations currently registered (test /
 /// introspection hook).
 [[nodiscard]] std::size_t registered_engine_count();
+
+/// The process-wide cached machine profile: machine_profile::detect() run
+/// once on first touch and reused by every cgp::context and svc::server
+/// constructed afterwards.  Returned by value -- the cached object may be
+/// swapped by recalibrate_shared_profile() at any time, so no reference to
+/// registry-internal storage escapes.
+[[nodiscard]] machine_profile shared_profile();
+
+/// Re-measure the shared profile with in-process probes
+/// (machine_profile::calibrate()) and install the result as the new
+/// process-wide profile; returns the freshly measured profile.  The new
+/// fingerprint implicitly invalidates every cached plan keyed under the
+/// old one.
+machine_profile recalibrate_shared_profile();
+
+/// The plan for workload `w` on `prof`, cached under the key
+/// (n, element_bytes, memory_budget, repetitions, prof.fingerprint()).
+/// Bit-identical to plan_permutation(w, prof) -- the cache only skips the
+/// recomputation, never changes the answer -- which is what lets the
+/// service layer substitute it on the context::shuffle dispatch path
+/// without perturbing any output.
+[[nodiscard]] permutation_plan cached_plan(const workload& w, const machine_profile& prof);
+
+/// Plan-cache traffic counters (monotone, process-wide): how many
+/// cached_plan calls were made, and how many were answered from the cache.
+[[nodiscard]] std::size_t plan_cache_lookups();
+[[nodiscard]] std::size_t plan_cache_hits();
 
 }  // namespace cgp::core

@@ -1,0 +1,132 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace cgp::svc {
+
+scheduler::scheduler(smp::thread_pool& batch_pool, scheduler_options opt)
+    : pool_(batch_pool), opt_(opt) {
+  CGP_EXPECTS(opt_.queue_capacity >= 1);
+  CGP_EXPECTS(opt_.batch_max_jobs >= 1);
+  if (opt_.workers == 0) opt_.workers = 1;
+  workers_.reserve(opt_.workers);
+  for (std::uint32_t w = 0; w < opt_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+scheduler::~scheduler() { close(); }
+
+bool scheduler::submit(task t) {
+  std::unique_lock<std::mutex> lock(m_);
+  if (closed_) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (q_.size() >= opt_.queue_capacity) {
+    if (opt_.policy == admission::reject) {
+      ++stats_.rejected;
+      return false;
+    }
+    // block: the client waits -- backpressure propagates to the submitter
+    // instead of growing the queue.
+    space_.wait(lock, [&] { return closed_ || q_.size() < opt_.queue_capacity; });
+    if (closed_) {
+      ++stats_.rejected;
+      return false;
+    }
+  }
+  q_.push_back(std::move(t));
+  ++stats_.submitted;
+  stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth, q_.size());
+  lock.unlock();
+  nonempty_.notify_one();
+  return true;
+}
+
+void scheduler::close() {
+  // Claim the worker handles under the lock so concurrent closers join
+  // disjoint (at most one non-empty) sets.
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+    to_join.swap(workers_);
+  }
+  nonempty_.notify_all();
+  space_.notify_all();
+  for (auto& w : to_join) {
+    if (w.joinable()) w.join();
+  }
+}
+
+bool scheduler::closed() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return closed_;
+}
+
+scheduler_stats scheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return stats_;
+}
+
+void scheduler::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(m_);
+    nonempty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return;  // closed and fully drained
+
+    // One scheduling tick: if the task at the HEAD is small, gather a
+    // batch of small tasks behind it (submission order preserved);
+    // otherwise run the head singly.  Always servicing the head is the
+    // fairness bound: a large job reaches the front in FIFO order and
+    // runs on that tick, so a sustained stream of small jobs can never
+    // starve it.
+    std::vector<task> batch;
+    if (opt_.batching && q_.front().small) {
+      for (auto it = q_.begin(); it != q_.end() && batch.size() < opt_.batch_max_jobs;) {
+        if (it->small) {
+          batch.push_back(std::move(*it));
+          it = q_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    task single;
+    bool have_single = false;
+    if (batch.empty()) {
+      single = std::move(q_.front());
+      q_.pop_front();
+      have_single = true;
+      ++stats_.singles;
+    } else if (batch.size() == 1) {
+      // A lone small task gains nothing from a pool round trip.
+      single = std::move(batch.front());
+      batch.clear();
+      have_single = true;
+      ++stats_.singles;
+    } else {
+      ++stats_.batches;
+      stats_.batched_jobs += batch.size();
+    }
+    lock.unlock();
+    space_.notify_all();
+
+    if (have_single) {
+      single.run();
+    } else {
+      // ONE pool dispatch amortized across the whole batch; each task's
+      // output is keyed by its job seed, so the worker->task assignment
+      // the partition makes is invisible in the results.
+      pool_.parallel_for(0, batch.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) batch[j].run();
+      });
+    }
+  }
+}
+
+}  // namespace cgp::svc

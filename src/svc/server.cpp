@@ -1,0 +1,179 @@
+#include "svc/server.hpp"
+
+#include <utility>
+
+#include "core/executor.hpp"
+#include "core/registry.hpp"
+
+namespace cgp::svc {
+
+namespace {
+
+cgp::context_options context_options_of(const server_options& opt) {
+  cgp::context_options co;
+  co.which = opt.which;
+  co.parallelism = opt.parallelism;
+  co.memory_budget_bytes = opt.memory_budget_bytes;
+  co.repetitions = opt.repetitions;
+  co.seed = opt.seed;
+  co.calibrate = opt.calibrate;
+  co.engine = opt.engine;
+  return co;
+}
+
+scheduler_options scheduler_options_of(const server_options& opt) {
+  scheduler_options so;
+  so.workers = opt.scheduler_workers;
+  so.queue_capacity = opt.queue_capacity;
+  so.policy = opt.policy;
+  so.batching = opt.batching;
+  so.batch_max_jobs = opt.batch_max_jobs;
+  return so;
+}
+
+/// A job's execution options: the context's projection under the job
+/// seed, with the per-call OUTPUT pointers nulled -- expert engine knobs
+/// forward verbatim, but plan_out / stats_out / em_report_out name one
+/// caller-owned object, and concurrent jobs writing it from scheduler
+/// workers would race.  A job's resolved plan is delivered through its
+/// handle (job_handle::plan()) instead.
+core::backend_options job_options(const cgp::context& ctx, std::uint64_t seed) {
+  core::backend_options o = ctx.execution_options(seed);
+  o.plan_out = nullptr;
+  o.stats_out = nullptr;
+  o.em_report_out = nullptr;
+  return o;
+}
+
+/// The plan of a job: the plan cache for planner-driven servers (keyed
+/// (n, elem, budget, reps, profile fingerprint) -- repeated request
+/// shapes skip core::plan_permutation), the trivial resolve for explicit
+/// backends.  Bit-identical to what core::resolve_plan inside a direct
+/// context::shuffle would produce, by cached_plan's contract.
+core::permutation_plan plan_for_job(std::uint64_t n, std::uint32_t elem_bytes,
+                                    const core::backend_options& o) {
+  if (o.which == core::backend::automatic) {
+    core::workload w;
+    w.n = n;
+    w.element_bytes = elem_bytes;
+    w.memory_budget_bytes = o.memory_budget_bytes;
+    w.repetitions = o.repetitions;
+    return core::cached_plan(w, *o.profile);
+  }
+  return core::resolve_plan(n, elem_bytes, o);
+}
+
+}  // namespace
+
+server::server(server_options opt)
+    : opt_(opt),
+      ctx_(context_options_of(opt)),
+      sched_(core::shared_pool(opt.parallelism), scheduler_options_of(opt)) {}
+
+server::~server() { close(); }
+
+void server::close() { sched_.close(); }
+
+std::shared_ptr<detail::job_state> server::make_state(std::uint64_t client_id, std::uint64_t n) {
+  auto st = std::make_shared<detail::job_state>();
+  st->client = client_id;
+  st->n = n;
+  {
+    // The ordinal counts the client's submissions in THEIR order --
+    // assigned at admission, consumed even by rejected submissions, so
+    // the (client, ordinal) -> seed map never depends on what the
+    // scheduler or other tenants are doing.
+    const std::lock_guard<std::mutex> lock(clients_m_);
+    st->ordinal = ordinals_[client_id]++;
+  }
+  st->seed = job_seed(opt_.seed, client_id, st->ordinal);
+  return st;
+}
+
+void server::enqueue(bool small, std::function<void()> run,
+                     const std::shared_ptr<detail::job_state>& st) {
+  // A refused submission is counted once, by the scheduler (its stats
+  // are the single source of truth for admission outcomes).
+  if (!sched_.submit({small, std::move(run)})) {
+    st->finish(job_status::rejected);
+  }
+}
+
+future<permutation> server::submit_permutation(std::uint64_t client_id, std::uint64_t n) {
+  auto st = make_state(client_id, n);
+  enqueue(n <= opt_.small_job_items, [this, st] { run_fill(*st, /*streamed=*/false); }, st);
+  return future<permutation>(st);
+}
+
+stream server::submit_stream(std::uint64_t client_id, std::uint64_t n) {
+  auto st = make_state(client_id, n);
+  enqueue(n <= opt_.small_job_items, [this, st] { run_fill(*st, /*streamed=*/true); }, st);
+  return stream(st, opt_.stream_chunk_items);
+}
+
+future<void> server::submit_shuffle_raw(std::uint64_t client_id, void* data, std::uint64_t n,
+                                        std::uint32_t elem_bytes) {
+  auto st = make_state(client_id, n);
+  enqueue(
+      n <= opt_.small_job_items,
+      [this, st, data, elem_bytes] { run_shuffle(*st, data, elem_bytes); }, st);
+  return future<void>(st);
+}
+
+void server::run_shuffle(detail::job_state& st, void* data, std::uint32_t elem_bytes) {
+  st.set_running();
+  try {
+    const core::backend_options o = job_options(ctx_, st.seed);
+    st.plan = plan_for_job(st.n, elem_bytes, o);
+    core::make_executor(st.plan, o)->shuffle_raw(data, st.n, elem_bytes, st.seed);
+    done_.fetch_add(1, std::memory_order_relaxed);
+    st.finish(job_status::done);
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    st.fail(std::current_exception());
+  }
+}
+
+void server::run_fill(detail::job_state& st, bool streamed) {
+  st.set_running();
+  try {
+    const core::backend_options o = job_options(ctx_, st.seed);
+    st.plan = plan_for_job(st.n, sizeof(std::uint64_t), o);
+    if (st.n == 0) {
+      done_.fetch_add(1, std::memory_order_relaxed);
+      st.finish(job_status::done);
+      return;
+    }
+    if (streamed && st.plan.chosen == core::backend::em) {
+      // The em executor's native fill mode minus its final bulk readback:
+      // identity onto the device, shuffle there, KEEP the device -- the
+      // stream pulls chunks off it via accounted range reads, so no
+      // full-n vector ever materializes for this job.  Geometry, pool,
+      // and fill all resolve through the shared helpers make_executor's
+      // em branch uses, so the device content is bit-identical to what
+      // fill_random_permutation would have read back.
+      st.dev = core::em_shuffled_identity_device(st.n, st.seed,
+                                                 core::resolve_em_config(st.plan, o));
+    } else {
+      st.pi.resize(static_cast<std::size_t>(st.n));
+      core::make_executor(st.plan, o)->fill_random_permutation(
+          std::span<std::uint64_t>(st.pi), st.seed);
+    }
+    done_.fetch_add(1, std::memory_order_relaxed);
+    st.finish(job_status::done);
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    st.fail(std::current_exception());
+  }
+}
+
+server_stats server::stats() const {
+  server_stats s;
+  s.sched = sched_.stats();
+  s.done = done_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected = s.sched.rejected;
+  return s;
+}
+
+}  // namespace cgp::svc

@@ -1,0 +1,150 @@
+// svc/server.hpp
+//
+// The multi-tenant permutation service: the asynchronous front half of
+// cgmperm.  Where `cgp::context` runs ONE blocking shuffle for ONE
+// caller, a `svc::server` multiplexes many independent jobs from many
+// clients over the shared engines:
+//
+//   svc::server srv;                                  // planner-driven
+//   auto fut = srv.submit_permutation(/*client*/ 7, /*n*/ 1'000'000);
+//   svc::permutation pi = fut.get();                  // whole delivery
+//
+//   std::vector<rec> v = ...;                         // in-place shuffle
+//   srv.submit_shuffle(/*client*/ 7, std::span<rec>(v)).get();
+//
+//   svc::stream s = srv.submit_stream(/*client*/ 7, big_n);
+//   while (auto chunk = s.next_chunk()) consume(*chunk);   // O(chunk) RAM
+//
+// Architecture (DESIGN.md section 7): submissions pass ADMISSION (bounded
+// queue; reject or block when full), the SCHEDULER's workers drain the
+// queue in ticks -- small jobs batched into one pool dispatch, large jobs
+// run singly through the planner -- and every job executes through the
+// identical plan/executor path a bare context uses, with two service-side
+// shortcuts: the process-wide PLAN CACHE (core::cached_plan, keyed
+// (n, elem, budget, reps, profile fingerprint)) skips planner
+// recomputation for repeated request shapes, and the machine profile is
+// the process-wide cached one (core::shared_profile()).
+//
+// Determinism: job (client_id, ordinal) runs under
+// job_seed(server_seed, client_id, ordinal) -- `ordinal` counting that
+// client's submissions (accepted or rejected) -- so every output is a
+// pure function of (server seed, client id, ordinal): bit-identical
+// across scheduler worker counts, submission interleavings, and batching
+// on/off, and equal to ctx.shuffle(data, job_seed(...)) on an identically
+// configured context (tests/test_svc.cpp pins all of it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <unordered_map>
+
+#include "core/context.hpp"
+#include "svc/job.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/stream.hpp"
+
+namespace cgp::svc {
+
+struct server_options {
+  /// Server seed: with the (client_id, ordinal) keying, the whole of the
+  /// service's randomness.
+  std::uint64_t seed = 0x5E12B1CE5EEDull;
+
+  // --- execution (projected onto the owned cgp::context) ---------------
+  core::backend which = core::backend::automatic;
+  std::uint32_t parallelism = 0;          ///< compute pool threads; 0 = default
+  std::uint64_t memory_budget_bytes = 0;  ///< per-job RAM budget; 0 = unconstrained
+  std::uint64_t repetitions = 1;          ///< expected draws per shape (planner hint)
+  bool calibrate = false;                 ///< measure the profile at startup
+  core::backend_options engine{};         ///< expert engine knobs, forwarded
+
+  // --- scheduling + admission ------------------------------------------
+  std::uint32_t scheduler_workers = 1;
+  std::size_t queue_capacity = 1024;
+  admission policy = admission::reject;
+  bool batching = true;
+  std::size_t batch_max_jobs = 64;
+  /// Jobs with n at or below this are "small": batchable per tick.  The
+  /// default matches the engines' cache cutoff -- exactly the jobs whose
+  /// per-call dispatch overhead batching exists to amortize.
+  std::uint64_t small_job_items = std::uint64_t{1} << 16;
+  /// Chunk size handed to svc::stream consumers.
+  std::uint64_t stream_chunk_items = std::uint64_t{1} << 16;
+};
+
+/// Snapshot of the server's counters.  `rejected` mirrors
+/// `sched.rejected` (admission outcomes are counted once, by the
+/// scheduler).
+struct server_stats {
+  scheduler_stats sched;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+};
+
+class server {
+ public:
+  explicit server(server_options opt = {});
+
+  /// close(): drains queued jobs, then joins the scheduler workers.
+  ~server();
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Sample a uniform permutation of {0..n-1}, delivered whole.
+  [[nodiscard]] future<permutation> submit_permutation(std::uint64_t client_id, std::uint64_t n);
+
+  /// Sample a uniform permutation of {0..n-1}, delivered as chunks.
+  [[nodiscard]] stream submit_stream(std::uint64_t client_id, std::uint64_t n);
+
+  /// Uniformly permute the client's records in place.  `data` must stay
+  /// valid (and untouched by the client) until the future completes.
+  template <typename T>
+  [[nodiscard]] future<void> submit_shuffle(std::uint64_t client_id, std::span<T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return submit_shuffle_raw(client_id, data.data(), data.size(),
+                              static_cast<std::uint32_t>(sizeof(T)));
+  }
+
+  /// Type-erased in-place shuffle of n records of elem_bytes each.
+  [[nodiscard]] future<void> submit_shuffle_raw(std::uint64_t client_id, void* data,
+                                                std::uint64_t n, std::uint32_t elem_bytes);
+
+  /// Stop admission, run every already-queued job, join the workers.
+  /// Submissions after close() are rejected.  Idempotent.
+  void close();
+  [[nodiscard]] bool closed() const { return sched_.closed(); }
+
+  [[nodiscard]] server_stats stats() const;
+
+  /// The context the server executes through (profile + option
+  /// projection); `ctx().shuffle(data, job_seed(...))` replays any job.
+  [[nodiscard]] const cgp::context& ctx() const noexcept { return ctx_; }
+  [[nodiscard]] const core::machine_profile& profile() const noexcept { return ctx_.profile(); }
+  [[nodiscard]] const server_options& options() const noexcept { return opt_; }
+
+ private:
+  [[nodiscard]] std::shared_ptr<detail::job_state> make_state(std::uint64_t client_id,
+                                                              std::uint64_t n);
+  void enqueue(bool small, std::function<void()> run,
+               const std::shared_ptr<detail::job_state>& st);
+  void run_shuffle(detail::job_state& st, void* data, std::uint32_t elem_bytes);
+  void run_fill(detail::job_state& st, bool streamed);
+
+  server_options opt_;
+  cgp::context ctx_;
+  scheduler sched_;
+
+  std::mutex clients_m_;
+  std::unordered_map<std::uint64_t, std::uint64_t> ordinals_;
+
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+}  // namespace cgp::svc
