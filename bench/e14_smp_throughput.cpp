@@ -44,19 +44,6 @@ struct row {
   double seconds;
 };
 
-// Best-of-`reps` wall clock of `fn()` (each call re-permutes the same
-// buffer; permuting a permutation is still a permutation, so no re-init).
-template <typename F>
-double best_of(int reps, F&& fn) {
-  double best = 1e100;
-  for (int r = 0; r < reps; ++r) {
-    cgp::stopwatch sw;
-    fn(r);
-    best = std::min(best, sw.seconds());
-  }
-  return best;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -46,23 +46,21 @@ double measure_backend(core::backend which, const sweep_row& row,
                        const core::permutation_plan& plan, int reps) {
   core::backend_options opt;
   opt.which = which;
-  opt.seed = 0xE15;
   if (which == core::backend::em) {
     opt.em_engine.memory_items = plan.em_memory_items;
     opt.em_block_items = plan.em_block_items;
   }
-  double best = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < reps; ++r) {
-    opt.seed = 0xE15 + static_cast<std::uint64_t>(r);
-    stopwatch sw;
-    const auto pi = core::random_permutation(row.n, opt);
-    best = std::min(best, sw.seconds());
-    if (r == 0 && !stats::is_permutation_of_iota(pi)) {
-      std::cerr << "INVALID permutation from " << core::backend_name(which) << "\n";
-      std::exit(1);
-    }
+  // Validate once, untimed, then time the draws (seed varies per rep so no
+  // rep can reuse another's plan-independent state).
+  opt.seed = 0xE15;
+  if (!stats::is_permutation_of_iota(core::random_permutation(row.n, opt))) {
+    std::cerr << "INVALID permutation from " << core::backend_name(which) << "\n";
+    std::exit(1);
   }
-  return best;
+  return best_of(reps, [&](int r) {
+    opt.seed = 0xE15 + static_cast<std::uint64_t>(r);
+    (void)core::random_permutation(row.n, opt);
+  });
 }
 
 }  // namespace

@@ -22,7 +22,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <functional>
 #include <iostream>
 #include <limits>
 #include <numeric>
@@ -42,16 +41,6 @@
 namespace {
 
 using namespace cgp;
-
-double best_of(int reps, const std::function<void(std::uint64_t)>& body) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < reps; ++r) {
-    stopwatch sw;
-    body(static_cast<std::uint64_t>(r));
-    best = std::min(best, sw.seconds());
-  }
-  return best;
-}
 
 }  // namespace
 

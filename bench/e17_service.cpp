@@ -18,7 +18,6 @@
 // batch counters, plan-cache hit rate).
 //
 // Usage: e17_service [mode] [json_path]   mode: full (default) | small
-#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <iostream>
@@ -27,6 +26,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
 #include "stats/lehmer.hpp"
 #include "svc/server.hpp"
 #include "util/json.hpp"
@@ -47,14 +47,9 @@ struct cell {
   double p99_ms = 0.0;
   std::uint64_t batches = 0;
   std::uint64_t batched_jobs = 0;
+  std::uint64_t cache_lookups = 0;  ///< plan-cache lookups this cell issued
+  std::uint64_t cache_hits = 0;     ///< ... of which hit
 };
-
-double percentile(std::vector<double>& v, double q) {
-  if (v.empty()) return 0.0;
-  const auto k = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
-  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), v.end());
-  return v[k];
-}
 
 cell run_cell(bool batching, std::uint32_t clients, std::uint64_t per_client, std::uint64_t n) {
   svc::server_options so;
@@ -64,20 +59,26 @@ cell run_cell(bool batching, std::uint32_t clients, std::uint64_t per_client, st
   so.queue_capacity = 4096;
   svc::server srv(so);
 
-  std::vector<std::vector<double>> lat(clients);
+  // The plan cache is process-wide and monotone; diff around the cell.
+  const std::uint64_t lookups0 = core::plan_cache_lookups();
+  const std::uint64_t hits0 = core::plan_cache_hits();
+
+  // One standalone latency histogram shared by every client thread (all
+  // state is atomic -- this is the same structure the obs registry serves,
+  // used bench-locally so cells never contaminate each other).
+  obs::histogram lat;
   std::atomic<std::uint32_t> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> threads;
   for (std::uint32_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      lat[c].reserve(per_client);
       ready.fetch_add(1);
       while (!go.load()) std::this_thread::yield();
       for (std::uint64_t r = 0; r < per_client; ++r) {
         stopwatch sw;
         auto fut = srv.submit_permutation(c, n);
         (void)fut.get();
-        lat[c].push_back(sw.seconds());
+        lat.record(static_cast<std::uint64_t>(sw.seconds() * 1e9));
       }
     });
   }
@@ -92,13 +93,13 @@ cell run_cell(bool batching, std::uint32_t clients, std::uint64_t per_client, st
   out.requests = clients * per_client;
   out.seconds = total.seconds();
   out.rps = static_cast<double>(out.requests) / out.seconds;
-  std::vector<double> all;
-  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
-  out.p50_ms = percentile(all, 0.50) * 1e3;
-  out.p99_ms = percentile(all, 0.99) * 1e3;
+  out.p50_ms = static_cast<double>(lat.p50()) * 1e-6;
+  out.p99_ms = static_cast<double>(lat.p99()) * 1e-6;
   const svc::server_stats st = srv.stats();
   out.batches = st.sched.batches;
   out.batched_jobs = st.sched.batched_jobs;
+  out.cache_lookups = core::plan_cache_lookups() - lookups0;
+  out.cache_hits = core::plan_cache_hits() - hits0;
   return out;
 }
 
@@ -150,7 +151,13 @@ int main(int argc, char** argv) {
           .add("p50_ms", c.p50_ms)
           .add("p99_ms", c.p99_ms)
           .add("batches", c.batches)
-          .add("batched_jobs", c.batched_jobs);
+          .add("batched_jobs", c.batched_jobs)
+          .add("plan_cache_lookups", c.cache_lookups)
+          .add("plan_cache_hits", c.cache_hits)
+          .add("plan_cache_hit_rate",
+               c.cache_lookups == 0 ? 0.0
+                                    : static_cast<double>(c.cache_hits) /
+                                          static_cast<double>(c.cache_lookups));
       out.push_back(std::move(rec));
     }
   }

@@ -1,0 +1,131 @@
+// E18 -- observability overhead: what the obs layer costs on the hot path.
+//
+// The obs design contract (obs/metrics.hpp, DESIGN.md section 8) is
+// "cheap enough to leave on": instrumentation is per-call / per-level /
+// per-block only, and the disabled state is one relaxed load.  This bench
+// grounds both claims on the smp engine's hot path -- the backend the
+// planner picks for RAM-resident n, i.e. the path where overhead would
+// hurt most:
+//
+//   * instrumented: obs enabled (the default), tracing OFF -- the
+//     production configuration;
+//   * baseline: obs disabled via set_enabled(false) -- what CGP_OBS_OFF
+//     gives any binary;
+//   * traced: obs enabled AND tracing ON (ring-buffer span capture) --
+//     the debugging configuration, reported for context but not gated.
+//
+// Acceptance: instrumented/baseline overhead on the smp shuffle must stay
+// under 3% (exit 2 beyond it, like e15's agreement gate -- CI treats 2 as
+// "measured, out of tolerance" rather than failure on loaded runners).
+//
+// Output: a table on stdout plus BENCH_obs.json (one record per
+// configuration: seconds, ns/item, overhead vs baseline).
+//
+// Usage: e18_obs_overhead [mode] [json_path]   mode: full (default) | small
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "smp/engine.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cgp;
+
+struct config {
+  const char* name;
+  bool obs_on;
+  bool trace_on;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "full";
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_obs.json";
+  const bool small = mode == "small";
+  const std::uint64_t n = small ? 2'000'000 : 20'000'000;
+  const int reps = small ? 3 : 5;
+  constexpr double kBudget = 0.03;  // <3% instrumented-vs-off on the hot path
+
+  std::cout << "E18: obs-layer overhead on the smp hot path, n = " << fmt_count(n)
+            << " u64 items, best of " << reps << "\n\n";
+
+  smp::engine eng;
+  std::vector<std::uint64_t> data(n);
+  for (std::uint64_t i = 0; i < n; ++i) data[i] = i;
+
+  // Untimed warmup: faults in the data + scratch pages and spins up the
+  // pool, so no configuration pays one-time costs.
+  eng.shuffle(std::span<std::uint64_t>(data), 0xE18);
+
+  // Baseline FIRST so its timings never include first-touch page faults
+  // attributable to a different configuration.
+  const config configs[] = {
+      {"obs off (CGP_OBS_OFF)", false, false},
+      {"obs on (default)", true, false},
+      {"obs on + tracing", true, true},
+  };
+
+  struct result {
+    const char* name;
+    double seconds;
+  };
+  std::vector<result> results;
+  for (const config& c : configs) {
+    obs::set_enabled(c.obs_on);
+    obs::set_tracing(c.trace_on);
+    obs::clear_trace();
+    const double s = best_of(reps, [&](int r) {
+      eng.shuffle(std::span<std::uint64_t>(data), 0xE18 + static_cast<std::uint64_t>(r));
+    });
+    results.push_back({c.name, s});
+  }
+  obs::set_tracing(false);
+  obs::set_enabled(true);
+
+  const double base = results.front().seconds;
+  table t({"configuration", "T [s]", "ns/item", "overhead vs off"});
+  std::vector<json_record> out;
+  for (const result& r : results) {
+    const double ns_item = r.seconds * 1e9 / static_cast<double>(n);
+    const double overhead = r.seconds / base - 1.0;
+    t.add_row({r.name, fmt(r.seconds, 4), fmt(ns_item, 2), fmt(overhead * 100.0, 2) + "%"});
+    json_record rec;
+    rec.add("bench", "e18_obs_overhead")
+        .add("mode", mode)
+        .add("n", n)
+        .add("configuration", r.name)
+        .add("seconds", r.seconds)
+        .add("ns_per_item", ns_item)
+        .add("overhead_vs_off", overhead);
+    out.push_back(std::move(rec));
+  }
+  t.print(std::cout);
+
+  const double instrumented_overhead = results[1].seconds / base - 1.0;
+  std::cout << "\ninstrumented (obs on, tracing off) overhead: "
+            << fmt(instrumented_overhead * 100.0, 2) << "% (budget " << fmt(kBudget * 100.0, 0)
+            << "%)\n";
+
+  json_record summary;
+  summary.add("bench", "e18_obs_overhead")
+      .add("mode", mode)
+      .add("configuration", "summary")
+      .add("n", n)
+      .add("instrumented_overhead", instrumented_overhead)
+      .add("budget", kBudget)
+      .add("within_budget", instrumented_overhead <= kBudget);
+  out.push_back(std::move(summary));
+  if (write_json_records(json_path, out)) {
+    std::cout << "\nwrote " << out.size() << " records to " << json_path << "\n";
+  }
+  return instrumented_overhead <= kBudget ? 0 : 2;
+}

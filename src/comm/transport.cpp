@@ -6,9 +6,29 @@
 #include <future>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "smp/thread_pool.hpp"
 
 namespace cgp::comm {
+
+namespace {
+
+// Process-wide BSP traffic totals, shared by every endpoint implementation
+// (both transports call through these on send/exchange).
+void count_send(std::size_t bytes) {
+  static obs::counter& messages = obs::get_counter("comm.messages");
+  static obs::counter& traffic = obs::get_counter("comm.bytes");
+  messages.add();
+  traffic.add(bytes);
+}
+
+void count_exchange() {
+  static obs::counter& exchanges = obs::get_counter("comm.exchanges");
+  exchanges.add();
+}
+
+}  // namespace
 
 std::vector<std::vector<std::byte>> endpoint::alltoallv(
     std::span<const std::vector<std::byte>> chunks) {
@@ -37,6 +57,7 @@ class loopback_endpoint final : public endpoint {
 
   void send(std::uint32_t dest, std::uint32_t tag, std::span<const std::byte> bytes) override {
     CGP_EXPECTS(dest == 0);
+    count_send(bytes.size());
     message msg;
     msg.source = 0;
     msg.tag = tag;
@@ -44,7 +65,10 @@ class loopback_endpoint final : public endpoint {
     staged_.push_back(std::move(msg));
   }
 
-  [[nodiscard]] std::vector<message> exchange() override { return std::exchange(staged_, {}); }
+  [[nodiscard]] std::vector<message> exchange() override {
+    count_exchange();
+    return std::exchange(staged_, {});
+  }
 
  private:
   std::vector<message> staged_;
@@ -107,6 +131,7 @@ class threaded_endpoint final : public endpoint {
 
   void send(std::uint32_t dest, std::uint32_t tag, std::span<const std::byte> bytes) override {
     CGP_EXPECTS(dest < ranks_);
+    count_send(bytes.size());
     message msg;
     msg.source = dest;  // destination while staged; fixed by the router
     msg.tag = tag;
@@ -115,6 +140,8 @@ class threaded_endpoint final : public endpoint {
   }
 
   [[nodiscard]] std::vector<message> exchange() override {
+    count_exchange();
+    const obs::span sp("exchange", "exchange");
     state_.barrier.arrive_and_wait();
     return std::exchange(state_.boxes[rank_].delivered_, {});
   }

@@ -45,13 +45,62 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/executor.hpp"
 #include "core/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/plan_feedback.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
 
 namespace cgp::core {
+
+/// RAII scope around one executed job: wall-clocks the run, collects the
+/// per-phase times the executors' obs::spans report on this thread, and
+/// on destruction files an obs::plan_feedback_record (prediction next to
+/// measurement) -- the raw material of plan::explain()'s
+/// predicted-vs-measured section.  Inert when obs is disabled
+/// (CGP_OBS_OFF): no collector, no clock, no record.  Used by the
+/// backend-dispatched entry points below and by the service layer's job
+/// runners (svc/server.cpp), which drive executors directly.
+class feedback_scope {
+ public:
+  feedback_scope(const permutation_plan& plan, std::uint64_t n, std::uint32_t elem_bytes) {
+    if (!obs::enabled()) return;
+    active_ = true;
+    rec_.backend = backend_name(plan.chosen);
+    rec_.n = n;
+    rec_.elem_bytes = elem_bytes;
+    rec_.predicted_seconds = plan.predicted_seconds;
+    rec_.predicted_phases.reserve(plan.phases.size());
+    for (const auto& ph : plan.phases) rec_.predicted_phases.push_back({ph.label, ph.seconds});
+    obs::get_counter(std::string("core.exec.") + rec_.backend).add();
+    collector_.emplace();
+    span_.emplace("execute", "exec");
+    sw_.reset();
+  }
+  feedback_scope(const feedback_scope&) = delete;
+  feedback_scope& operator=(const feedback_scope&) = delete;
+  ~feedback_scope() {
+    if (!active_) return;
+    rec_.measured_seconds = sw_.seconds();
+    span_.reset();  // flush the overall "execute" phase into the collector
+    rec_.measured_phases = collector_->phases();
+    collector_.reset();
+    obs::record_plan_feedback(std::move(rec_));
+  }
+
+ private:
+  bool active_ = false;
+  obs::plan_feedback_record rec_;
+  std::optional<obs::phase_collector> collector_;
+  std::optional<obs::span> span_;
+  stopwatch sw_;
+};
 
 /// Uniformly permute `data` in place with the selected (or planned)
 /// backend -- the zero-copy span entry point.  Returns the plan that ran.
@@ -60,6 +109,7 @@ permutation_plan shuffle(std::span<T> data, const backend_options& opt = {}) {
   static_assert(std::is_trivially_copyable_v<T>);
   const permutation_plan plan = resolve_plan(data.size(), sizeof(T), opt);
   if (opt.plan_out != nullptr) *opt.plan_out = plan;
+  const feedback_scope fb(plan, data.size(), sizeof(T));
   make_executor(plan, opt)->shuffle(data, opt.seed);
   return plan;
 }
@@ -86,6 +136,7 @@ template <typename T>
   const permutation_plan plan = resolve_plan(n, sizeof(std::uint64_t), opt);
   if (opt.plan_out != nullptr) *opt.plan_out = plan;
   std::vector<std::uint64_t> pi(n);
+  const feedback_scope fb(plan, n, sizeof(std::uint64_t));
   make_executor(plan, opt)->fill_random_permutation(std::span<std::uint64_t>(pi), opt.seed);
   return pi;
 }

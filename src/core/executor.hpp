@@ -46,6 +46,7 @@
 #include "core/registry.hpp"
 #include "em/async_shuffle.hpp"
 #include "em/block_device.hpp"
+#include "obs/trace.hpp"
 #include "rng/philox.hpp"
 #include "rng/uniform.hpp"
 #include "seq/fisher_yates.hpp"
@@ -224,6 +225,7 @@ class sequential_executor final : public executor {
 
   void shuffle_raw(void* data, std::uint64_t n, std::uint32_t elem_bytes,
                    std::uint64_t seed) override {
+    const obs::span sp("fisher-yates", "exec");
     rng::philox4x64 e(seed, 0);
     detail::with_record_span(
         data, n, elem_bytes, [&](auto span) { seq::fisher_yates(e, span); },
@@ -231,6 +233,7 @@ class sequential_executor final : public executor {
   }
 
   void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) override {
+    const obs::span sp("fisher-yates", "exec");
     std::iota(out.begin(), out.end(), 0);
     rng::philox4x64 e(seed, 0);
     seq::fisher_yates(e, out);
@@ -377,9 +380,16 @@ struct em_exec_config {
     em::async_report* rep_out = nullptr) {
   auto dev = std::make_unique<em::block_device>(n, cfg.block_items);
   const std::uint64_t t0 = dev->stats().transfers();
-  fill_iota_streamed(*dev, n, cfg.aopt.memory_items);
+  {
+    const obs::span sp("fill", "exec");
+    fill_iota_streamed(*dev, n, cfg.aopt.memory_items);
+  }
   const std::uint64_t t1 = dev->stats().transfers();
-  em::async_report rep = em::async_em_shuffle(*dev, n, seed, *cfg.pool, cfg.aopt);
+  em::async_report rep;
+  {
+    const obs::span sp("shuffle", "exec");
+    rep = em::async_em_shuffle(*dev, n, seed, *cfg.pool, cfg.aopt);
+  }
   rep.block_transfers += t1 - t0;
   if (rep_out != nullptr) *rep_out = rep;
   return dev;
@@ -408,11 +418,21 @@ class em_executor final : public executor {
           using R = typename decltype(span)::value_type;
           em::block_device dev(n, block_items_);
           const std::uint64_t t0 = dev.stats().transfers();
-          write_packed_streamed(dev, std::span<const R>(span), aopt_.memory_items);
+          {
+            const obs::span sp("fill", "exec");
+            write_packed_streamed(dev, std::span<const R>(span), aopt_.memory_items);
+          }
           const std::uint64_t t1 = dev.stats().transfers();
-          em::async_report rep = em::async_em_shuffle(dev, n, seed, pool_, aopt_);
+          em::async_report rep;
+          {
+            const obs::span sp("shuffle", "exec");
+            rep = em::async_em_shuffle(dev, n, seed, pool_, aopt_);
+          }
           const std::uint64_t t2 = dev.stats().transfers();
-          read_packed_streamed(dev, span, aopt_.memory_items);
+          {
+            const obs::span sp("readback", "exec");
+            read_packed_streamed(dev, span, aopt_.memory_items);
+          }
           rep.block_transfers += (t1 - t0) + (dev.stats().transfers() - t2);
           if (report_out_ != nullptr) *report_out_ = rep;
         },
@@ -427,15 +447,25 @@ class em_executor final : public executor {
           auto* base = static_cast<unsigned char*>(data);
           const std::uint64_t wpr = words_per_record(elem_bytes);
           em::block_device payload_dev(n * wpr, block_items_);
-          write_records_streamed(payload_dev, base, n, elem_bytes, aopt_.memory_items);
           em::block_device pi_dev(n, block_items_);
           const std::uint64_t t0 = pi_dev.stats().transfers();
-          fill_iota_streamed(pi_dev, n, aopt_.memory_items);
+          {
+            const obs::span sp("fill", "exec");
+            write_records_streamed(payload_dev, base, n, elem_bytes, aopt_.memory_items);
+            fill_iota_streamed(pi_dev, n, aopt_.memory_items);
+          }
           const std::uint64_t t1 = pi_dev.stats().transfers();
-          em::async_report rep = em::async_em_shuffle(pi_dev, n, seed, pool_, aopt_);
+          em::async_report rep;
+          {
+            const obs::span sp("shuffle", "exec");
+            rep = em::async_em_shuffle(pi_dev, n, seed, pool_, aopt_);
+          }
           const std::uint64_t t2 = pi_dev.stats().transfers();
-          gather_records_streamed(pi_dev, payload_dev, base, n, elem_bytes,
-                                  aopt_.memory_items);
+          {
+            const obs::span sp("readback", "exec");
+            gather_records_streamed(pi_dev, payload_dev, base, n, elem_bytes,
+                                    aopt_.memory_items);
+          }
           rep.block_transfers += (t1 - t0) + (pi_dev.stats().transfers() - t2) +
                                  payload_dev.stats().transfers();
           if (report_out_ != nullptr) *report_out_ = rep;
@@ -447,7 +477,10 @@ class em_executor final : public executor {
     em::async_report rep;
     const auto dev = em_shuffled_identity_device(n, seed, {aopt_, block_items_, &pool_}, &rep);
     const std::uint64_t t = dev->stats().transfers();
-    dev->read_items(0, out);  // one bulk call, straight into caller memory
+    {
+      const obs::span sp("readback", "exec");
+      dev->read_items(0, out);  // one bulk call, straight into caller memory
+    }
     rep.block_transfers += dev->stats().transfers() - t;
     if (report_out_ != nullptr) *report_out_ = rep;
   }

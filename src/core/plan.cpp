@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "obs/plan_feedback.hpp"
 #include "rng/philox.hpp"
 #include "rng/splitmix64.hpp"
 #include "seq/fisher_yates.hpp"
@@ -104,6 +105,13 @@ std::string fmt_seconds(double s) {
     os.precision(3);
     os << s * 1e6 << " us";
   }
+  return os.str();
+}
+
+std::string fmt_ratio(double r) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << r;
   return os.str();
 }
 
@@ -363,6 +371,43 @@ std::string permutation_plan::explain() const {
   os << "phases:\n";
   for (const auto& ph : phases) {
     os << "  " << ph.label << ": " << fmt_seconds(ph.seconds) << "\n";
+  }
+
+  // --- predicted vs measured (ROADMAP-5 feedback loop) -------------------
+  // The obs layer logs (plan, measured phase times) for every executed job
+  // (core::feedback_scope); aggregate what it has seen for this backend.
+  const obs::backend_feedback fb = obs::plan_feedback_for(backend_name(chosen));
+  if (fb.jobs == 0) {
+    os << "feedback: no executed jobs recorded for backend=" << backend_name(chosen) << "\n";
+    return os.str();
+  }
+  const double jobs = static_cast<double>(fb.jobs);
+  const double pred_avg = fb.predicted_seconds / jobs;
+  const double meas_avg = fb.measured_seconds / jobs;
+  const auto flag = [](double predicted, double measured) {
+    if (predicted <= 0.0 || measured <= 0.0) return "";
+    const double ratio = measured / predicted;
+    return (ratio > 2.0 || ratio < 0.5) ? "  <- MISPREDICT (>2x off)" : "";
+  };
+  os << "feedback (" << fb.jobs << " executed job" << (fb.jobs == 1 ? "" : "s")
+     << ", backend=" << backend_name(chosen) << ", per-job averages):\n";
+  os << "  total: predicted=" << fmt_seconds(pred_avg) << " measured=" << fmt_seconds(meas_avg);
+  if (pred_avg > 0.0 && meas_avg > 0.0) {
+    os << " (x" << fmt_ratio(meas_avg / pred_avg) << ")";
+  }
+  os << flag(pred_avg, meas_avg) << "\n";
+  for (const auto& m : fb.measured_phases) {
+    os << "  " << m.label << ": measured=" << fmt_seconds(m.seconds / jobs);
+    for (const auto& p : fb.predicted_phases) {
+      if (p.label != m.label) continue;
+      os << " predicted=" << fmt_seconds(p.seconds / jobs);
+      if (p.seconds > 0.0 && m.seconds > 0.0) {
+        os << " (x" << fmt_ratio(m.seconds / p.seconds) << ")";
+      }
+      os << flag(p.seconds / jobs, m.seconds / jobs);
+      break;
+    }
+    os << "\n";
   }
   return os.str();
 }

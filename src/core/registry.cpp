@@ -9,6 +9,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cgp::core {
 
 namespace {
@@ -156,7 +159,12 @@ machine_profile recalibrate_shared_profile() {
   // itself touches the engine registry); the swap at the end is atomic
   // under the lock.  Concurrent recalibrations race benignly: each
   // installs a complete measured profile.
-  const machine_profile measured = machine_profile::calibrate();
+  machine_profile measured;
+  {
+    const obs::span sp("calibrate", "plan");
+    measured = machine_profile::calibrate();
+  }
+  obs::get_counter("core.profile.calibrations").add();
   registry& reg = instance();
   const std::lock_guard<std::mutex> lock(reg.profile_mutex);
   reg.profile = measured;
@@ -167,19 +175,27 @@ permutation_plan cached_plan(const workload& w, const machine_profile& prof) {
   const plan_key key = {w.n, w.element_bytes, w.memory_budget_bytes, w.repetitions,
                         prof.fingerprint()};
   registry& reg = instance();
+  static obs::counter& lookups = obs::get_counter("core.plan_cache.lookups");
+  static obs::counter& hits = obs::get_counter("core.plan_cache.hits");
+  lookups.add();
   {
     const std::lock_guard<std::mutex> lock(reg.plan_mutex);
     ++reg.plan_lookups;
     const auto it = reg.plans.find(key);
     if (it != reg.plans.end()) {
       ++reg.plan_hits;
+      hits.add();
       return it->second;
     }
   }
   // Plan outside the lock: plan_permutation is pure arithmetic, but there
   // is no reason to serialize concurrent misses on distinct shapes.  Two
   // concurrent misses on one shape insert the identical plan.
-  permutation_plan plan = plan_permutation(w, prof);
+  permutation_plan plan;
+  {
+    const obs::span sp("resolve", "plan");
+    plan = plan_permutation(w, prof);
+  }
   {
     const std::lock_guard<std::mutex> lock(reg.plan_mutex);
     if (reg.plans.size() >= kPlanCacheCapacity) reg.plans.clear();

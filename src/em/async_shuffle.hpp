@@ -60,6 +60,8 @@
 #include <vector>
 
 #include "em/block_device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/counting.hpp"
 #include "rng/philox.hpp"
 #include "rng/stream.hpp"
@@ -265,6 +267,7 @@ class engine_state {
 
     // --- scatter pass: prefetched reads, staged async writes -----------
     {
+      const obs::span sp("scatter-level", "scatter");
       async_io_queue read_q(cur, opt_.buffer_depth * pool_.size());
       async_io_queue write_q(other, opt_.buffer_depth * pool_.size());
       pool_.parallel_for(0, nchunks, [&](std::size_t c_lo, std::size_t c_hi) {
@@ -359,6 +362,16 @@ class engine_state {
   state.run(n);
   async_report report = state.take_report();
   report.block_transfers = dev.stats().transfers() + scratch.stats().transfers() - before;
+  // Fold the run's transfer accounting into the process-wide metrics
+  // (obs/metrics.hpp): monotone totals across every em shuffle.
+  if (obs::enabled()) {
+    obs::get_counter("em.shuffles").add();
+    obs::get_counter("em.block_transfers").add(report.block_transfers);
+    obs::get_counter("em.async_reads").add(report.async_reads);
+    obs::get_counter("em.async_writes").add(report.async_writes);
+    obs::get_counter("em.rng_words").add(report.rng_words);
+    obs::get_gauge("em.io.in_flight").note_peak(report.max_in_flight);
+  }
   return report;
 }
 

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace cgp::em {
+
+namespace {
+
+// Process-wide I/O metrics, shared across every simulated device and
+// queue (per-run accounting stays in io_stats / async_stats).  References
+// are resolved once; mutations are relaxed atomic adds.
+obs::counter& io_reads_counter() {
+  static obs::counter& c = obs::get_counter("em.io.reads");
+  return c;
+}
+obs::counter& io_writes_counter() {
+  static obs::counter& c = obs::get_counter("em.io.writes");
+  return c;
+}
+obs::gauge& io_queue_gauge() {
+  static obs::gauge& g = obs::get_gauge("em.io.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 block_device::block_device(std::uint64_t item_capacity, std::uint32_t block_items)
     : item_capacity_(item_capacity),
@@ -30,6 +52,7 @@ void block_device::read_block(std::uint64_t b, std::span<std::uint64_t> out) {
   const auto* src = data_.data() + b * block_items_;
   std::copy(src, src + block_items_, out.begin());
   ++stats_.block_reads;
+  io_reads_counter().add();
 }
 
 void block_device::write_block(std::uint64_t b, std::span<const std::uint64_t> in) {
@@ -38,6 +61,7 @@ void block_device::write_block(std::uint64_t b, std::span<const std::uint64_t> i
   const std::lock_guard<std::mutex> lock(mutex_);
   std::copy(in.begin(), in.end(), data_.begin() + static_cast<std::ptrdiff_t>(b * block_items_));
   ++stats_.block_writes;
+  io_writes_counter().add();
 }
 
 void block_device::read_items(std::uint64_t item_lo, std::span<std::uint64_t> out) {
@@ -54,6 +78,7 @@ void block_device::read_items(std::uint64_t item_lo, std::span<std::uint64_t> ou
               out.begin() + static_cast<std::ptrdiff_t>(lo - item_lo));
     ++stats_.block_reads;
   }
+  io_reads_counter().add((hi - 1) / block_items_ - item_lo / block_items_ + 1);
 }
 
 void block_device::write_items(std::uint64_t item_lo, std::span<const std::uint64_t> in) {
@@ -68,12 +93,16 @@ void block_device::write_items(std::uint64_t item_lo, std::span<const std::uint6
     const bool partial = lo != first || up != first + block_items_;
     // A partial boundary block is a read-modify-write (one extra read);
     // holding the lock across the whole cycle makes the patch atomic.
-    if (partial) ++stats_.block_reads;
+    if (partial) {
+      ++stats_.block_reads;
+      io_reads_counter().add();
+    }
     std::copy(in.begin() + static_cast<std::ptrdiff_t>(lo - item_lo),
               in.begin() + static_cast<std::ptrdiff_t>(up - item_lo),
               data_.begin() + static_cast<std::ptrdiff_t>(lo));
     ++stats_.block_writes;
   }
+  io_writes_counter().add((hi - 1) / block_items_ - item_lo / block_items_ + 1);
 }
 
 void block_device::poke(std::uint64_t item, std::uint64_t value) noexcept {
@@ -171,6 +200,8 @@ void async_io_queue::enqueue(request req) {
     space_.wait(lock, [this] { return in_flight_ < depth_; });
     ++in_flight_;
     stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+    io_queue_gauge().add(1);
+    io_queue_gauge().note_peak(in_flight_);
     if (req.is_read) {
       ++stats_.reads_enqueued;
     } else {
@@ -229,6 +260,7 @@ void async_io_queue::serve() {
       const std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
     }
+    io_queue_gauge().sub(1);
     space_.notify_all();
   }
 }

@@ -1,0 +1,180 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <list>
+#include <mutex>
+
+#include "util/json.hpp"
+
+namespace cgp::obs {
+
+namespace {
+
+// -1 = not yet resolved from the environment.
+std::atomic<int> g_enabled{-1};
+
+int resolve_enabled_slow() noexcept {
+  // First touch: the environment decides the default.  A racing
+  // set_enabled() wins -- both stores write a definite value.
+  const int v = std::getenv("CGP_OBS_OFF") == nullptr ? 1 : 0;
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+// One registered metric.  The name and kind are fixed at insertion; the
+// payload lives in-node so the reference survives later registrations
+// (std::list keeps node addresses stable, like core/registry.hpp).
+struct metric_node {
+  metric_node(std::string n, metric_snapshot::kind k) : name(std::move(n)), which(k) {}
+  std::string name;
+  metric_snapshot::kind which;
+  counter c;
+  gauge g;
+  histogram h;
+};
+
+struct metric_registry {
+  std::mutex mutex;
+  std::list<metric_node> nodes;
+};
+
+metric_registry& instance() {
+  static metric_registry reg;
+  return reg;
+}
+
+metric_node& node_for(std::string_view name, metric_snapshot::kind kind) {
+  metric_registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& n : reg.nodes) {
+    if (n.name == name) {
+      if (n.which != kind) {
+        std::fprintf(stderr, "cgmperm: obs metric '%.*s' registered with two kinds\n",
+                     static_cast<int>(name.size()), name.data());
+        std::abort();
+      }
+      return n;
+    }
+  }
+  return reg.nodes.emplace_back(std::string(name), kind);
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  const int v = g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return resolve_enabled_slow() != 0;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the k-th smallest observation, k = ceil(q * total) >= 1.
+  const auto k = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= k) return bucket_floor(b);
+  }
+  // Concurrent records can leave count_ ahead of the bucket sums; answer
+  // with the highest occupied bucket.
+  for (std::size_t b = kBuckets; b-- > 0;) {
+    if (counts_[b].load(std::memory_order_relaxed) != 0) return bucket_floor(b);
+  }
+  return 0;
+}
+
+counter& get_counter(std::string_view name) {
+  return node_for(name, metric_snapshot::kind::counter).c;
+}
+
+gauge& get_gauge(std::string_view name) {
+  return node_for(name, metric_snapshot::kind::gauge).g;
+}
+
+histogram& get_histogram(std::string_view name) {
+  return node_for(name, metric_snapshot::kind::histogram).h;
+}
+
+std::vector<metric_snapshot> snapshot() {
+  metric_registry& reg = instance();
+  std::vector<metric_snapshot> out;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    out.reserve(reg.nodes.size());
+    for (const auto& n : reg.nodes) {
+      metric_snapshot s;
+      s.name = n.name;
+      s.which = n.which;
+      switch (n.which) {
+        case metric_snapshot::kind::counter:
+          s.count = n.c.value();
+          break;
+        case metric_snapshot::kind::gauge:
+          s.level = n.g.value();
+          s.peak = n.g.peak();
+          break;
+        case metric_snapshot::kind::histogram:
+          s.count = n.h.count();
+          s.sum = n.h.sum();
+          s.max = n.h.max();
+          s.p50 = n.h.quantile(0.50);
+          s.p90 = n.h.quantile(0.90);
+          s.p99 = n.h.quantile(0.99);
+          break;
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const metric_snapshot& a, const metric_snapshot& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string snapshot_json() {
+  const std::vector<metric_snapshot> snap = snapshot();
+  std::string counters = "{";
+  std::string gauges = "{";
+  std::string hists = "{";
+  for (const auto& s : snap) {
+    switch (s.which) {
+      case metric_snapshot::kind::counter: {
+        if (counters.size() > 1) counters += ", ";
+        counters += json_escape_quoted(s.name) + ": " + std::to_string(s.count);
+        break;
+      }
+      case metric_snapshot::kind::gauge: {
+        if (gauges.size() > 1) gauges += ", ";
+        gauges += json_escape_quoted(s.name) + ": {\"value\": " + std::to_string(s.level) +
+                  ", \"peak\": " + std::to_string(s.peak) + "}";
+        break;
+      }
+      case metric_snapshot::kind::histogram: {
+        if (hists.size() > 1) hists += ", ";
+        hists += json_escape_quoted(s.name) + ": {\"count\": " + std::to_string(s.count) +
+                 ", \"sum\": " + std::to_string(s.sum) + ", \"max\": " + std::to_string(s.max) +
+                 ", \"p50\": " + std::to_string(s.p50) + ", \"p90\": " + std::to_string(s.p90) +
+                 ", \"p99\": " + std::to_string(s.p99) + "}";
+        break;
+      }
+    }
+  }
+  counters += "}";
+  gauges += "}";
+  hists += "}";
+  return "{\"counters\": " + counters + ", \"gauges\": " + gauges +
+         ", \"histograms\": " + hists + "}";
+}
+
+}  // namespace cgp::obs

@@ -1,0 +1,194 @@
+// obs/metrics.hpp
+//
+// The process-wide metrics registry of the observability layer (src/obs/):
+// named counters, gauges, and fixed-bucket histograms that every subsystem
+// (core planner, smp/em engines, comm transports, svc service) records
+// into from its hot paths.  Design constraints, in order:
+//
+//   1. *Never perturb output.*  Metrics only observe; nothing downstream
+//      of a counter can change a permutation.  The bit-reproducibility
+//      suites run with instrumentation on and off (tests/test_obs.cpp).
+//   2. *Cheap enough to leave on.*  Every mutation is one relaxed atomic
+//      RMW on a cache line owned by the metric (registration -- the only
+//      mutex -- happens once per name; hot callers cache the reference in
+//      a function-local static).  The `CGP_OBS_OFF` env var (or
+//      set_enabled(false)) reduces mutations to a single relaxed load.
+//      Per-ITEM work is never instrumented -- only per-call / per-level /
+//      per-block quantities -- so the smp hot path stays within the < 3%
+//      overhead budget bench/e18_obs_overhead.cpp guards.
+//   3. *Lifetime = process.*  References returned by the registry stay
+//      valid until exit, like core/registry.hpp's engines.  Counters are
+//      monotone; consumers diff snapshots rather than resetting.
+//
+// Naming scheme (DESIGN.md section 8): dotted lowercase `layer.noun` /
+// `layer.noun.verb`, e.g. `core.plan_cache.hits`, `em.io.reads`,
+// `comm.bytes_sent`, `svc.jobs.done`.  Histogram values are unit-suffixed
+// (`svc.job_latency_ns`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgp::obs {
+
+/// Global recording gate: true unless the CGP_OBS_OFF environment variable
+/// is set (checked once) or set_enabled(false) was called.  A disabled
+/// registry still hands out metric references; mutations become a single
+/// relaxed load and snapshots simply stop advancing.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Programmatic override of the gate (benches toggle it to measure the
+/// instrumentation's own cost; tests pin that the gate never changes
+/// permutation output).
+void set_enabled(bool on) noexcept;
+
+/// Monotone event count.
+class counter {
+ public:
+  void add(std::uint64_t d = 1) noexcept {
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depths, in-flight operations).
+class gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t d) noexcept { add(-d); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  /// Raise the separately tracked high-water mark to at least `v` (the
+  /// current value does not move).
+  void note_peak(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    std::int64_t cur = peak_.load(std::memory_order_relaxed);
+    while (v > cur && !peak_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Fixed-bucket log-scale histogram of non-negative values (latencies in
+/// ns, batch sizes, ...).  Bucketing: values below 16 get exact unit
+/// buckets; above, each power of two splits into 8 sub-buckets, so any
+/// recorded value lands in a bucket whose width is at most 1/8 of its
+/// lower bound (<= 12.5% relative quantile error by construction --
+/// tests/test_obs.cpp pins this against a sorted-vector oracle).  All
+/// state is atomic; record() is two relaxed RMWs plus two CAS peaks.
+/// Usable standalone (a bench-local histogram) or through the registry.
+class histogram {
+ public:
+  static constexpr std::size_t kUnitBuckets = 16;   // values 0..15, exact
+  static constexpr std::size_t kSubBuckets = 8;     // per power of two
+  static constexpr std::size_t kBuckets =
+      kUnitBuckets + (64 - 4) * kSubBuckets;        // up to 2^64 - 1
+
+  /// The bucket `v` lands in.
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    if (v < kUnitBuckets) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);  // >= 4
+    const auto sub = static_cast<std::size_t>((v >> (msb - 3)) & (kSubBuckets - 1));
+    return kUnitBuckets + static_cast<std::size_t>(msb - 4) * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower bound of bucket `b` (the smallest value mapping to it).
+  [[nodiscard]] static constexpr std::uint64_t bucket_floor(std::size_t b) noexcept {
+    if (b < kUnitBuckets) return b;
+    const std::size_t rel = b - kUnitBuckets;
+    const int msb = static_cast<int>(rel / kSubBuckets) + 4;
+    const std::uint64_t sub = rel % kSubBuckets;
+    return (std::uint64_t{1} << msb) + (sub << (msb - 3));
+  }
+
+  void record(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t m = max_.load(std::memory_order_relaxed);
+    while (v > m && !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+
+  /// Nearest-rank quantile, q in [0, 1]: the lower bound of the bucket
+  /// holding the ceil(q * count)-th smallest recorded value (so the answer
+  /// is a value that maps into the same bucket as the exact order
+  /// statistic).  0 when empty.  A concurrent record() can skew the rank
+  /// by the in-flight observation -- acceptable for monitoring readout.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Registry lookups: the metric named `name`, created on first use, alive
+/// (and address-stable) until process exit.  A name is one kind only --
+/// asking for an existing name with a different kind aborts (naming bug).
+/// Hot paths cache the reference:
+///
+///   static obs::counter& c = obs::get_counter("em.io.reads");
+[[nodiscard]] counter& get_counter(std::string_view name);
+[[nodiscard]] gauge& get_gauge(std::string_view name);
+[[nodiscard]] histogram& get_histogram(std::string_view name);
+
+/// One metric's state in a snapshot.
+struct metric_snapshot {
+  std::string name;
+  enum class kind : std::uint8_t { counter, gauge, histogram } which = kind::counter;
+  std::uint64_t count = 0;   ///< counter value / histogram count
+  std::int64_t level = 0;    ///< gauge value
+  std::int64_t peak = 0;     ///< gauge high-water mark
+  std::uint64_t sum = 0, max = 0, p50 = 0, p90 = 0, p99 = 0;  ///< histogram
+};
+
+/// Point-in-time snapshot of every registered metric, sorted by name.
+[[nodiscard]] std::vector<metric_snapshot> snapshot();
+
+/// The snapshot rendered as one JSON object:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}, ...}}.
+[[nodiscard]] std::string snapshot_json();
+
+}  // namespace cgp::obs

@@ -1,0 +1,91 @@
+#include "obs/plan_feedback.hpp"
+
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace cgp::obs {
+
+namespace {
+
+thread_local phase_collector* t_collector = nullptr;
+
+struct feedback_log {
+  std::mutex mutex;
+  std::deque<plan_feedback_record> records;
+};
+
+feedback_log& log_instance() {
+  static feedback_log log;
+  return log;
+}
+
+void add_phase(std::vector<phase_time>& phases, const std::string& label, double seconds) {
+  for (auto& p : phases) {
+    if (p.label == label) {
+      p.seconds += seconds;
+      return;
+    }
+  }
+  phases.push_back({label, seconds});
+}
+
+}  // namespace
+
+phase_collector::phase_collector() noexcept : prev_(t_collector) { t_collector = this; }
+
+phase_collector::~phase_collector() { t_collector = prev_; }
+
+void phase_collector::add(const char* label, double seconds) {
+  for (auto& p : phases_) {
+    if (p.label == label) {
+      p.seconds += seconds;
+      return;
+    }
+  }
+  phases_.push_back({label, seconds});
+}
+
+bool phase_collector_active() noexcept { return t_collector != nullptr; }
+
+void note_phase(const char* label, double seconds) noexcept {
+  if (t_collector != nullptr) t_collector->add(label, seconds);
+}
+
+void record_plan_feedback(plan_feedback_record rec) {
+  if (!enabled()) return;
+  feedback_log& log = log_instance();
+  const std::lock_guard<std::mutex> lock(log.mutex);
+  if (log.records.size() >= kFeedbackLogCapacity) log.records.pop_front();
+  log.records.push_back(std::move(rec));
+}
+
+std::vector<plan_feedback_record> plan_feedback_log() {
+  feedback_log& log = log_instance();
+  const std::lock_guard<std::mutex> lock(log.mutex);
+  return {log.records.begin(), log.records.end()};
+}
+
+backend_feedback plan_feedback_for(std::string_view backend) {
+  backend_feedback out;
+  feedback_log& log = log_instance();
+  const std::lock_guard<std::mutex> lock(log.mutex);
+  for (const auto& rec : log.records) {
+    if (rec.backend != backend) continue;
+    ++out.jobs;
+    out.predicted_seconds += rec.predicted_seconds;
+    out.measured_seconds += rec.measured_seconds;
+    for (const auto& p : rec.predicted_phases) add_phase(out.predicted_phases, p.label, p.seconds);
+    for (const auto& p : rec.measured_phases) add_phase(out.measured_phases, p.label, p.seconds);
+  }
+  return out;
+}
+
+void clear_plan_feedback() {
+  feedback_log& log = log_instance();
+  const std::lock_guard<std::mutex> lock(log.mutex);
+  log.records.clear();
+}
+
+}  // namespace cgp::obs

@@ -1,0 +1,178 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace cgp::obs {
+
+namespace {
+
+// Ring capacity.  64Ki events x 40 bytes/slot = 2.5 MiB, allocated lazily
+// on first record (the ring lives in a function-local static).
+constexpr std::uint64_t kRingCapacity = std::uint64_t{1} << 16;
+
+// One ring slot.  All fields are atomics so concurrent write/read is
+// data-race-free (sanitizer-clean); `seq` is the validity stamp: a reader
+// accepts the slot only when seq == claim_index + 1 before AND after
+// reading the payload.
+struct slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> cat{nullptr};
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::uint32_t> tid{0};
+  std::atomic<std::uint64_t> seq{0};
+};
+
+struct ring_buffer {
+  std::vector<slot> slots{kRingCapacity};
+  std::atomic<std::uint64_t> head{0};  ///< next claim index (monotone)
+  std::atomic<std::uint64_t> base{0};  ///< logical start (moved by clear)
+};
+
+ring_buffer& ring() {
+  static ring_buffer r;
+  return r;
+}
+
+std::uint32_t this_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// -1 = not yet resolved from the environment.
+std::atomic<int> g_tracing{-1};
+
+std::string& trace_dump_path() {
+  static std::string path;
+  return path;
+}
+
+void dump_trace_at_exit() {
+  const std::string& path = trace_dump_path();
+  if (!path.empty()) write_chrome_trace(path);
+}
+
+int resolve_tracing_slow() noexcept {
+  const char* env = std::getenv("CGP_TRACE");
+  int v = 0;
+  if (env != nullptr && env[0] != '\0') {
+    trace_dump_path() = env;
+    // Construct the ring (and the clock epoch) BEFORE registering the
+    // dump: exit runs atexit handlers and function-local-static
+    // destructors in one reverse sequence, so anything the handler reads
+    // must be constructed earlier than the registration.
+    (void)ring();
+    (void)detail::trace_now_ns();
+    std::atexit(&dump_trace_at_exit);
+    v = 1;
+  }
+  int expected = -1;
+  g_tracing.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool tracing() noexcept {
+  const int v = g_tracing.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return resolve_tracing_slow() != 0;
+}
+
+void set_tracing(bool on) noexcept {
+  // Resolve the environment first so a later tracing() call cannot
+  // overwrite the explicit choice (and CGP_TRACE still registers its dump).
+  tracing();
+  g_tracing.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint64_t trace_now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch).count());
+}
+
+void record_event(const char* name, const char* cat, std::uint64_t ts_ns,
+                  std::uint64_t dur_ns) noexcept {
+  ring_buffer& r = ring();
+  const std::uint64_t idx = r.head.fetch_add(1, std::memory_order_relaxed);
+  slot& s = r.slots[idx & (kRingCapacity - 1)];
+  s.seq.store(0, std::memory_order_release);  // invalidate while writing
+  s.name.store(name, std::memory_order_relaxed);
+  s.cat.store(cat, std::memory_order_relaxed);
+  s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.tid.store(this_thread_id(), std::memory_order_relaxed);
+  s.seq.store(idx + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+std::vector<trace_event> trace_snapshot() {
+  ring_buffer& r = ring();
+  const std::uint64_t head = r.head.load(std::memory_order_acquire);
+  const std::uint64_t base = r.base.load(std::memory_order_acquire);
+  const std::uint64_t lo =
+      std::max(base, head > kRingCapacity ? head - kRingCapacity : 0);
+  std::vector<trace_event> out;
+  out.reserve(static_cast<std::size_t>(head - lo));
+  for (std::uint64_t idx = lo; idx < head; ++idx) {
+    const slot& s = r.slots[idx & (kRingCapacity - 1)];
+    if (s.seq.load(std::memory_order_acquire) != idx + 1) continue;  // in flight / overwritten
+    trace_event e;
+    e.name = s.name.load(std::memory_order_relaxed);
+    e.cat = s.cat.load(std::memory_order_relaxed);
+    e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+    e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    e.tid = s.tid.load(std::memory_order_relaxed);
+    if (s.seq.load(std::memory_order_acquire) == idx + 1 && e.name != nullptr) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::uint64_t dropped_events() noexcept {
+  ring_buffer& r = ring();
+  const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+  const std::uint64_t base = r.base.load(std::memory_order_relaxed);
+  const std::uint64_t recorded = head > base ? head - base : 0;
+  return recorded > kRingCapacity ? recorded - kRingCapacity : 0;
+}
+
+void clear_trace() {
+  ring_buffer& r = ring();
+  r.base.store(r.head.load(std::memory_order_acquire), std::memory_order_release);
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::vector<trace_event> events = trace_snapshot();
+  std::vector<json_record> records;
+  records.reserve(events.size());
+  for (const trace_event& e : events) {
+    json_record rec;
+    rec.add("name", e.name)
+        .add("cat", e.cat == nullptr ? "misc" : e.cat)
+        .add("ph", "X")
+        .add("ts", static_cast<double>(e.ts_ns) / 1000.0)
+        .add("dur", static_cast<double>(e.dur_ns) / 1000.0)
+        .add("pid", 1)
+        .add("tid", e.tid);
+    records.push_back(std::move(rec));
+  }
+  return write_json_records(path, records);
+}
+
+}  // namespace cgp::obs

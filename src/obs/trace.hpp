@@ -1,0 +1,106 @@
+// obs/trace.hpp
+//
+// The tracing half of the observability layer: RAII phase spans recorded
+// into a bounded lock-free ring buffer, exportable as Chrome trace_event
+// JSON ("JSON Array Format" -- load the file in chrome://tracing or
+// https://ui.perfetto.dev).  Span taxonomy (DESIGN.md section 8):
+//
+//   cat "plan"     -- planner work: "resolve", "calibrate"
+//   cat "exec"     -- executor phases: "execute", "fisher-yates", "fill",
+//                     "shuffle", "readback"
+//   cat "split"    -- smp/cgm recursion: "split", "leaf"
+//   cat "scatter"  -- em distribution levels: "scatter-level"
+//   cat "io"       -- em block device work: "io-wait"
+//   cat "exchange" -- comm/cgm supersteps: "exchange"
+//   cat "batch"    -- svc scheduling: "job", "batch"
+//
+// Tracing is off by default; it turns on when the CGP_TRACE environment
+// variable names an output file (the trace is dumped there at process
+// exit, from ANY binary linking the library -- no per-binary code) or when
+// set_tracing(true) is called.  A disarmed span is two relaxed loads and
+// no clock read.  Span names must have static storage duration (string
+// literals): slots store the pointer, not a copy, so recording stays
+// wait-free.
+//
+// Spans also feed the plan-feedback loop: when the current thread has a
+// phase_collector installed (obs/plan_feedback.hpp), a finished span
+// reports {name, seconds} to it even with tracing off.  That is how
+// measured phase times reach plan::explain() without the executors knowing
+// about plans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/plan_feedback.hpp"
+
+namespace cgp::obs {
+
+/// Is span recording into the ring buffer active?
+[[nodiscard]] bool tracing() noexcept;
+
+/// Turn ring-buffer recording on or off programmatically (overrides the
+/// CGP_TRACE default; does not change where/if the exit dump goes).
+void set_tracing(bool on) noexcept;
+
+/// One completed span, as read back from the ring.
+struct trace_event {
+  const char* name = nullptr;  ///< static-storage span name
+  const char* cat = nullptr;   ///< static-storage category
+  std::uint64_t ts_ns = 0;     ///< start, ns since process trace epoch
+  std::uint64_t dur_ns = 0;    ///< duration in ns
+  std::uint32_t tid = 0;       ///< small per-thread id (registration order)
+};
+
+namespace detail {
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+void record_event(const char* name, const char* cat, std::uint64_t ts_ns,
+                  std::uint64_t dur_ns) noexcept;
+}  // namespace detail
+
+/// RAII phase span.  `name` and `cat` must be string literals (or
+/// otherwise outlive the process trace).  Construction arms the span only
+/// when tracing is on or the calling thread is collecting phase times;
+/// disarmed construction and destruction never read the clock.
+class span {
+ public:
+  span(const char* name, const char* cat) noexcept : name_(name), cat_(cat) {
+    if (tracing() || phase_collector_active()) {
+      start_ns_ = detail::trace_now_ns();
+      armed_ = true;
+    }
+  }
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+  ~span() {
+    if (!armed_) return;
+    const std::uint64_t end_ns = detail::trace_now_ns();
+    const std::uint64_t dur = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+    if (tracing()) detail::record_event(name_, cat_, start_ns_, dur);
+    note_phase(name_, static_cast<double>(dur) * 1e-9);
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Completed spans currently held in the ring, oldest first.  Events that
+/// were overwritten (ring capacity exceeded) are gone; dropped_events()
+/// counts them.
+[[nodiscard]] std::vector<trace_event> trace_snapshot();
+
+/// Spans evicted by ring wrap-around since the last clear.
+[[nodiscard]] std::uint64_t dropped_events() noexcept;
+
+/// Forget all recorded spans (tests; also resets the dropped count).
+void clear_trace();
+
+/// Write the ring contents as a Chrome trace_event JSON array to `path`.
+/// Returns false (and prints to stderr) on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace cgp::obs

@@ -25,9 +25,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "seq/fisher_yates.hpp"
 #include "smp/parallel_split.hpp"
 #include "smp/thread_pool.hpp"
@@ -70,6 +72,10 @@ void shuffle_subtree(std::span<T> data, std::span<T> scratch, std::uint64_t seed
                      std::uint64_t node, const engine_options& opt, thread_pool* pool,
                      bool top) {
   if (data.size() <= opt.cache_items || data.size() < 2) {
+    // Span only at the tree top: a per-leaf span would put one ring event
+    // (and two clock reads) on every cache-sized bucket of the hot path.
+    std::optional<obs::span> leaf_sp;
+    if (top) leaf_sp.emplace("leaf", "split");
     auto e = detail::node_engine(seed, node, detail::kLeafSalt);
     seq::fisher_yates(e, data);
     return;
@@ -79,8 +85,11 @@ void shuffle_subtree(std::span<T> data, std::span<T> scratch, std::uint64_t seed
   sopt.sampling = opt.sampling;
   // Only the top split fans its phases out over the pool; deeper splits
   // run inside a single bucket task.
+  std::optional<obs::span> split_sp;
+  if (top) split_sp.emplace("split", "split");
   const std::vector<std::uint64_t> off =
       parallel_split(top ? pool : nullptr, data, scratch, seed, node, sopt);
+  split_sp.reset();
   const auto buckets = static_cast<std::size_t>(off.size() - 1);
 
   const auto recurse_range = [&](std::size_t lo, std::size_t hi) {

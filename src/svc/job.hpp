@@ -24,6 +24,7 @@
 // any number of waiters may hold them concurrently.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -80,6 +81,11 @@ struct job_state {
   std::uint64_t ordinal = 0;
   std::uint64_t seed = 0;
   std::uint64_t n = 0;
+  /// Admission timestamp; end-to-end latency (queue wait + execution) is
+  /// measured against it when the job reaches `done` and recorded into
+  /// the `svc.job_latency_ns` histogram (observability only -- nothing
+  /// downstream of the clock can touch the job's randomness).
+  std::chrono::steady_clock::time_point submitted_at{};
 
   // --- completion ------------------------------------------------------
   mutable std::mutex m;

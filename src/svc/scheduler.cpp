@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace cgp::svc {
+
+namespace {
+
+// Process-wide scheduler metrics (per-instance accounting stays in
+// scheduler_stats).  queue_depth is a live level with a peak high-water
+// mark; batch sizes go to a histogram so the snapshot exposes p50/p99.
+obs::gauge& queue_gauge() {
+  static obs::gauge& g = obs::get_gauge("svc.queue_depth");
+  return g;
+}
+obs::histogram& batch_histogram() {
+  static obs::histogram& h = obs::get_histogram("svc.batch_size");
+  return h;
+}
+
+}  // namespace
 
 scheduler::scheduler(smp::thread_pool& batch_pool, scheduler_options opt)
     : pool_(batch_pool), opt_(opt) {
@@ -21,14 +39,18 @@ scheduler::scheduler(smp::thread_pool& batch_pool, scheduler_options opt)
 scheduler::~scheduler() { close(); }
 
 bool scheduler::submit(task t) {
+  static obs::counter& submitted = obs::get_counter("svc.jobs.submitted");
+  static obs::counter& rejected = obs::get_counter("svc.jobs.rejected");
   std::unique_lock<std::mutex> lock(m_);
   if (closed_) {
     ++stats_.rejected;
+    rejected.add();
     return false;
   }
   if (q_.size() >= opt_.queue_capacity) {
     if (opt_.policy == admission::reject) {
       ++stats_.rejected;
+      rejected.add();
       return false;
     }
     // block: the client waits -- backpressure propagates to the submitter
@@ -36,12 +58,16 @@ bool scheduler::submit(task t) {
     space_.wait(lock, [&] { return closed_ || q_.size() < opt_.queue_capacity; });
     if (closed_) {
       ++stats_.rejected;
+      rejected.add();
       return false;
     }
   }
   q_.push_back(std::move(t));
   ++stats_.submitted;
   stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth, q_.size());
+  submitted.add();
+  queue_gauge().set(static_cast<std::int64_t>(q_.size()));
+  queue_gauge().note_peak(static_cast<std::int64_t>(q_.size()));
   lock.unlock();
   nonempty_.notify_one();
   return true;
@@ -71,6 +97,11 @@ bool scheduler::closed() const {
 scheduler_stats scheduler::stats() const {
   const std::lock_guard<std::mutex> lock(m_);
   return stats_;
+}
+
+std::size_t scheduler::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return q_.size();
 }
 
 void scheduler::worker_loop() {
@@ -112,16 +143,27 @@ void scheduler::worker_loop() {
     } else {
       ++stats_.batches;
       stats_.batched_jobs += batch.size();
+      static obs::counter& batches = obs::get_counter("svc.batches");
+      batches.add();
+      batch_histogram().record(batch.size());
     }
+    if (have_single) {
+      static obs::counter& singles = obs::get_counter("svc.singles");
+      singles.add();
+      batch_histogram().record(1);
+    }
+    queue_gauge().set(static_cast<std::int64_t>(q_.size()));
     lock.unlock();
     space_.notify_all();
 
     if (have_single) {
+      const obs::span sp("job", "batch");
       single.run();
     } else {
       // ONE pool dispatch amortized across the whole batch; each task's
       // output is keyed by its job seed, so the worker->task assignment
       // the partition makes is invisible in the results.
+      const obs::span sp("batch", "batch");
       pool_.parallel_for(0, batch.size(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t j = lo; j < hi; ++j) batch[j].run();
       });

@@ -102,6 +102,9 @@ class scheduler {
 
   [[nodiscard]] bool closed() const;
   [[nodiscard]] scheduler_stats stats() const;
+  /// Tasks currently queued (a live level -- racy by nature, diagnostics
+  /// only; the obs gauge `svc.queue_depth` mirrors it process-wide).
+  [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] const scheduler_options& options() const noexcept { return opt_; }
 
  private:

@@ -1,13 +1,38 @@
 #include "svc/server.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "core/backend.hpp"
 #include "core/executor.hpp"
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
 
 namespace cgp::svc {
 
 namespace {
+
+/// End-to-end job latency (admission to `done`), in ns.  Process-wide:
+/// every server records into the one histogram, matching the obs naming
+/// scheme's layer-global metrics.
+obs::histogram& latency_histogram() {
+  static obs::histogram& h = obs::get_histogram("svc.job_latency_ns");
+  return h;
+}
+
+void note_job_done(const detail::job_state& st) {
+  static obs::counter& done = obs::get_counter("svc.jobs.done");
+  done.add();
+  const auto dt = std::chrono::steady_clock::now() - st.submitted_at;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+  latency_histogram().record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+}
+
+void note_job_failed() {
+  static obs::counter& failed = obs::get_counter("svc.jobs.failed");
+  failed.add();
+}
 
 cgp::context_options context_options_of(const server_options& opt) {
   cgp::context_options co;
@@ -87,6 +112,7 @@ std::shared_ptr<detail::job_state> server::make_state(std::uint64_t client_id, s
     st->ordinal = ordinals_[client_id]++;
   }
   st->seed = job_seed(opt_.seed, client_id, st->ordinal);
+  st->submitted_at = std::chrono::steady_clock::now();
   return st;
 }
 
@@ -125,11 +151,19 @@ void server::run_shuffle(detail::job_state& st, void* data, std::uint32_t elem_b
   try {
     const core::backend_options o = job_options(ctx_, st.seed);
     st.plan = plan_for_job(st.n, elem_bytes, o);
-    core::make_executor(st.plan, o)->shuffle_raw(data, st.n, elem_bytes, st.seed);
+    {
+      // Same measured-phase collection a direct core::shuffle gets: the
+      // service path bypasses core::shuffle (it resolves plans through
+      // the cache), so it installs its own feedback scope.
+      const core::feedback_scope fb(st.plan, st.n, elem_bytes);
+      core::make_executor(st.plan, o)->shuffle_raw(data, st.n, elem_bytes, st.seed);
+    }
     done_.fetch_add(1, std::memory_order_relaxed);
+    note_job_done(st);
     st.finish(job_status::done);
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
+    note_job_failed();
     st.fail(std::current_exception());
   }
 }
@@ -141,28 +175,34 @@ void server::run_fill(detail::job_state& st, bool streamed) {
     st.plan = plan_for_job(st.n, sizeof(std::uint64_t), o);
     if (st.n == 0) {
       done_.fetch_add(1, std::memory_order_relaxed);
+      note_job_done(st);
       st.finish(job_status::done);
       return;
     }
-    if (streamed && st.plan.chosen == core::backend::em) {
-      // The em executor's native fill mode minus its final bulk readback:
-      // identity onto the device, shuffle there, KEEP the device -- the
-      // stream pulls chunks off it via accounted range reads, so no
-      // full-n vector ever materializes for this job.  Geometry, pool,
-      // and fill all resolve through the shared helpers make_executor's
-      // em branch uses, so the device content is bit-identical to what
-      // fill_random_permutation would have read back.
-      st.dev = core::em_shuffled_identity_device(st.n, st.seed,
-                                                 core::resolve_em_config(st.plan, o));
-    } else {
-      st.pi.resize(static_cast<std::size_t>(st.n));
-      core::make_executor(st.plan, o)->fill_random_permutation(
-          std::span<std::uint64_t>(st.pi), st.seed);
+    {
+      const core::feedback_scope fb(st.plan, st.n, sizeof(std::uint64_t));
+      if (streamed && st.plan.chosen == core::backend::em) {
+        // The em executor's native fill mode minus its final bulk readback:
+        // identity onto the device, shuffle there, KEEP the device -- the
+        // stream pulls chunks off it via accounted range reads, so no
+        // full-n vector ever materializes for this job.  Geometry, pool,
+        // and fill all resolve through the shared helpers make_executor's
+        // em branch uses, so the device content is bit-identical to what
+        // fill_random_permutation would have read back.
+        st.dev = core::em_shuffled_identity_device(st.n, st.seed,
+                                                   core::resolve_em_config(st.plan, o));
+      } else {
+        st.pi.resize(static_cast<std::size_t>(st.n));
+        core::make_executor(st.plan, o)->fill_random_permutation(
+            std::span<std::uint64_t>(st.pi), st.seed);
+      }
     }
     done_.fetch_add(1, std::memory_order_relaxed);
+    note_job_done(st);
     st.finish(job_status::done);
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
+    note_job_failed();
     st.fail(std::current_exception());
   }
 }
@@ -174,6 +214,51 @@ server_stats server::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.rejected = s.sched.rejected;
   return s;
+}
+
+std::string server::metrics_snapshot() const {
+  const server_stats s = stats();
+  const obs::histogram& lat = obs::get_histogram("svc.job_latency_ns");
+  const obs::histogram& bat = obs::get_histogram("svc.batch_size");
+
+  json_record lat_rec;
+  lat_rec.add("count", lat.count())
+      .add("p50_ns", lat.p50())
+      .add("p90_ns", lat.quantile(0.90))
+      .add("p99_ns", lat.p99())
+      .add("max_ns", lat.max());
+
+  json_record bat_rec;
+  bat_rec.add("count", bat.count())
+      .add("p50", bat.p50())
+      .add("p99", bat.p99())
+      .add("max", bat.max());
+
+  const auto lookups = static_cast<std::uint64_t>(core::plan_cache_lookups());
+  const auto hits = static_cast<std::uint64_t>(core::plan_cache_hits());
+  json_record cache_rec;
+  cache_rec.add("lookups", lookups)
+      .add("hits", hits)
+      .add("hit_rate",
+           lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups));
+
+  json_record rec;
+  rec.add("queue_depth", static_cast<std::uint64_t>(sched_.queue_depth()))
+      .add("max_queue_depth", s.sched.max_queue_depth)
+      .add("submitted", s.sched.submitted)
+      .add("done", s.done)
+      .add("failed", s.failed)
+      .add("rejected", s.rejected)
+      .add("singles", s.sched.singles)
+      .add("batches", s.sched.batches)
+      .add("batched_jobs", s.sched.batched_jobs)
+      .add_raw_json("plan_cache", cache_rec.to_string())
+      .add_raw_json("job_latency", lat_rec.to_string())
+      .add_raw_json("batch_size", bat_rec.to_string())
+      // The full process-wide registry, for anything the curated fields
+      // above don't surface (em I/O, comm bytes, per-backend exec counts).
+      .add_raw_json("metrics", obs::snapshot_json());
+  return rec.to_string();
 }
 
 }  // namespace cgp::svc

@@ -39,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <unordered_map>
 
@@ -121,6 +122,13 @@ class server {
   [[nodiscard]] bool closed() const { return sched_.closed(); }
 
   [[nodiscard]] server_stats stats() const;
+
+  /// One JSON object describing the service's observable state: live queue
+  /// depth, admission counters, batch-size and per-job end-to-end latency
+  /// percentiles, plan-cache hit rate, and (under "metrics") the full
+  /// process-wide obs registry snapshot.  Always valid JSON; cheap enough
+  /// to poll.
+  [[nodiscard]] std::string metrics_snapshot() const;
 
   /// The context the server executes through (profile + option
   /// projection); `ctx().shuffle(data, job_seed(...))` replays any job.

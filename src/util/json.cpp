@@ -7,32 +7,44 @@
 
 namespace cgp {
 
-namespace {
-
-std::string quote(const std::string& s) {
+std::string json_escape(std::string_view s) {
   std::string out;
-  out.reserve(s.size() + 2);
-  out.push_back('"');
+  out.reserve(s.size());
   for (const char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out.push_back(c);
         }
     }
   }
+  return out;
+}
+
+std::string json_escape_quoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  out += json_escape(s);
   out.push_back('"');
   return out;
 }
+
+namespace {
+
+std::string quote(const std::string& s) { return json_escape_quoted(s); }
 
 std::string render_double(double v) {
   // JSON has no NaN/Inf; encode them as null.
@@ -76,6 +88,9 @@ json_record& json_record::add(std::string key, int value) {
 }
 json_record& json_record::add(std::string key, bool value) {
   return add_raw(std::move(key), value ? "true" : "false");
+}
+json_record& json_record::add_raw_json(std::string key, std::string rendered) {
+  return add_raw(std::move(key), std::move(rendered));
 }
 
 std::string json_record::to_string() const {

@@ -9,10 +9,20 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 namespace cgp {
+
+/// Escape `s` for use inside a JSON string literal: `"`, `\`, and every
+/// control character U+0000..U+001F become escape sequences (the common
+/// ones as two-character escapes, the rest as \u00XX), so arbitrary metric
+/// or span names can never emit invalid JSON.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// json_escape() wrapped in double quotes: a complete JSON string token.
+[[nodiscard]] std::string json_escape_quoted(std::string_view s);
 
 /// One flat JSON object with ordered, typed fields.
 class json_record {
@@ -25,6 +35,10 @@ class json_record {
   json_record& add(std::string key, std::uint32_t value);      ///< number field
   json_record& add(std::string key, int value);                ///< number field
   json_record& add(std::string key, bool value);               ///< boolean field
+
+  /// Field whose value is `rendered` verbatim -- already-valid JSON (a
+  /// nested object or array).  The caller vouches for validity.
+  json_record& add_raw_json(std::string key, std::string rendered);
 
   /// Render as a single-line JSON object.
   [[nodiscard]] std::string to_string() const;

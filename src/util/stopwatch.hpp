@@ -36,4 +36,20 @@ class stopwatch {
 /// "60..100 cycles" band.
 [[nodiscard]] double estimated_cpu_hz() noexcept;
 
+/// Run `fn(rep)` `reps` times and return the fastest wall time in seconds
+/// -- the benches' shared measurement discipline (best-of-N suppresses
+/// scheduler noise better than averaging on a busy CI box).  `reps` < 1 is
+/// treated as 1.
+template <typename F>
+[[nodiscard]] double best_of(int reps, F&& fn) {
+  double best = -1.0;
+  for (int rep = 0; rep < (reps < 1 ? 1 : reps); ++rep) {
+    const stopwatch sw;
+    fn(rep);
+    const double s = sw.seconds();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
 }  // namespace cgp

@@ -1,10 +1,14 @@
 // Unit tests for the util substrate: prefix sums, balanced block
-// decomposition, the 2-D span, and the bench table printer.
+// decomposition, the 2-D span, the JSON writer's string escaping, and the
+// bench table printer.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 #include <vector>
 
+#include "util/json.hpp"
 #include "util/prefix.hpp"
 #include "util/span2d.hpp"
 #include "util/table.hpp"
@@ -12,6 +16,36 @@
 namespace {
 
 using namespace cgp;
+
+// Minimal JSON string unescaper -- the inverse of json_escape, used only
+// here to round-trip (the library itself never parses JSON).
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const unsigned v = static_cast<unsigned>(std::stoul(s.substr(i + 1, 4), nullptr, 16));
+        out += static_cast<char>(v);
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unknown escape \\" << s[i];
+    }
+  }
+  return out;
+}
 
 TEST(Prefix, ExclusiveBasic) {
   const std::vector<std::uint64_t> in{3, 1, 4, 1, 5};
@@ -111,6 +145,39 @@ TEST(Table, AlignsColumns) {
   EXPECT_NE(s.find("----"), std::string::npos);
   EXPECT_EQ(t.rows(), 2u);
   EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(JsonEscape, RoundTripsEveryControlCharacter) {
+  // Every byte 0x00..0x1F plus the two mandatory escapes must survive an
+  // escape/unescape round trip and never appear raw in the escaped form.
+  std::string nasty;
+  for (int c = 0; c < 0x20; ++c) nasty += static_cast<char>(c);
+  nasty += "\"\\plain text/";
+  const std::string esc = json_escape(nasty);
+  for (char c : esc) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control char leaked";
+  }
+  EXPECT_EQ(json_unescape(esc), nasty);
+}
+
+TEST(JsonEscape, CommonEscapesAreShortForm) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape_quoted("x"), "\"x\"");
+}
+
+TEST(JsonRecord, RendersEscapedFields) {
+  json_record rec;
+  rec.add("key\n", std::string("va\"l\x02")).add("n", std::uint64_t{7});
+  const std::string s = rec.to_string();
+  EXPECT_NE(s.find("\\n"), std::string::npos);
+  EXPECT_NE(s.find("\\u0002"), std::string::npos);
+  EXPECT_NE(s.find("\"n\": 7"), std::string::npos);
+  for (char c : s) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
 }
 
 TEST(Table, FormatHelpers) {
