@@ -14,9 +14,16 @@
 // cluster transport wins once p ranks bring memory and cores one host
 // lacks.
 //
-// Output: a table on stdout plus BENCH_cgm.json (one record per p:
-// measured cgm/smp seconds, the ratio, and the planner's predicted cgm
-// seconds for a profile describing p ranks).
+// The socket transport joins the sweep with one row per p (same engine,
+// but the pairs now cross real TCP connections on localhost), and a
+// second section measures its per-destination aggregator: a burst of
+// tiny sends with aggregation on vs off (aggregation_bytes = 0 is the
+// frame-per-send baseline), reporting the wire-frame coalescing factor.
+//
+// Output: a table on stdout plus BENCH_cgm.json (one record per
+// (transport, p) plus one "aggregation" record: measured cgm/smp
+// seconds, ratios, the planner's predicted cgm seconds for a profile
+// describing p ranks, and the aggregator's frame counts).
 //
 // Usage: e16_transport [mode] [json_path]   mode: full (default) | small
 #include <algorithm>
@@ -29,6 +36,7 @@
 #include <vector>
 
 #include "cgm/distributed.hpp"
+#include "comm/socket_transport.hpp"
 #include "comm/transport.hpp"
 #include "core/plan.hpp"
 #include "core/registry.hpp"
@@ -55,7 +63,7 @@ int main(int argc, char** argv) {
             << "n = " << n << " u64 items, best of " << reps << "\n\n";
 
   std::vector<std::uint64_t> v(n);
-  table t({"p", "T_cgm [ms]", "T_smp [ms]", "cgm/smp", "T_cgm planned [ms]"});
+  table t({"p", "T_thr [ms]", "T_sock [ms]", "T_smp [ms]", "sock/thr", "T_cgm planned [ms]"});
   std::vector<json_record> out;
 
   for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
@@ -68,6 +76,18 @@ int main(int argc, char** argv) {
     });
     if (!stats::is_permutation_of_iota(v)) {
       std::cerr << "INVALID permutation from transport cgm at p=" << p << "\n";
+      return 1;
+    }
+
+    // The same engine over p TCP ranks on localhost (the socket/threaded
+    // gap is the price of real framing + kernel round trips).
+    comm::socket_transport str(p);
+    const double t_sock = best_of(reps, [&](std::uint64_t r) {
+      std::iota(v.begin(), v.end(), 0);
+      cgm::transport_shuffle(str, std::span<std::uint64_t>(v), 0xE16 + r, dopt);
+    });
+    if (!stats::is_permutation_of_iota(v)) {
+      std::cerr << "INVALID permutation from socket cgm at p=" << p << "\n";
       return 1;
     }
 
@@ -95,11 +115,11 @@ int main(int argc, char** argv) {
       if (c.which == core::backend::cgm && c.feasible) planned_cgm = c.seconds;
     }
 
-    const double ratio = t_cgm / t_smp;
     const auto ms = [](double s) {
       return std::isinf(s) ? std::string("-") : fmt(s * 1e3, 3);
     };
-    t.add_row({fmt_count(p), ms(t_cgm), ms(t_smp), fmt(ratio, 2), ms(planned_cgm)});
+    t.add_row({fmt_count(p), ms(t_cgm), ms(t_sock), ms(t_smp), fmt(t_sock / t_cgm, 2),
+               ms(planned_cgm)});
 
     json_record rec;
     rec.add("bench", "e16_transport")
@@ -109,14 +129,86 @@ int main(int argc, char** argv) {
         .add("n", n)
         .add("cgm_seconds", t_cgm)
         .add("smp_seconds", t_smp)
-        .add("cgm_over_smp", ratio);
+        .add("cgm_over_smp", t_cgm / t_smp);
     if (!std::isinf(planned_cgm)) rec.add("planned_cgm_seconds", planned_cgm);
     out.push_back(std::move(rec));
+
+    const comm::wire_counters wc = str.wire();
+    json_record srec;
+    srec.add("bench", "e16_transport")
+        .add("mode", mode)
+        .add("transport", str.name())
+        .add("p", static_cast<std::uint64_t>(p))
+        .add("n", n)
+        .add("cgm_seconds", t_sock)
+        .add("smp_seconds", t_smp)
+        .add("cgm_over_smp", t_sock / t_smp)
+        .add("socket_over_threaded", t_sock / t_cgm)
+        .add("wire_messages", wc.messages)
+        .add("wire_frames", wc.frames)
+        .add("wire_bytes", wc.wire_bytes);
+    if (!std::isinf(planned_cgm)) srec.add("planned_cgm_seconds", planned_cgm);
+    out.push_back(std::move(srec));
   }
   t.print(std::cout);
   std::cout << "\ncgm/smp > 1 on one host is the transport's communication tax\n"
             << "(pairs through mailboxes + exchange barriers); the planner's\n"
-            << "(p, g, L) terms model exactly this gap.\n";
+            << "(p, g, L) terms model exactly this gap.  sock/thr is the extra\n"
+            << "price of real TCP framing over in-process mailboxes.\n";
+
+  // --- the aggregator's reason to exist: tiny sends vs wire frames -----------
+  //
+  // A burst of 16-byte sends to every peer, with the per-destination
+  // aggregator on (default threshold) and off (aggregation_bytes = 0,
+  // one frame per send).  Identical logical traffic; the coalescing
+  // factor is frames_off / frames_on (CI asserts >= 4; the burst shape
+  // makes it ~burst_size).
+  {
+    constexpr std::uint32_t kRanks = 4;
+    constexpr std::uint32_t kSteps = 4;
+    constexpr std::uint32_t kBurst = 256;
+    const auto wire_with = [&](std::size_t agg_bytes) {
+      comm::socket_options sopt;
+      sopt.aggregation_bytes = agg_bytes;
+      comm::socket_transport str(kRanks, sopt);
+      stopwatch sw;
+      str.run([&](comm::endpoint& ep) {
+        const std::uint64_t x = ep.rank();
+        for (std::uint32_t s = 0; s < kSteps; ++s) {
+          for (std::uint32_t i = 0; i < kBurst; ++i) {
+            for (std::uint32_t d = 0; d < ep.size(); ++d) {
+              if (d != ep.rank()) ep.send_span(d, i, std::span<const std::uint64_t>(&x, 1));
+            }
+          }
+          (void)ep.exchange();
+        }
+      });
+      return std::pair<comm::wire_counters, double>(str.wire(), sw.seconds());
+    };
+    const auto [on, t_on] = wire_with(comm::socket_options{}.aggregation_bytes);
+    const auto [off, t_off] = wire_with(0);
+    const double coalescing =
+        on.frames == 0 ? 0.0 : static_cast<double>(off.frames) / static_cast<double>(on.frames);
+
+    std::cout << "\naggregation (p=" << kRanks << ", " << kBurst << " tiny sends/peer/step, "
+              << kSteps << " steps): " << off.frames << " frames off -> " << on.frames
+              << " frames on (x" << fmt(coalescing, 1) << " coalescing), "
+              << fmt(t_off * 1e3, 2) << " ms -> " << fmt(t_on * 1e3, 2) << " ms\n";
+
+    json_record arec;
+    arec.add("bench", "e16_transport")
+        .add("mode", mode)
+        .add("section", "aggregation")
+        .add("transport", "socket")
+        .add("p", static_cast<std::uint64_t>(kRanks))
+        .add("messages", on.messages)
+        .add("frames_aggregated", on.frames)
+        .add("frames_frame_per_send", off.frames)
+        .add("coalescing_factor", coalescing)
+        .add("seconds_aggregated", t_on)
+        .add("seconds_frame_per_send", t_off);
+    out.push_back(std::move(arec));
+  }
 
   if (write_json_records(json_path, out)) {
     std::cout << "\nwrote " << out.size() << " records to " << json_path << "\n";

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/transport.hpp"
+
 namespace cgp::cgm {
 
 /// Machine parameters for converting counted operations into seconds.
@@ -78,6 +80,10 @@ struct proc_stats {
 struct run_stats {
   std::vector<proc_stats> per_proc;        // size p
   std::vector<superstep_record> supersteps;
+  /// What the run put on the physical wire (frames, bytes, aggregation
+  /// flushes) when the transport has one; all zero for the in-process
+  /// transports, whose word counts above are the only movement.
+  comm::wire_counters wire{};
 
   /// BSP-model execution time under `m`.
   [[nodiscard]] double model_seconds(const cost_model& m) const noexcept {

@@ -137,6 +137,7 @@ run_stats machine::run(const std::function<void(context&)>& program) {
     ctx.inbox_.clear();
   }
 
+  const comm::wire_counters wire_before = transport_->wire();
   transport_->run([this, &program](comm::endpoint& ep) {
     context& ctx = *contexts_[ep.rank()];
     ctx.endpoint_ = &ep;
@@ -190,6 +191,10 @@ run_stats machine::run(const std::function<void(context&)>& program) {
     ps.supersteps = ctx.supersteps_;
   }
   stats.supersteps = std::move(records);
+  // Wire-level totals attributable to this run (transports without a
+  // physical wire diff to zeros).
+  stats.wire = transport_->wire();
+  stats.wire -= wire_before;
   return stats;
 }
 

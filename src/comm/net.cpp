@@ -1,0 +1,117 @@
+#include "comm/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace cgp::comm::net {
+
+void socket_fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+namespace {
+
+sockaddr_in make_addr(const char* address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const int ok = ::inet_pton(AF_INET, address, &addr.sin_addr);
+  CGP_EXPECTS(ok == 1 && "address must be an IPv4 dotted quad");
+  return addr;
+}
+
+}  // namespace
+
+listener listen_tcp(const char* address, std::uint16_t port, int backlog) {
+  socket_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  CGP_EXPECTS(fd.valid());
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(address, port);
+  CGP_EXPECTS(::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0);
+  CGP_EXPECTS(::listen(fd.get(), backlog) == 0);
+  // Report the port the kernel actually chose (ephemeral bind).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  CGP_EXPECTS(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) == 0);
+  listener l;
+  l.fd = std::move(fd);
+  l.port = ntohs(bound.sin_port);
+  return l;
+}
+
+socket_fd accept_tcp(int listener_fd) {
+  for (;;) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) return socket_fd(fd);
+    if (errno == EINTR) continue;
+    return socket_fd();  // listener closed / shut down
+  }
+}
+
+socket_fd connect_tcp(const char* host, std::uint16_t port) {
+  socket_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  CGP_EXPECTS(fd.valid());
+  sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    CGP_EXPECTS(false && "connect_tcp failed");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CGP_EXPECTS(flags >= 0);
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  CGP_EXPECTS(::fcntl(fd, F_SETFL, next) == 0);
+}
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF (n == 0) or hard error
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cgp::comm::net

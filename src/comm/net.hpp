@@ -1,0 +1,89 @@
+// comm/net.hpp
+//
+// Minimal POSIX TCP helpers shared by the socket transport
+// (comm/socket_transport.hpp) and the service's wire front end
+// (svc/wire.hpp): an RAII fd, bind/listen/connect/accept on IPv4, socket
+// option toggles, and blocking exact-count I/O.  Nothing here knows about
+// frames or protocols -- byte movement only, so both wire formats sit on
+// one tested substrate.
+//
+// Error policy: setup functions (listen/connect) abort via CGP_EXPECTS --
+// a server that cannot bind its own loopback socket is an environment
+// bug, not a recoverable condition.  Steady-state I/O (`read_exact`,
+// `write_all`) returns false on EOF or error so callers can distinguish
+// "peer closed" (a client hanging up is normal for the RPC server, fatal
+// mid-superstep for the BSP transport) and react per their own contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace cgp::comm::net {
+
+/// Owning file-descriptor handle; closes on destruction.  Move-only.
+class socket_fd {
+ public:
+  socket_fd() = default;
+  explicit socket_fd(int fd) noexcept : fd_(fd) {}
+  ~socket_fd() { reset(); }
+
+  socket_fd(const socket_fd&) = delete;
+  socket_fd& operator=(const socket_fd&) = delete;
+  socket_fd(socket_fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  socket_fd& operator=(socket_fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Close the current fd (if any) and adopt `fd`.
+  void reset(int fd = -1) noexcept;
+
+  /// Give up ownership without closing.
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket plus the port it actually bound (the interesting
+/// part when asking for an ephemeral port 0).
+struct listener {
+  socket_fd fd;
+  std::uint16_t port = 0;
+};
+
+/// Bind + listen on `address:port` (IPv4 dotted quad; port 0 picks an
+/// ephemeral port, reported in the result).  Aborts on failure.
+[[nodiscard]] listener listen_tcp(const char* address, std::uint16_t port, int backlog = 128);
+
+/// Accept one connection (blocking).  Invalid fd when the listener was
+/// shut down / closed (the server's stop path) or on transient error.
+[[nodiscard]] socket_fd accept_tcp(int listener_fd);
+
+/// Blocking connect to `host:port` (IPv4 dotted quad).  Aborts on
+/// failure: callers connect to listeners they themselves just opened.
+[[nodiscard]] socket_fd connect_tcp(const char* host, std::uint16_t port);
+
+/// Disable Nagle: every flushed frame goes out now, not after the 40 ms
+/// delayed-ACK dance -- essential for the latency-bound barrier frames.
+void set_nodelay(int fd);
+
+/// O_NONBLOCK on/off (the BSP transport polls; the RPC server blocks).
+void set_nonblocking(int fd, bool on);
+
+/// Read exactly `len` bytes (blocking, retrying short reads and EINTR).
+/// False on EOF or error; `buf` contents are then unspecified.
+[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t len);
+
+/// Write exactly `len` bytes (blocking, retrying short writes and EINTR;
+/// SIGPIPE suppressed).  False on error (e.g. peer reset).
+[[nodiscard]] bool write_all(int fd, const void* buf, std::size_t len);
+
+}  // namespace cgp::comm::net

@@ -1,0 +1,417 @@
+#include "comm/socket_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cgp::comm {
+
+namespace detail {
+
+struct socket_wire_counters {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> frames{0};
+  std::atomic<std::uint64_t> wire_bytes{0};
+  std::atomic<std::uint64_t> flushes_size{0};
+  std::atomic<std::uint64_t> flushes_sync{0};
+};
+
+}  // namespace detail
+
+namespace {
+
+// Same process-wide BSP totals the in-process transports record
+// (transport.cpp keeps its helpers internal, so the names are the shared
+// contract: one kind per name, enforced by the registry).
+void count_send_obs(std::size_t bytes) {
+  static obs::counter& messages = obs::get_counter("comm.messages");
+  static obs::counter& traffic = obs::get_counter("comm.bytes");
+  messages.add();
+  traffic.add(bytes);
+}
+
+void count_exchange_obs() {
+  static obs::counter& exchanges = obs::get_counter("comm.exchanges");
+  exchanges.add();
+}
+
+// ---------------------------------------------------------------------
+// Frame layout.  One frame = header + `message_count` records; a record
+// is never split across frames, so a parser only ever needs one frame in
+// hand.  All integers are host byte order: both ends of the loopback
+// cable are this machine, and a cross-host build would pin little-endian
+// here rather than pay bswap on the fast path.
+//
+//   header:  u32 magic 'CGPF' | u32 source | u32 superstep
+//            u32 flags (1 = FIN: source's last frame this superstep)
+//            u32 message_count  | u32 body_bytes
+//   record:  u32 tag | u32 payload_bytes | payload
+// ---------------------------------------------------------------------
+constexpr std::uint32_t kFrameMagic = 0x46504743u;  // "CGPF" as LE bytes
+constexpr std::uint32_t kFlagFin = 1u;
+constexpr std::size_t kRecordHeader = 8;
+
+struct frame_header {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t source = 0;
+  std::uint32_t superstep = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t message_count = 0;
+  std::uint32_t body_bytes = 0;
+};
+static_assert(sizeof(frame_header) == 24);
+static_assert(std::is_trivially_copyable_v<frame_header>);
+
+/// A wedged barrier helps nobody: any wire-level failure mid-superstep
+/// (peer EOF = crashed rank, connection reset) kills the whole process
+/// loudly, exactly like threaded_transport's throwing-rank policy.
+[[noreturn]] void wire_fatal(std::uint32_t rank, std::uint32_t peer, const char* what) {
+  std::fprintf(stderr, "cgmperm: socket transport rank %u: %s (peer rank %u, errno: %s)\n",
+               rank, what, peer, std::strerror(errno));
+  std::abort();
+}
+
+class socket_endpoint final : public endpoint {
+ public:
+  socket_endpoint(std::uint32_t rank, std::uint32_t ranks, std::vector<net::socket_fd>& conn,
+                  const socket_options& opt, detail::socket_wire_counters& sc)
+      : rank_(rank),
+        ranks_(ranks),
+        conn_(conn),
+        opt_(opt),
+        sc_(sc),
+        agg_(ranks),
+        out_(ranks),
+        in_(ranks),
+        cur_(ranks),
+        next_(ranks),
+        fin_cur_(ranks, 0),
+        fin_next_(ranks, 0) {}
+
+  [[nodiscard]] std::uint32_t rank() const noexcept override { return rank_; }
+  [[nodiscard]] std::uint32_t size() const noexcept override { return ranks_; }
+
+  void send(std::uint32_t dest, std::uint32_t tag, std::span<const std::byte> bytes) override {
+    CGP_EXPECTS(dest < ranks_);
+    count_send_obs(bytes.size());
+    sc_.messages.fetch_add(1, std::memory_order_relaxed);
+    if (dest == rank_) {
+      // Self-sends never touch the wire; they are staged like the
+      // loopback transport's and delivered at the next exchange.
+      message msg;
+      msg.source = rank_;
+      msg.tag = tag;
+      msg.payload.assign(bytes.begin(), bytes.end());
+      self_.push_back(std::move(msg));
+      return;
+    }
+    agg_buf& a = agg_[dest];
+    const std::size_t off = a.body.size();
+    a.body.resize(off + kRecordHeader + bytes.size());
+    const auto len = static_cast<std::uint32_t>(bytes.size());
+    std::memcpy(a.body.data() + off, &tag, sizeof(tag));
+    std::memcpy(a.body.data() + off + 4, &len, sizeof(len));
+    if (!bytes.empty()) {
+      std::memcpy(a.body.data() + off + kRecordHeader, bytes.data(), bytes.size());
+    }
+    ++a.count;
+    if (a.body.size() >= opt_.aggregation_bytes) {  // always true at 0: frame per send
+      cut_frame(dest, 0, /*by_size=*/true);
+      pump_write(dest);  // opportunistic: overlap communication with posting
+    }
+  }
+
+  [[nodiscard]] std::vector<message> exchange() override {
+    count_exchange_obs();
+    const obs::span sp("exchange", "exchange");
+    // Flush phase: every peer gets this rank's superstep-final frame
+    // (FIN-flagged, possibly empty -- the empty one is the pure barrier
+    // signal).
+    for (std::uint32_t d = 0; d < ranks_; ++d) {
+      if (d != rank_) cut_frame(d, kFlagFin, /*by_size=*/false);
+    }
+    poll_until_settled();
+    // Delivery order is (source rank, post order): concatenate per-source
+    // queues in rank order; within a source, records were appended (and
+    // parsed) in the peer's post order, and self-sends kept theirs.
+    std::vector<message> delivered;
+    for (std::uint32_t src = 0; src < ranks_; ++src) {
+      auto& q = src == rank_ ? self_ : cur_[src];
+      for (auto& m : q) delivered.push_back(std::move(m));
+      q.clear();
+    }
+    // Advance the superstep: frames that arrived one step ahead become
+    // the current step's opening state.
+    ++step_;
+    for (std::uint32_t p = 0; p < ranks_; ++p) {
+      cur_[p] = std::move(next_[p]);
+      next_[p].clear();
+      fin_cur_[p] = fin_next_[p];
+      fin_next_[p] = 0;
+    }
+    return delivered;
+  }
+
+ private:
+  struct agg_buf {
+    std::vector<std::byte> body;  // concatenated records
+    std::uint32_t count = 0;
+  };
+  struct byte_queue {
+    std::vector<std::byte> buf;
+    std::size_t head = 0;  // bytes before `head` are consumed
+  };
+
+  /// Seal the aggregation buffer of `dest` into one wire frame on its
+  /// outgoing queue.
+  void cut_frame(std::uint32_t dest, std::uint32_t flags, bool by_size) {
+    agg_buf& a = agg_[dest];
+    if (a.count == 0 && flags == 0) return;  // nothing staged, no barrier to signal
+    CGP_ASSERT(a.body.size() <= UINT32_MAX);
+    frame_header h;
+    h.source = rank_;
+    h.superstep = step_;
+    h.flags = flags;
+    h.message_count = a.count;
+    h.body_bytes = static_cast<std::uint32_t>(a.body.size());
+    byte_queue& o = out_[dest];
+    const std::size_t off = o.buf.size();
+    o.buf.resize(off + sizeof(h) + a.body.size());
+    std::memcpy(o.buf.data() + off, &h, sizeof(h));
+    if (!a.body.empty()) {
+      std::memcpy(o.buf.data() + off + sizeof(h), a.body.data(), a.body.size());
+    }
+    sc_.frames.fetch_add(1, std::memory_order_relaxed);
+    sc_.wire_bytes.fetch_add(sizeof(h) + a.body.size(), std::memory_order_relaxed);
+    (by_size ? sc_.flushes_size : sc_.flushes_sync).fetch_add(1, std::memory_order_relaxed);
+    static obs::counter& frames = obs::get_counter("comm.socket.frames");
+    static obs::counter& wire_bytes = obs::get_counter("comm.socket.wire_bytes");
+    frames.add();
+    wire_bytes.add(sizeof(h) + a.body.size());
+    a.body.clear();
+    a.count = 0;
+  }
+
+  /// Drain `out_[peer]` into the (nonblocking) socket as far as the
+  /// kernel will take it right now.
+  void pump_write(std::uint32_t peer) {
+    byte_queue& o = out_[peer];
+    const int fd = conn_[peer].get();
+    while (o.head < o.buf.size()) {
+      const ssize_t n =
+          ::send(fd, o.buf.data() + o.head, o.buf.size() - o.head, MSG_NOSIGNAL);
+      if (n > 0) {
+        o.head += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      wire_fatal(rank_, peer, "send failed -- peer connection lost");
+    }
+    o.buf.clear();
+    o.head = 0;
+  }
+
+  /// Pull whatever the socket has into the parse buffer and consume every
+  /// complete frame.
+  void pump_read(std::uint32_t peer) {
+    constexpr std::size_t kChunk = 64 * 1024;
+    byte_queue& iq = in_[peer];
+    const int fd = conn_[peer].get();
+    for (;;) {
+      const std::size_t old = iq.buf.size();
+      iq.buf.resize(old + kChunk);
+      const ssize_t n = ::recv(fd, iq.buf.data() + old, kChunk, 0);
+      if (n > 0) {
+        iq.buf.resize(old + static_cast<std::size_t>(n));
+        parse_frames(peer);
+        if (static_cast<std::size_t>(n) < kChunk) return;  // drained for now
+        continue;
+      }
+      iq.buf.resize(old);
+      if (n == 0) {
+        // EOF mid-run: the peer's process/thread died holding its side of
+        // the superstep.  Wedging the barrier would hang every rank.
+        wire_fatal(rank_, peer, "peer closed the connection mid-superstep (crashed rank?)");
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      wire_fatal(rank_, peer, "recv failed");
+    }
+  }
+
+  void parse_frames(std::uint32_t peer) {
+    byte_queue& iq = in_[peer];
+    while (iq.buf.size() - iq.head >= sizeof(frame_header)) {
+      frame_header h;
+      std::memcpy(&h, iq.buf.data() + iq.head, sizeof(h));
+      CGP_ASSERT(h.magic == kFrameMagic && "corrupt frame on transport socket");
+      CGP_ASSERT(h.source == peer);
+      if (iq.buf.size() - iq.head < sizeof(h) + h.body_bytes) break;  // partial frame
+      // A peer can run at most ONE superstep ahead: its FIN(s+1) needs
+      // our FIN(s), which we only send once we are in exchange(s), and
+      // its step-(s+2) frames would need our FIN(s+1).
+      CGP_ASSERT((h.superstep == step_ || h.superstep == step_ + 1) &&
+                 "frame from an impossible superstep");
+      const bool ahead = h.superstep != step_;
+      auto& dst = ahead ? next_[peer] : cur_[peer];
+      const std::byte* body = iq.buf.data() + iq.head + sizeof(h);
+      std::size_t off = 0;
+      for (std::uint32_t i = 0; i < h.message_count; ++i) {
+        std::uint32_t tag = 0;
+        std::uint32_t len = 0;
+        CGP_ASSERT(off + kRecordHeader <= h.body_bytes);
+        std::memcpy(&tag, body + off, sizeof(tag));
+        std::memcpy(&len, body + off + 4, sizeof(len));
+        CGP_ASSERT(off + kRecordHeader + len <= h.body_bytes);
+        message m;
+        m.source = peer;
+        m.tag = tag;
+        m.payload.assign(body + off + kRecordHeader, body + off + kRecordHeader + len);
+        dst.push_back(std::move(m));
+        off += kRecordHeader + len;
+      }
+      CGP_ASSERT(off == h.body_bytes && "frame body length mismatch");
+      if ((h.flags & kFlagFin) != 0) (ahead ? fin_next_ : fin_cur_)[peer] = 1;
+      iq.head += sizeof(h) + h.body_bytes;
+    }
+    if (iq.head == iq.buf.size()) {
+      iq.buf.clear();
+      iq.head = 0;
+    } else if (iq.head >= (std::size_t{1} << 20)) {
+      iq.buf.erase(iq.buf.begin(), iq.buf.begin() + static_cast<std::ptrdiff_t>(iq.head));
+      iq.head = 0;
+    }
+  }
+
+  /// The barrier: drive reads and writes together until every outgoing
+  /// byte is handed to the kernel and every peer's FIN for this superstep
+  /// has arrived.  One loop for both directions is the deadlock-freedom
+  /// argument -- a rank never sits in a blocking write while its own
+  /// receive buffer (and therefore a peer's send window) fills up.
+  void poll_until_settled() {
+    std::vector<pollfd> pfds;
+    std::vector<std::uint32_t> who;
+    pfds.reserve(ranks_);
+    who.reserve(ranks_);
+    for (;;) {
+      pfds.clear();
+      who.clear();
+      for (std::uint32_t p = 0; p < ranks_; ++p) {
+        if (p == rank_) continue;
+        short events = 0;
+        if (fin_cur_[p] == 0) events |= POLLIN;
+        if (out_[p].head < out_[p].buf.size()) events |= POLLOUT;
+        if (events != 0) {
+          pfds.push_back(pollfd{conn_[p].get(), events, 0});
+          who.push_back(p);
+        }
+      }
+      if (pfds.empty()) return;  // all FINs in, all output flushed
+      const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        wire_fatal(rank_, rank_, "poll failed");
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) pump_read(who[i]);
+        if ((pfds[i].revents & POLLOUT) != 0) pump_write(who[i]);
+      }
+    }
+  }
+
+  std::uint32_t rank_;
+  std::uint32_t ranks_;
+  std::vector<net::socket_fd>& conn_;  // this rank's row of the mesh
+  const socket_options& opt_;
+  detail::socket_wire_counters& sc_;
+
+  std::uint32_t step_ = 0;           // current superstep
+  std::vector<message> self_;        // staged self-sends
+  std::vector<agg_buf> agg_;         // per-destination aggregation buffers
+  std::vector<byte_queue> out_;      // per-peer framed bytes awaiting the wire
+  std::vector<byte_queue> in_;       // per-peer received bytes awaiting parse
+  std::vector<std::vector<message>> cur_;   // delivered, this superstep
+  std::vector<std::vector<message>> next_;  // delivered one step ahead
+  std::vector<std::uint8_t> fin_cur_;
+  std::vector<std::uint8_t> fin_next_;
+};
+
+}  // namespace
+
+socket_transport::socket_transport(std::uint32_t ranks, socket_options opt)
+    : ranks_(ranks), opt_(opt), counters_(std::make_unique<detail::socket_wire_counters>()) {
+  CGP_EXPECTS(ranks >= 1);
+  conn_.resize(ranks);
+  for (auto& row : conn_) row.resize(ranks);  // diagonal (and p=1) stay invalid
+  if (ranks == 1) return;
+  // Full mesh over loopback, built single-threaded: the kernel completes
+  // the handshake through the listen backlog, so connect-then-accept per
+  // pair cannot deadlock on 127.0.0.1.
+  net::listener l = net::listen_tcp("127.0.0.1", 0);
+  for (std::uint32_t i = 0; i < ranks; ++i) {
+    for (std::uint32_t j = i + 1; j < ranks; ++j) {
+      net::socket_fd c = net::connect_tcp("127.0.0.1", l.port);
+      net::socket_fd a = net::accept_tcp(l.fd.get());
+      CGP_EXPECTS(a.valid() && c.valid());
+      conn_[i][j] = std::move(a);
+      conn_[j][i] = std::move(c);
+    }
+  }
+  for (auto& row : conn_) {
+    for (auto& fd : row) {
+      if (!fd.valid()) continue;
+      net::set_nodelay(fd.get());
+      net::set_nonblocking(fd.get(), true);
+    }
+  }
+}
+
+socket_transport::~socket_transport() = default;
+
+void socket_transport::run(const std::function<void(endpoint&)>& program) {
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_);
+  for (std::uint32_t r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, r, &program] {
+      socket_endpoint ep(r, ranks_, conn_[r], opt_, *counters_);
+      try {
+        program(ep);
+      } catch (const std::exception& e) {
+        // Same policy as threaded_transport: a throwing rank would wedge
+        // every peer's poll loop at the barrier; fail fast and loudly.
+        std::fprintf(stderr, "cgmperm: uncaught exception on transport rank %u: %s\n", r,
+                     e.what());
+        std::abort();
+      } catch (...) {
+        std::fprintf(stderr, "cgmperm: uncaught exception on transport rank %u\n", r);
+        std::abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+wire_counters socket_transport::wire() const noexcept {
+  wire_counters w;
+  w.messages = counters_->messages.load(std::memory_order_relaxed);
+  w.frames = counters_->frames.load(std::memory_order_relaxed);
+  w.wire_bytes = counters_->wire_bytes.load(std::memory_order_relaxed);
+  w.flushes_size = counters_->flushes_size.load(std::memory_order_relaxed);
+  w.flushes_sync = counters_->flushes_sync.load(std::memory_order_relaxed);
+  return w;
+}
+
+}  // namespace cgp::comm

@@ -1,0 +1,84 @@
+// comm/socket_transport.hpp
+//
+// The TCP transport: the first comm backend whose ranks talk through a
+// real wire.  It implements the exact endpoint/transport BSP contract of
+// comm/transport.hpp over a full mesh of loopback TCP connections (one
+// per rank pair, built once in the constructor), so everything above the
+// transport -- the distributed shuffle, the collectives, cgm::machine's
+// accounting -- runs unchanged and bit-identically.
+//
+// Ranks are threads of this process (what CI can exercise); the framing
+// deliberately never assumes that: every frame is self-describing
+// ((source, superstep, flags) header + length-prefixed records), byte
+// order is the host's on both ends of a loopback cable, and no memory is
+// shared through the transport itself.  A multi-process harness would
+// swap the constructor's mesh for connect/accept across hosts and keep
+// the wire format verbatim.
+//
+// Aggregation (the Grappa RDMAAggregator idea): `send` does not write to
+// the socket -- it appends a (tag, length, payload) record to a
+// per-destination aggregation buffer, and the buffer is cut into one wire
+// frame when it reaches `aggregation_bytes` (flush-on-size) or at
+// `exchange()` (flush-on-sync, carrying the superstep-final FIN flag).
+// Many small sends therefore cost one syscall and one header, not one
+// each; `aggregation_bytes = 0` degrades to frame-per-send (the bench
+// baseline bench/e16_transport.cpp compares against).
+//
+// exchange() is a distributed barrier without any central step: each rank
+// flushes a FIN-flagged frame to every peer, then runs a poll() loop that
+// simultaneously drains its outgoing queues and parses incoming frames
+// until every peer's FIN for this superstep has arrived.  Handling reads
+// and writes in one loop is what makes large bidirectional volumes
+// deadlock-free (neither side ever sits in a blocking write while its
+// receive buffer fills).  A peer may already be in superstep s+1 while we
+// finish s (its FIN(s+1) needs nothing from us beyond our FIN(s)), so
+// frames one step ahead are stashed; more than one step ahead is
+// impossible by the same dependency argument and asserts.
+//
+// Failure: a rank program that throws, or a peer socket that reaches EOF
+// mid-superstep, aborts the process loudly (matching threaded_transport's
+// crashed-rank policy) instead of wedging the remaining ranks at the
+// barrier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/net.hpp"
+#include "comm/transport.hpp"
+
+namespace cgp::comm {
+
+namespace detail {
+struct socket_wire_counters;  // atomic backing of wire() (socket_transport.cpp)
+}  // namespace detail
+
+struct socket_options {
+  /// Aggregation buffer target per destination: a frame is cut when the
+  /// buffered records reach this size.  0 disables coalescing (one frame
+  /// per send).  The default keeps frames under the 64 KiB socket-buffer
+  /// sweet spot with room for the header.
+  std::size_t aggregation_bytes = 60 * 1024;
+};
+
+class socket_transport final : public transport {
+ public:
+  /// Builds the rank-pair connection mesh eagerly (ranks*(ranks-1)/2 TCP
+  /// connections over 127.0.0.1); `run` only spawns threads.
+  explicit socket_transport(std::uint32_t ranks, socket_options opt = {});
+  ~socket_transport() override;
+
+  [[nodiscard]] std::uint32_t size() const noexcept override { return ranks_; }
+  [[nodiscard]] const char* name() const noexcept override { return "socket"; }
+  void run(const std::function<void(endpoint&)>& program) override;
+  [[nodiscard]] wire_counters wire() const noexcept override;
+
+ private:
+  std::uint32_t ranks_;
+  socket_options opt_;
+  /// conn_[r][peer]: rank r's socket to `peer` (invalid on the diagonal).
+  std::vector<std::vector<net::socket_fd>> conn_;
+  std::unique_ptr<detail::socket_wire_counters> counters_;
+};
+
+}  // namespace cgp::comm

@@ -74,9 +74,14 @@ class endpoint {
   /// (source rank, post order).
   [[nodiscard]] virtual std::vector<message> exchange() = 0;
 
-  /// Barrier without receiving: any messages delivered at this superstep
-  /// are discarded (use `exchange` when data is in flight).
-  void barrier() { (void)exchange(); }
+  /// Barrier without receiving.  Calling this with data in flight would
+  /// silently discard delivered messages, so it asserts the exchange came
+  /// back empty: a program that posts sends and then barriers is a bug
+  /// that must fail loudly, not lose data (use `exchange` instead).
+  void barrier() {
+    const std::vector<message> delivered = exchange();
+    CGP_EXPECTS(delivered.empty() && "barrier() crossed in-flight messages; use exchange()");
+  }
 
   /// One-superstep personalized all-to-all: `chunks[d]` goes to rank d;
   /// returns the p received chunks indexed by source rank.  Default
@@ -95,6 +100,29 @@ class endpoint {
   }
 };
 
+/// Wire-level traffic totals of a transport: what actually crossed the
+/// cable, as opposed to the logical send/exchange counts of the obs
+/// `comm.*` counters.  Meaningful for transports with a physical wire and
+/// an aggregation layer (the socket transport); the in-process transports
+/// report zeros (their "wire" is a memcpy).  Monotone over the transport's
+/// lifetime -- diff snapshots to attribute traffic to one run.
+struct wire_counters {
+  std::uint64_t messages = 0;      ///< messages posted through send()
+  std::uint64_t frames = 0;        ///< wire frames actually emitted
+  std::uint64_t wire_bytes = 0;    ///< framed bytes (headers + records)
+  std::uint64_t flushes_size = 0;  ///< frames cut by the size threshold
+  std::uint64_t flushes_sync = 0;  ///< frames cut at exchange()
+
+  wire_counters& operator-=(const wire_counters& o) noexcept {
+    messages -= o.messages;
+    frames -= o.frames;
+    wire_bytes -= o.wire_bytes;
+    flushes_size -= o.flushes_size;
+    flushes_sync -= o.flushes_sync;
+    return *this;
+  }
+};
+
 /// A communication substrate for `size()` ranks.  `run` executes the SPMD
 /// program once, giving every rank its endpoint; it may be called
 /// repeatedly (each run is an independent BSP computation).
@@ -110,6 +138,9 @@ class transport {
   /// rank (BSP discipline); violations deadlock by construction, as on a
   /// real machine.
   virtual void run(const std::function<void(endpoint&)>& program) = 0;
+
+  /// Lifetime wire traffic totals (zeros for transports without a wire).
+  [[nodiscard]] virtual wire_counters wire() const noexcept { return {}; }
 };
 
 /// The p = 1 transport: the program runs inline on the calling thread, no

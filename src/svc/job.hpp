@@ -37,6 +37,7 @@
 #include "em/block_device.hpp"
 #include "rng/splitmix64.hpp"
 #include "rng/stream.hpp"
+#include "util/assert.hpp"
 
 namespace cgp::svc {
 
@@ -102,15 +103,26 @@ struct job_state {
   /// no full-n vector ever materializes for the stream.
   std::unique_ptr<em::block_device> dev;
 
+  // Transitions are guarded: queued -> running -> {done, failed}, or
+  // queued -> rejected at admission.  A job that reached a terminal
+  // status can never transition again -- a double finish() would have a
+  // waiter observe one outcome while the counters record another, which
+  // is exactly the class of reconciliation drift tests/test_svc.cpp's
+  // invariant (submitted == done + failed, latency count == done) exists
+  // to catch.
+
   void set_running() {
     const std::lock_guard<std::mutex> lock(m);
+    CGP_ASSERT(st == job_status::queued && "job must be queued to start running");
     st = job_status::running;
   }
 
-  void finish(job_status terminal) {
+  void finish(job_status terminal_status) {
     {
       const std::lock_guard<std::mutex> lock(m);
-      st = terminal;
+      CGP_ASSERT(terminal(terminal_status));
+      CGP_ASSERT(!terminal(st) && "job already reached a terminal status");
+      st = terminal_status;
     }
     cv.notify_all();
   }
@@ -118,6 +130,7 @@ struct job_state {
   void fail(std::exception_ptr e) {
     {
       const std::lock_guard<std::mutex> lock(m);
+      CGP_ASSERT(!terminal(st) && "job already reached a terminal status");
       error = std::move(e);
       st = job_status::failed;
     }

@@ -146,11 +146,13 @@ void scheduler::worker_loop() {
       static obs::counter& batches = obs::get_counter("svc.batches");
       batches.add();
       batch_histogram().record(batch.size());
+      batch_hist_.record(batch.size());
     }
     if (have_single) {
       static obs::counter& singles = obs::get_counter("svc.singles");
       singles.add();
       batch_histogram().record(1);
+      batch_hist_.record(1);
     }
     queue_gauge().set(static_cast<std::int64_t>(q_.size()));
     lock.unlock();

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "smp/thread_pool.hpp"
 
 namespace cgp::svc {
@@ -107,6 +108,14 @@ class scheduler {
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] const scheduler_options& options() const noexcept { return opt_; }
 
+  /// Tick sizes of THIS scheduler only (singles record 1).  The process-
+  /// wide `svc.batch_size` registry histogram aggregates every scheduler;
+  /// this one is what a per-server snapshot must read -- two servers in
+  /// one process would otherwise pollute each other's percentiles.
+  [[nodiscard]] const obs::histogram& batch_size_histogram() const noexcept {
+    return batch_hist_;
+  }
+
  private:
   void worker_loop();
 
@@ -119,6 +128,7 @@ class scheduler {
   std::deque<task> q_;
   bool closed_ = false;
   scheduler_stats stats_{};
+  obs::histogram batch_hist_;  ///< per-instance tick sizes (standalone histogram)
 
   std::vector<std::thread> workers_;
 };

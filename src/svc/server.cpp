@@ -13,20 +13,24 @@ namespace cgp::svc {
 
 namespace {
 
-/// End-to-end job latency (admission to `done`), in ns.  Process-wide:
-/// every server records into the one histogram, matching the obs naming
-/// scheme's layer-global metrics.
+/// End-to-end job latency (admission to `done`), in ns.  Recorded twice:
+/// into the process-wide `svc.job_latency_ns` registry histogram (the
+/// obs layer's cross-server aggregate) and into `mine`, the owning
+/// server's per-instance histogram -- what metrics_snapshot() reads, so
+/// two servers in one process never pollute each other's percentiles.
 obs::histogram& latency_histogram() {
   static obs::histogram& h = obs::get_histogram("svc.job_latency_ns");
   return h;
 }
 
-void note_job_done(const detail::job_state& st) {
+void note_job_done(const detail::job_state& st, obs::histogram& mine) {
   static obs::counter& done = obs::get_counter("svc.jobs.done");
   done.add();
   const auto dt = std::chrono::steady_clock::now() - st.submitted_at;
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
-  latency_histogram().record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  const auto v = ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  latency_histogram().record(v);
+  mine.record(v);
 }
 
 void note_job_failed() {
@@ -159,7 +163,7 @@ void server::run_shuffle(detail::job_state& st, void* data, std::uint32_t elem_b
       core::make_executor(st.plan, o)->shuffle_raw(data, st.n, elem_bytes, st.seed);
     }
     done_.fetch_add(1, std::memory_order_relaxed);
-    note_job_done(st);
+    note_job_done(st, latency_hist_);
     st.finish(job_status::done);
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
@@ -175,7 +179,7 @@ void server::run_fill(detail::job_state& st, bool streamed) {
     st.plan = plan_for_job(st.n, sizeof(std::uint64_t), o);
     if (st.n == 0) {
       done_.fetch_add(1, std::memory_order_relaxed);
-      note_job_done(st);
+      note_job_done(st, latency_hist_);
       st.finish(job_status::done);
       return;
     }
@@ -198,7 +202,7 @@ void server::run_fill(detail::job_state& st, bool streamed) {
       }
     }
     done_.fetch_add(1, std::memory_order_relaxed);
-    note_job_done(st);
+    note_job_done(st, latency_hist_);
     st.finish(job_status::done);
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
@@ -218,8 +222,10 @@ server_stats server::stats() const {
 
 std::string server::metrics_snapshot() const {
   const server_stats s = stats();
-  const obs::histogram& lat = obs::get_histogram("svc.job_latency_ns");
-  const obs::histogram& bat = obs::get_histogram("svc.batch_size");
+  // Per-instance histograms: this server's jobs and ticks only.  The
+  // process-wide aggregates remain visible under "metrics".
+  const obs::histogram& lat = latency_hist_;
+  const obs::histogram& bat = sched_.batch_size_histogram();
 
   json_record lat_rec;
   lat_rec.add("count", lat.count())
@@ -234,10 +240,14 @@ std::string server::metrics_snapshot() const {
       .add("p99", bat.p99())
       .add("max", bat.max());
 
+  // The plan cache is process-wide by design (every server benefits from
+  // every server's planning), so its counters cannot be attributed to one
+  // server; the scope marker says so explicitly.
   const auto lookups = static_cast<std::uint64_t>(core::plan_cache_lookups());
   const auto hits = static_cast<std::uint64_t>(core::plan_cache_hits());
   json_record cache_rec;
-  cache_rec.add("lookups", lookups)
+  cache_rec.add("scope", "process")
+      .add("lookups", lookups)
       .add("hits", hits)
       .add("hit_rate",
            lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups));

@@ -44,6 +44,7 @@
 #include <unordered_map>
 
 #include "core/context.hpp"
+#include "obs/metrics.hpp"
 #include "svc/job.hpp"
 #include "svc/scheduler.hpp"
 #include "svc/stream.hpp"
@@ -128,7 +129,26 @@ class server {
   /// percentiles, plan-cache hit rate, and (under "metrics") the full
   /// process-wide obs registry snapshot.  Always valid JSON; cheap enough
   /// to poll.
+  ///
+  /// Scoping: the counters and the "job_latency" / "batch_size" sections
+  /// describe THIS server only (backed by per-instance histograms -- two
+  /// servers in one process do not pollute each other's percentiles);
+  /// "plan_cache" and "metrics" describe the whole process and say so
+  /// with a "scope": "process" marker (the plan cache is shared by
+  /// design: every server benefits from every server's planning).
   [[nodiscard]] std::string metrics_snapshot() const;
+
+  /// End-to-end latency (admission to done) of THIS server's jobs.  Its
+  /// count() equals stats().done -- the reconciliation invariant
+  /// tests/test_svc.cpp pins.
+  [[nodiscard]] const obs::histogram& job_latency_histogram() const noexcept {
+    return latency_hist_;
+  }
+
+  /// Scheduling tick sizes of THIS server's scheduler (singles record 1).
+  [[nodiscard]] const obs::histogram& batch_size_histogram() const noexcept {
+    return sched_.batch_size_histogram();
+  }
 
   /// The context the server executes through (profile + option
   /// projection); `ctx().shuffle(data, job_seed(...))` replays any job.
@@ -153,6 +173,7 @@ class server {
 
   std::atomic<std::uint64_t> done_{0};
   std::atomic<std::uint64_t> failed_{0};
+  obs::histogram latency_hist_;  ///< per-instance job latency (ns)
 };
 
 }  // namespace cgp::svc

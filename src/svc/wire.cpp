@@ -1,0 +1,331 @@
+#include "svc/wire.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::svc {
+
+namespace {
+
+constexpr std::uint32_t kReqMagic = 0x52504743u;   // "CGPR" as LE bytes
+constexpr std::uint32_t kRespMagic = 0x41504743u;  // "CGPA" as LE bytes
+
+enum opcode : std::uint32_t {
+  kOpPermutation = 1,
+  kOpShuffleRaw = 2,
+  kOpStreamOpen = 3,
+  kOpStreamPull = 4,
+  kOpMetrics = 5,
+  kOpStreamClose = 6,
+};
+
+enum status : std::uint32_t {
+  kOk = 0,
+  kRejected = 1,
+  kFailed = 2,
+  kBadRequest = 3,
+};
+
+/// Upper bound on any request/response body: a malformed or hostile
+/// length prefix must not become an allocation.  Shuffle payloads above
+/// this belong on the BSP transport, not the RPC plane.
+constexpr std::uint64_t kMaxBody = std::uint64_t{1} << 31;
+
+/// Cap on one stream_pull: the whole point of streams is O(chunk) memory
+/// at both ends, so a pull is bounded no matter what max_items asks.
+constexpr std::uint64_t kMaxPullItems = std::uint64_t{1} << 22;  // 32 MiB of u64
+
+struct rpc_request_header {
+  std::uint32_t magic = kReqMagic;
+  std::uint32_t opcode = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t c = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t body_bytes = 0;
+};
+static_assert(sizeof(rpc_request_header) == 40);
+static_assert(std::is_trivially_copyable_v<rpc_request_header>);
+
+struct rpc_response_header {
+  std::uint32_t magic = kRespMagic;
+  std::uint32_t status = kOk;
+  std::uint64_t a = 0;
+  std::uint64_t body_bytes = 0;
+};
+static_assert(sizeof(rpc_response_header) == 24);
+static_assert(std::is_trivially_copyable_v<rpc_response_header>);
+
+[[nodiscard]] std::uint32_t status_of(job_status s) noexcept {
+  switch (s) {
+    case job_status::done: return kOk;
+    case job_status::rejected: return kRejected;
+    default: return kFailed;
+  }
+}
+
+/// Send one response; false when the connection is gone (caller drops it).
+[[nodiscard]] bool respond(int fd, std::uint32_t status, std::uint64_t a,
+                           std::span<const std::byte> body) {
+  rpc_response_header h;
+  h.status = status;
+  h.a = a;
+  h.body_bytes = body.size();
+  if (!net::write_all(fd, &h, sizeof(h))) return false;
+  if (!body.empty() && !net::write_all(fd, body.data(), body.size())) return false;
+  return true;
+}
+
+[[nodiscard]] std::span<const std::byte> as_bytes_of(const permutation& pi) noexcept {
+  return {reinterpret_cast<const std::byte*>(pi.data()), pi.size() * sizeof(std::uint64_t)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+wire_server::wire_server(wire_server_options opt)
+    : srv_(opt.svc), listener_(net::listen_tcp(opt.address, opt.port)) {
+  port_ = listener_.port;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+wire_server::~wire_server() { stop(); }
+
+void wire_server::accept_loop() {
+  for (;;) {
+    net::socket_fd c = net::accept_tcp(listener_.fd.get());
+    if (!c.valid()) return;  // listener shut down: stopping
+    const std::lock_guard<std::mutex> lock(m_);
+    if (stopping_) return;
+    net::set_nodelay(c.get());
+    const std::uint64_t id = next_conn_++;
+    live_.emplace(id, c.get());
+    conns_.emplace_back(
+        [this, id, fd = std::move(c)]() mutable { serve(id, std::move(fd)); });
+    static obs::counter& accepted = obs::get_counter("svc.wire.connections");
+    accepted.add();
+  }
+}
+
+void wire_server::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (stopping_) return;  // another caller owns the teardown
+    stopping_ = true;
+  }
+  // Wake the acceptor (shutdown on a listening socket unblocks accept),
+  // then every connection handler blocked in a read.
+  if (listener_.fd.valid()) ::shutdown(listener_.fd.get(), SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    for (const auto& [id, fd] : live_) ::shutdown(fd, SHUT_RDWR);
+    to_join.swap(conns_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  srv_.close();
+}
+
+void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
+  static obs::counter& requests = obs::get_counter("svc.wire.requests");
+  // Streams are per-connection state: a client that disconnects (or never
+  // closes) leaks nothing past its handler thread.
+  std::unordered_map<std::uint64_t, stream> streams;
+  std::uint64_t next_stream = 1;
+  std::vector<std::uint64_t> pull_buf;
+
+  const int s = fd.get();
+  for (;;) {
+    rpc_request_header h;
+    if (!net::read_exact(s, &h, sizeof(h))) break;  // client hung up: normal
+    if (h.magic != kReqMagic || h.body_bytes > kMaxBody) break;  // protocol breach: drop
+    std::vector<std::byte> body(static_cast<std::size_t>(h.body_bytes));
+    if (!body.empty() && !net::read_exact(s, body.data(), body.size())) break;
+    requests.add();
+
+    bool alive = true;
+    switch (h.opcode) {
+      case kOpPermutation: {
+        future<permutation> fut = srv_.submit_permutation(h.a, h.b);
+        const job_status js = fut.wait();
+        if (js == job_status::done) {
+          const permutation pi = fut.get();
+          alive = respond(s, kOk, fut.ordinal(), as_bytes_of(pi));
+        } else {
+          alive = respond(s, status_of(js), fut.ordinal(), {});
+        }
+        break;
+      }
+      case kOpShuffleRaw: {
+        if (h.c == 0 || h.b > kMaxBody / h.c || body.size() != h.b * h.c) {
+          alive = respond(s, kBadRequest, 0, {});
+          break;
+        }
+        future<void> fut = srv_.submit_shuffle_raw(h.a, body.data(), h.b, h.c);
+        const job_status js = fut.wait();
+        alive = respond(s, status_of(js), fut.ordinal(),
+                        js == job_status::done ? std::span<const std::byte>(body)
+                                               : std::span<const std::byte>{});
+        break;
+      }
+      case kOpStreamOpen: {
+        stream st = srv_.submit_stream(h.a, h.b);
+        const job_status js = st.wait();
+        if (js != job_status::done) {
+          alive = respond(s, status_of(js), st.ordinal(), {});
+          break;
+        }
+        const std::uint64_t ordinal = st.ordinal();
+        const std::uint64_t id = next_stream++;
+        streams.emplace(id, std::move(st));
+        alive = respond(s, kOk, id,
+                        {reinterpret_cast<const std::byte*>(&ordinal), sizeof(ordinal)});
+        break;
+      }
+      case kOpStreamPull: {
+        const auto it = streams.find(h.a);
+        if (it == streams.end()) {
+          alive = respond(s, kBadRequest, 0, {});
+          break;
+        }
+        pull_buf.resize(static_cast<std::size_t>(std::min(h.b, kMaxPullItems)));
+        const std::size_t got = it->second.read(std::span<std::uint64_t>(pull_buf));
+        alive = respond(s, kOk, got,
+                        {reinterpret_cast<const std::byte*>(pull_buf.data()),
+                         got * sizeof(std::uint64_t)});
+        break;
+      }
+      case kOpMetrics: {
+        const std::string snap = srv_.metrics_snapshot();
+        alive = respond(s, kOk, 0,
+                        {reinterpret_cast<const std::byte*>(snap.data()), snap.size()});
+        break;
+      }
+      case kOpStreamClose: {
+        streams.erase(h.a);
+        alive = respond(s, kOk, 0, {});
+        break;
+      }
+      default:
+        alive = respond(s, kBadRequest, 0, {});
+        break;
+    }
+    if (!alive) break;
+  }
+  const std::lock_guard<std::mutex> lock(m_);
+  live_.erase(conn_id);
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+wire_client::wire_client(const std::string& host, std::uint16_t port)
+    : fd_(net::connect_tcp(host.c_str(), port)) {
+  net::set_nodelay(fd_.get());
+}
+
+wire_client::reply wire_client::call(std::uint32_t opcode, std::uint64_t a, std::uint64_t b,
+                                     std::uint32_t c, std::span<const std::byte> body) {
+  rpc_request_header h;
+  h.opcode = opcode;
+  h.a = a;
+  h.b = b;
+  h.c = c;
+  h.body_bytes = body.size();
+  if (!net::write_all(fd_.get(), &h, sizeof(h)) ||
+      (!body.empty() && !net::write_all(fd_.get(), body.data(), body.size()))) {
+    throw std::runtime_error("svc wire: connection lost while sending request");
+  }
+  rpc_response_header rh;
+  if (!net::read_exact(fd_.get(), &rh, sizeof(rh))) {
+    throw std::runtime_error("svc wire: connection lost while awaiting response");
+  }
+  if (rh.magic != kRespMagic || rh.body_bytes > kMaxBody) {
+    throw std::runtime_error("svc wire: malformed response");
+  }
+  reply r;
+  r.status = rh.status;
+  r.a = rh.a;
+  r.body.resize(static_cast<std::size_t>(rh.body_bytes));
+  if (!r.body.empty() && !net::read_exact(fd_.get(), r.body.data(), r.body.size())) {
+    throw std::runtime_error("svc wire: connection lost mid-response");
+  }
+  switch (r.status) {
+    case kOk: return r;
+    case kRejected: throw std::runtime_error("svc wire: job rejected");
+    case kFailed: throw std::runtime_error("svc wire: job failed");
+    default: throw std::runtime_error("svc wire: bad request");
+  }
+}
+
+permutation wire_client::fetch_permutation(std::uint64_t client_id, std::uint64_t n,
+                                           std::uint64_t* ordinal_out) {
+  const reply r = call(kOpPermutation, client_id, n, 0, {});
+  if (r.body.size() != n * sizeof(std::uint64_t)) {
+    throw std::runtime_error("svc wire: permutation size mismatch");
+  }
+  if (ordinal_out != nullptr) *ordinal_out = r.a;
+  permutation pi(static_cast<std::size_t>(n));
+  if (!pi.empty()) std::memcpy(pi.data(), r.body.data(), r.body.size());
+  return pi;
+}
+
+void wire_client::shuffle_raw(std::uint64_t client_id, void* data, std::uint64_t n,
+                              std::uint32_t elem_bytes, std::uint64_t* ordinal_out) {
+  const std::span<const std::byte> bytes(static_cast<const std::byte*>(data), n * elem_bytes);
+  const reply r = call(kOpShuffleRaw, client_id, n, elem_bytes, bytes);
+  if (r.body.size() != bytes.size()) {
+    throw std::runtime_error("svc wire: shuffle size mismatch");
+  }
+  if (ordinal_out != nullptr) *ordinal_out = r.a;
+  if (!r.body.empty()) std::memcpy(data, r.body.data(), r.body.size());
+}
+
+remote_stream wire_client::open_stream(std::uint64_t client_id, std::uint64_t n) {
+  const reply r = call(kOpStreamOpen, client_id, n, 0, {});
+  if (r.body.size() != sizeof(std::uint64_t)) {
+    throw std::runtime_error("svc wire: malformed stream_open response");
+  }
+  std::uint64_t ordinal = 0;
+  std::memcpy(&ordinal, r.body.data(), sizeof(ordinal));
+  return remote_stream(this, r.a, n, ordinal);
+}
+
+std::string wire_client::metrics_snapshot() {
+  const reply r = call(kOpMetrics, 0, 0, 0, {});
+  return std::string(reinterpret_cast<const char*>(r.body.data()), r.body.size());
+}
+
+std::size_t remote_stream::read(std::span<std::uint64_t> out) {
+  CGP_EXPECTS(c_ != nullptr && !closed_);
+  if (out.empty()) return 0;
+  const wire_client::reply r = c_->call(kOpStreamPull, id_, out.size(), 0, {});
+  const auto got = static_cast<std::size_t>(r.a);
+  if (r.body.size() != got * sizeof(std::uint64_t) || got > out.size()) {
+    throw std::runtime_error("svc wire: malformed stream_pull response");
+  }
+  if (got != 0) std::memcpy(out.data(), r.body.data(), r.body.size());
+  return got;
+}
+
+void remote_stream::close() {
+  if (c_ == nullptr || closed_) return;
+  closed_ = true;
+  (void)c_->call(kOpStreamClose, id_, 0, 0, {});
+}
+
+}  // namespace cgp::svc

@@ -469,6 +469,85 @@ TEST(Batching, HeadLargeJobIsNotStarvedBySmallJobsBehindIt) {
   EXPECT_EQ(order.front(), -1);
 }
 
+// ---------------------------------------------------------------------------
+// Metrics scoping + counter reconciliation (the ISSUE 7 bugfix sweep)
+
+TEST(MetricsScoping, TwoServersDoNotPolluteEachOthersSnapshots) {
+  // metrics_snapshot() used to read the PROCESS-wIDE registry histograms,
+  // so any server's snapshot showed every server's jobs.  The curated
+  // sections are per-instance now: an idle server reports zeros no matter
+  // how busy its neighbours are.
+  svc::server_options so;
+  so.seed = kSeed;
+  svc::server busy(so);
+  svc::server idle(so);
+
+  for (int i = 0; i < 5; ++i) (void)busy.submit_permutation(0, 2000).get();
+
+  EXPECT_EQ(busy.job_latency_histogram().count(), 5u);
+  EXPECT_EQ(idle.job_latency_histogram().count(), 0u);
+  EXPECT_EQ(idle.batch_size_histogram().count(), 0u);
+
+  const std::string ij = idle.metrics_snapshot();
+  EXPECT_NE(ij.find("\"done\": 0"), std::string::npos);
+  EXPECT_NE(ij.find("\"job_latency\": {\"count\": 0"), std::string::npos);
+  EXPECT_NE(ij.find("\"batch_size\": {\"count\": 0"), std::string::npos);
+  // The deliberately process-wide sections say so.
+  EXPECT_NE(ij.find("\"plan_cache\": {\"scope\": \"process\""), std::string::npos);
+
+  // And the scoping is symmetric: the idle server's first job lands in
+  // ITS histogram only.
+  (void)idle.submit_permutation(1, 2000).get();
+  EXPECT_EQ(idle.job_latency_histogram().count(), 1u);
+  EXPECT_EQ(busy.job_latency_histogram().count(), 5u);
+  const std::string bj = busy.metrics_snapshot();
+  EXPECT_NE(bj.find("\"done\": 5"), std::string::npos);
+  EXPECT_NE(bj.find("\"job_latency\": {\"count\": 5"), std::string::npos);
+}
+
+TEST(CounterReconciliation, EveryOutcomeIsCountedExactlyOnce) {
+  // Flood a tiny queue so the submission burst splits into accepted and
+  // rejected, then reconcile every ledger: admissions vs terminal
+  // outcomes vs handle statuses vs the latency histogram.  A job counted
+  // twice (or a rejected job leaking into submitted/done) breaks one of
+  // these equalities.
+  svc::server_options so;
+  so.seed = kSeed;
+  so.scheduler_workers = 2;
+  so.queue_capacity = 4;
+  so.policy = svc::admission::reject;
+  svc::server srv(so);
+
+  constexpr int kJobs = 64;
+  std::vector<svc::future<svc::permutation>> futs;
+  futs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) futs.push_back(srv.submit_permutation(0, 20'000));
+  std::uint64_t done = 0, rejected = 0, failed = 0;
+  for (auto& f : futs) {
+    switch (f.wait()) {
+      case svc::job_status::done: ++done; break;
+      case svc::job_status::rejected: ++rejected; break;
+      case svc::job_status::failed: ++failed; break;
+      default: FAIL() << "non-terminal status after wait()";
+    }
+  }
+  srv.close();
+
+  const svc::server_stats st = srv.stats();
+  // Admission splits the burst exactly in two...
+  EXPECT_EQ(st.sched.submitted + st.rejected, static_cast<std::uint64_t>(kJobs));
+  // ...every admitted job reached exactly one terminal status...
+  EXPECT_EQ(st.sched.submitted, st.done + st.failed);
+  // ...the handles saw the same ledger the counters recorded...
+  EXPECT_EQ(st.done, done);
+  EXPECT_EQ(st.rejected, rejected);
+  EXPECT_EQ(st.failed, failed);
+  // ...and the latency histogram recorded each done job exactly once.
+  EXPECT_EQ(srv.job_latency_histogram().count(), st.done);
+  EXPECT_GT(done, 0u);
+  EXPECT_GT(rejected, 0u) << "queue never filled -- raise kJobs";
+}
+
 TEST(PlanCache, RepeatedRequestShapesHitTheCache) {
   svc::server_options so;
   so.seed = kSeed;

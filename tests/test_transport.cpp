@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "cgm/distributed.hpp"
+#include "comm/socket_transport.hpp"
 #include "comm/transport.hpp"
 #include "core/backend.hpp"
 #include "core/context.hpp"
@@ -123,6 +125,179 @@ TEST(Transport, ThreadedRunsOnExternalPool) {
   check_alltoallv_roundtrip(tr);
 }
 
+// --- socket transport (comm/socket_transport.hpp) ---------------------------
+
+TEST(SocketTransport, DeliversInSourceRankOrder) {
+  // Same ordering contract as the threaded transport, but the messages
+  // actually cross TCP connections and the per-destination aggregator.
+  comm::socket_transport tr(4);
+  tr.run([](comm::endpoint& ep) {
+    const std::uint64_t r = ep.rank();
+    const std::uint64_t r2 = r + 100;
+    ep.send_span(0, 1, std::span<const std::uint64_t>(&r, 1));
+    ep.send_span(0, 1, std::span<const std::uint64_t>(&r2, 1));
+    const auto msgs = ep.exchange();
+    if (ep.rank() == 0) {
+      ASSERT_EQ(msgs.size(), 8u);
+      for (std::uint32_t s = 0; s < 4; ++s) {
+        EXPECT_EQ(msgs[2 * s].source, s);
+        EXPECT_EQ(msgs[2 * s].as<std::uint64_t>().front(), s);
+        EXPECT_EQ(msgs[2 * s + 1].as<std::uint64_t>().front(), s + 100);
+      }
+    } else {
+      EXPECT_TRUE(msgs.empty());
+    }
+    // A second exchange with nothing in flight is an empty barrier.
+    EXPECT_TRUE(ep.exchange().empty());
+  });
+}
+
+TEST(SocketTransport, AlltoallvRaggedRoundTrip) {
+  for (const std::uint32_t p : {2u, 4u, 8u}) {
+    comm::socket_transport tr(p);
+    check_alltoallv_roundtrip(tr);
+  }
+}
+
+TEST(SocketTransport, EmptyAndOversizedPayloadsRoundTripThroughFraming) {
+  // The framing edge cases: an empty payload (empty vectors have null
+  // data() -- the record must still travel, tag intact), an odd 3-byte
+  // payload, and one far above the 64 KiB read chunk ((1 << 20) + 7
+  // bytes).  Run at the default threshold (big payload flushes by size)
+  // and at a tiny 64-byte one (EVERY record cut into its own frame, so
+  // reassembly spans many frames).
+  for (const std::size_t agg : {std::size_t{60} * 1024, std::size_t{64}}) {
+    comm::socket_options sopt;
+    sopt.aggregation_bytes = agg;
+    comm::socket_transport tr(2, sopt);
+    tr.run([](comm::endpoint& ep) {
+      const std::uint32_t peer = 1 - ep.rank();
+      ep.send(peer, 1, {});
+      const std::vector<std::byte> odd(3, std::byte{0x5A});
+      ep.send(peer, 2, std::span<const std::byte>(odd));
+      std::vector<std::byte> big((std::size_t{1} << 20) + 7);
+      for (std::size_t i = 0; i < big.size(); ++i) {
+        big[i] = static_cast<std::byte>((i * 131 + ep.rank()) & 0xFF);
+      }
+      ep.send(peer, 3, std::span<const std::byte>(big));
+      const auto msgs = ep.exchange();
+      ASSERT_EQ(msgs.size(), 3u);
+      EXPECT_EQ(msgs[0].source, peer);
+      EXPECT_EQ(msgs[0].tag, 1u);
+      EXPECT_TRUE(msgs[0].payload.empty());
+      EXPECT_EQ(msgs[1].tag, 2u);
+      EXPECT_EQ(msgs[1].payload, odd);
+      EXPECT_EQ(msgs[2].tag, 3u);
+      ASSERT_EQ(msgs[2].payload.size(), big.size());
+      for (std::size_t i = 0; i < big.size(); ++i) {
+        ASSERT_EQ(msgs[2].payload[i], static_cast<std::byte>((i * 131 + peer) & 0xFF))
+            << "at byte " << i;
+      }
+    });
+  }
+}
+
+TEST(SocketTransport, BulkBidirectionalTrafficAcrossSuperstepsDoesNotDeadlock) {
+  // 8 MiB each way per superstep -- far beyond any socket buffer, so the
+  // exchange loop must interleave reads and writes (a write-only rank
+  // would deadlock against a full send buffer).  Two supersteps exercise
+  // the one-step-ahead frame stash.
+  comm::socket_transport tr(2);
+  tr.run([](comm::endpoint& ep) {
+    const std::uint32_t peer = 1 - ep.rank();
+    std::vector<std::uint64_t> chunk(8192, 0);
+    for (std::uint32_t step = 0; step < 2; ++step) {
+      for (std::uint32_t i = 0; i < 128; ++i) {
+        chunk.assign(chunk.size(), 1'000'000ull * ep.rank() + 1000 * step + i);
+        ep.send_span(peer, i, std::span<const std::uint64_t>(chunk));
+      }
+      const auto msgs = ep.exchange();
+      ASSERT_EQ(msgs.size(), 128u);
+      for (std::uint32_t i = 0; i < 128; ++i) {
+        EXPECT_EQ(msgs[i].tag, i);
+        const auto words = msgs[i].as<std::uint64_t>();
+        ASSERT_EQ(words.size(), chunk.size());
+        EXPECT_EQ(words.front(), 1'000'000ull * peer + 1000 * step + i);
+        EXPECT_EQ(words.back(), words.front());
+      }
+    }
+  });
+}
+
+TEST(SocketTransport, AggregatorCoalescesSmallSendsOntoFewerFrames) {
+  // The tentpole's reason to exist: with aggregation on, a burst of tiny
+  // sends to one destination rides a handful of frames; with it off
+  // (aggregation_bytes = 0), every send is its own frame.  Same logical
+  // messages either way.
+  const auto wire_with = [](std::size_t agg_bytes) {
+    comm::socket_options sopt;
+    sopt.aggregation_bytes = agg_bytes;
+    comm::socket_transport tr(4, sopt);
+    tr.run([](comm::endpoint& ep) {
+      const std::uint64_t x = ep.rank();
+      for (std::uint32_t step = 0; step < 2; ++step) {
+        for (std::uint32_t i = 0; i < 64; ++i) {
+          for (std::uint32_t d = 0; d < ep.size(); ++d) {
+            if (d != ep.rank()) ep.send_span(d, i, std::span<const std::uint64_t>(&x, 1));
+          }
+        }
+        (void)ep.exchange();
+      }
+    });
+    return tr.wire();
+  };
+
+  const comm::wire_counters on = wire_with(60 * 1024);
+  const comm::wire_counters off = wire_with(0);
+
+  // Identical logical traffic: 64 sends x 3 peers x 4 ranks x 2 steps.
+  EXPECT_EQ(on.messages, 64u * 3 * 4 * 2);
+  EXPECT_EQ(off.messages, on.messages);
+  // Aggregated: the whole per-peer burst (64 x 16-byte records = 1 KiB)
+  // fits one FIN frame, so all flushes are sync flushes.
+  EXPECT_EQ(on.frames, 3u * 4 * 2);
+  EXPECT_EQ(on.flushes_size, 0u);
+  EXPECT_EQ(on.flushes_sync, on.frames);
+  // Frame-per-send: 64 size-cut frames + 1 FIN frame per peer per step.
+  EXPECT_EQ(off.frames, (64u + 1) * 3 * 4 * 2);
+  EXPECT_EQ(off.flushes_size, 64u * 3 * 4 * 2);
+  // The acceptance bar (and then some): >= 4x fewer wire frames.
+  EXPECT_GE(off.frames, 4 * on.frames);
+  EXPECT_GT(on.wire_bytes, 0u);
+  EXPECT_LT(on.wire_bytes, off.wire_bytes);
+}
+
+TEST(SocketTransportDeathTest, KilledRankAbortsTheJobLoudly) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // A rank dying mid-superstep must take the whole job down with a
+  // diagnostic, not leave the surviving ranks wedged in poll() forever.
+  EXPECT_DEATH(
+      {
+        comm::socket_transport tr(4);
+        tr.run([](comm::endpoint& ep) {
+          if (ep.rank() == 2) throw std::runtime_error("rank down");
+          (void)ep.exchange();
+        });
+      },
+      "uncaught exception on transport rank 2");
+}
+
+TEST(TransportDeathTest, BarrierRefusesInFlightMessages) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // barrier() used to silently discard whatever the exchange delivered;
+  // now it fails the loud way.
+  EXPECT_DEATH(
+      {
+        comm::loopback_transport tr;
+        tr.run([](comm::endpoint& ep) {
+          const std::uint64_t x = 1;
+          ep.send_span(0, 0, std::span<const std::uint64_t>(&x, 1));
+          ep.barrier();
+        });
+      },
+      "crossed in-flight messages");
+}
+
 TEST(Transport, MachineAdaptsExplicitTransportWithIdenticalAccounting) {
   // The simulator machine is an adapter: running the same SPMD program
   // over its default transport and over an explicitly injected one must
@@ -187,7 +362,7 @@ TEST(DistributedShuffle, IndependentOfRankCountAndTransport) {
 
   smp::thread_pool pool(4);
   test_support::expect_bit_identical(
-      6,
+      10,
       [&](std::size_t variant) {
         switch (variant) {
           case 0: {
@@ -210,13 +385,34 @@ TEST(DistributedShuffle, IndependentOfRankCountAndTransport) {
             comm::threaded_transport tr(8);
             return shuffled_iota(tr, n, 42, opt);
           }
-          default: {
+          case 5: {
             comm::threaded_transport tr(4, &pool);
+            return shuffled_iota(tr, n, 42, opt);
+          }
+          // The acceptance grid of ISSUE 7: the engine's output must not
+          // change when ranks talk over TCP -- at any rank count or
+          // aggregation threshold (framing is pure plumbing).
+          case 6: {
+            comm::socket_transport tr(1);
+            return shuffled_iota(tr, n, 42, opt);
+          }
+          case 7: {
+            comm::socket_transport tr(2);
+            return shuffled_iota(tr, n, 42, opt);
+          }
+          case 8: {
+            comm::socket_transport tr(4);
+            return shuffled_iota(tr, n, 42, opt);
+          }
+          default: {
+            comm::socket_options sopt;
+            sopt.aggregation_bytes = 64;  // force multi-frame reassembly
+            comm::socket_transport tr(4, sopt);
             return shuffled_iota(tr, n, 42, opt);
           }
         }
       },
-      "distributed shuffle, p in {1,2,4,8} x {loopback,threaded}");
+      "distributed shuffle, p in {1,2,4,8} x {loopback,threaded,socket}");
 }
 
 TEST(DistributedShuffle, DeepDistributedLevelsStayRankIndependent) {
@@ -330,6 +526,29 @@ TEST(CgmBackend, ExplicitTransportAndRecordTypesDispatch) {
   for (std::uint64_t i = 0; i < n; ++i) {
     EXPECT_EQ(shuffled[i].key, pi[i]);
     EXPECT_EQ(shuffled[i].tag, pi[i] ^ 0xABCDull);
+  }
+}
+
+TEST(CgmBackend, BitIdenticalAcrossTransportsAndRankCounts) {
+  // The dispatch-layer face of the acceptance grid: backend::cgm with an
+  // injected socket transport draws the same permutation as the threaded
+  // transport and the default loopback, at ranks {1, 2, 4}.
+  const std::uint64_t n = 5000;
+  core::backend_options base;
+  base.which = core::backend::cgm;
+  base.seed = 77;
+  base.cgm_engine.engine.cache_items = 256;  // force distribution
+
+  const auto reference = core::random_permutation(n, base);  // loopback
+  for (const std::uint32_t p : {1u, 2u, 4u}) {
+    comm::threaded_transport th(p);
+    core::backend_options opt = base;
+    opt.transport = &th;
+    EXPECT_EQ(core::random_permutation(n, opt), reference) << "threaded p=" << p;
+
+    comm::socket_transport so(p);
+    opt.transport = &so;
+    EXPECT_EQ(core::random_permutation(n, opt), reference) << "socket p=" << p;
   }
 }
 

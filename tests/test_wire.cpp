@@ -1,0 +1,227 @@
+// Tests for the binary RPC front end (src/svc/wire.hpp): determinism
+// over the wire -- a remote job's output is the same pure function of
+// (server_seed, client_id, ordinal) a local submission gets, replayable
+// against a bare context -- plus framing round-trips (empty / large
+// bodies), remote streams, metrics over the wire, concurrent client
+// connections, and the error surface (rejection after close, malformed
+// requests).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/context.hpp"
+#include "support/perm_check.hpp"
+#include "svc/job.hpp"
+#include "svc/wire.hpp"
+
+namespace {
+
+using namespace cgp;
+
+constexpr std::uint64_t kSeed = 0x5E12B1CE0007ull;
+
+svc::wire_server_options seeded_options() {
+  svc::wire_server_options wopt;
+  wopt.svc.seed = kSeed;
+  return wopt;
+}
+
+// --- determinism over the wire (the acceptance bar) --------------------------
+
+TEST(WireRpc, PermutationOverWireEqualsBareContextReplay) {
+  svc::wire_server ws(seeded_options());
+  ASSERT_NE(ws.port(), 0) << "ephemeral bind must resolve to a real port";
+  svc::wire_client cl("127.0.0.1", ws.port());
+
+  const std::uint64_t n = 100'000;
+  std::uint64_t ordinal = 99;
+  const svc::permutation pi = cl.fetch_permutation(/*client_id=*/7, n, &ordinal);
+  EXPECT_EQ(ordinal, 0u);
+  ASSERT_EQ(pi.size(), n);
+  EXPECT_TRUE(stats::is_permutation_of_iota(pi));
+
+  // The wire adds nothing to the randomness: replaying the job's
+  // (server_seed, client_id, ordinal) triple on a bare context gives the
+  // identical permutation, bit for bit.
+  cgp::context ctx;
+  EXPECT_EQ(pi, ctx.random_permutation(n, svc::job_seed(kSeed, 7, ordinal)));
+
+  // Ordinals advance per client across request kinds, exactly as local
+  // submissions would.
+  std::uint64_t second = 99;
+  const svc::permutation pi2 = cl.fetch_permutation(7, n, &second);
+  EXPECT_EQ(second, 1u);
+  EXPECT_EQ(pi2, ctx.random_permutation(n, svc::job_seed(kSeed, 7, 1)));
+  EXPECT_NE(pi2, pi);
+}
+
+TEST(WireRpc, ShuffleRoundTripsRecordsAndReplays) {
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+
+  const std::uint64_t n = 30'000;
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+
+  std::uint64_t ordinal = 99;
+  cl.shuffle(/*client_id=*/3, std::span<std::uint64_t>(v), &ordinal);
+  EXPECT_EQ(ordinal, 0u);
+
+  std::vector<std::uint64_t> expected(n);
+  std::iota(expected.begin(), expected.end(), 0);
+  cgp::context ctx;
+  ctx.shuffle(std::span<std::uint64_t>(expected), svc::job_seed(kSeed, 3, ordinal));
+  EXPECT_EQ(v, expected);
+}
+
+TEST(WireRpc, ShuffleCarriesWideRecordsBothWays) {
+  // 24-byte records: the payload crosses the wire twice (request body,
+  // shuffled response body) and must come back value-identical, only
+  // reordered by the job's permutation.
+  struct rec24 {
+    std::uint64_t key;
+    std::uint64_t a;
+    std::uint64_t b;
+    bool operator==(const rec24&) const = default;
+  };
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+
+  const std::uint64_t n = 5'000;
+  std::vector<rec24> recs(n);
+  for (std::uint64_t i = 0; i < n; ++i) recs[i] = {i, i * 31, ~i};
+  std::vector<rec24> expected = recs;
+
+  std::uint64_t ordinal = 99;
+  cl.shuffle(/*client_id=*/5, std::span<rec24>(recs), &ordinal);
+
+  cgp::context ctx;
+  ctx.shuffle(std::span<rec24>(expected), svc::job_seed(kSeed, 5, ordinal));
+  ASSERT_EQ(recs.size(), expected.size());
+  EXPECT_EQ(recs, expected);
+}
+
+// --- remote streams ----------------------------------------------------------
+
+TEST(WireRpc, RemoteStreamAssemblesTheWholePermutation) {
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+
+  const std::uint64_t n = 70'001;  // odd: the last pull is a short chunk
+  svc::remote_stream s = cl.open_stream(/*client_id=*/11, n);
+  EXPECT_EQ(s.size(), n);
+
+  std::vector<std::uint64_t> assembled;
+  std::vector<std::uint64_t> chunk(8192);
+  for (;;) {
+    const std::size_t got = s.read(std::span<std::uint64_t>(chunk));
+    if (got == 0) break;
+    assembled.insert(assembled.end(), chunk.begin(),
+                     chunk.begin() + static_cast<std::ptrdiff_t>(got));
+  }
+  s.close();  // idempotent
+  s.close();
+
+  ASSERT_EQ(assembled.size(), n);
+  cgp::context ctx;
+  EXPECT_EQ(assembled, ctx.random_permutation(n, svc::job_seed(kSeed, 11, s.ordinal())));
+}
+
+// --- concurrent connections --------------------------------------------------
+
+TEST(WireRpc, ConcurrentClientsStayIndependentAndDeterministic) {
+  svc::wire_server ws(seeded_options());
+
+  constexpr int kClients = 4;
+  constexpr std::uint64_t n = 20'000;
+  std::vector<svc::permutation> got(kClients);
+  std::vector<std::uint64_t> ords(kClients, 99);
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      svc::wire_client cl("127.0.0.1", ws.port());
+      got[static_cast<std::size_t>(c)] = cl.fetch_permutation(
+          static_cast<std::uint64_t>(c), n, &ords[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  cgp::context ctx;
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ords[static_cast<std::size_t>(c)], 0u);
+    EXPECT_EQ(got[static_cast<std::size_t>(c)],
+              ctx.random_permutation(
+                  n, svc::job_seed(kSeed, static_cast<std::uint64_t>(c), 0)))
+        << "client " << c;
+  }
+}
+
+// --- metrics over the wire ---------------------------------------------------
+
+TEST(WireRpc, MetricsSnapshotTravelsAsJson) {
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+
+  (void)cl.fetch_permutation(1, 1000);
+  const std::string json = cl.metrics_snapshot();
+
+  // Shape, not schema: the curated fields and the process-scope marker.
+  EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"job_latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"scope\": \"process\""), std::string::npos);
+  EXPECT_NE(json.find("\"done\": 1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// --- error surface -----------------------------------------------------------
+
+TEST(WireRpc, RejectedSubmissionSurfacesAsRuntimeError) {
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+  ws.service().close();  // admission now rejects everything
+
+  try {
+    (void)cl.fetch_permutation(1, 1000);
+    FAIL() << "expected a rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rejected"), std::string::npos);
+  }
+}
+
+TEST(WireRpc, MalformedShuffleGeometryIsABadRequest) {
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+
+  // elem_bytes = 0 can't describe any record layout; the server must
+  // refuse it without touching the scheduler -- and the connection stays
+  // usable afterwards.
+  std::uint64_t dummy[4] = {0, 1, 2, 3};
+  try {
+    cl.shuffle_raw(1, dummy, 4, /*elem_bytes=*/0);
+    FAIL() << "expected a bad-request error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad request"), std::string::npos);
+  }
+  const svc::permutation pi = cl.fetch_permutation(1, 100);
+  EXPECT_TRUE(stats::is_permutation_of_iota(pi));
+}
+
+TEST(WireRpc, ZeroLengthJobsRoundTrip) {
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+  const svc::permutation pi = cl.fetch_permutation(1, 0);
+  EXPECT_TRUE(pi.empty());
+  std::vector<std::uint64_t> none;
+  cl.shuffle(1, std::span<std::uint64_t>(none));  // empty body both ways
+}
+
+}  // namespace
