@@ -1,104 +1,218 @@
-// E2 -- the paper's introduction measurements: "to permute a vector of
-// long int's, we observed an average cost per item of about 60 to 100 clock
-// cycles ... the running time of a permutation program is more or less
-// bound to the cpu-memory bandwidth; this bottleneck amounts to about 33%
-// (Sparc) and 80% (Pentium) of the wall clock time."
+// E2 -- the paper's introduction measurements, retargeted at the SIMD pass:
+// "to permute a vector of long int's, we observed an average cost per item
+// of about 60 to 100 clock cycles ... the running time of a permutation
+// program is more or less bound to the cpu-memory bandwidth".
 //
-// Measured here: cycles/item of Fisher-Yates across sizes (cache-resident
-// to RAM-resident), the random-access "memory-only" kernel (the shuffle's
-// memory access pattern without its arithmetic), and the memory-bound
-// fraction of the shuffle estimated as the kernel/shuffle time ratio.
-#include <benchmark/benchmark.h>
-
+// The per-item cost of the split kernels decomposes into keystream
+// arithmetic (one Philox word per label) and the scatter's random-access
+// memory traffic -- the two halves the paper's 60..100 cycles split into
+// "arithmetic" and "memory-bound".  This bench measures both halves before
+// and after the PR-8 optimizations, on the SAME timing harness as
+// e14/e15/e16 (cgp::best_of -- the old Google-Benchmark loop measured its
+// own overhead differently from every other bench, so its numbers were not
+// comparable):
+//
+//   * keystream: raw philox4x64_batch words/ns, scalar kernel vs the active
+//     SIMD kernel (the pure-arithmetic half);
+//   * labels: label draws (word & mask) through the scalar philox4x64
+//     engine vs rng::batched_philox -- the ACCEPTANCE metric: the batched
+//     path must be >= 2x on SIMD-capable hardware;
+//   * fisher-yates: seq::fisher_yates with scalar vs batched engine at a
+//     RAM-resident size (arithmetic win diluted by the memory-bound half);
+//   * scatter: the split kernel's cursor scatter with and without software
+//     prefetch (the memory half).
+//
+// Output: a table on stdout plus BENCH_simd.json (one record per kernel:
+// seconds, ns_per_item, cycles_per_item; one summary record with the
+// speedups and the pass/fail verdict).  Exit 0 = vector path present and
+// batched labels >= 2x scalar; exit 2 = "measured, out of tolerance or
+// scalar-only hardware" (CI treats 2 as soft, like e15/e18).
+//
+// Usage: e2_per_item_cost [mode] [json_path]   mode: full (default) | small
 #include <cstdint>
-#include <cstdio>
+#include <iostream>
 #include <numeric>
+#include <span>
+#include <string>
 #include <vector>
 
-#include "rng/uniform.hpp"
-#include "rng/xoshiro.hpp"
+#include "rng/philox.hpp"
+#include "rng/philox_batch.hpp"
 #include "seq/fisher_yates.hpp"
+#include "util/json.hpp"
 #include "util/stopwatch.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 using namespace cgp;
 
-void bm_fisher_yates(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint64_t> v(n);
-  std::iota(v.begin(), v.end(), 0);
-  rng::xoshiro256ss e(42);
-  for (auto _ : state) {
-    seq::fisher_yates(e, std::span<std::uint64_t>(v));
-    benchmark::DoNotOptimize(v.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-  // cycles/item = hz / (items/sec); expressed as an inverted rate counter.
-  state.counters["cycles_per_item"] =
-      benchmark::Counter(static_cast<double>(n) / estimated_cpu_hz(),
-                         benchmark::Counter::kIsIterationInvariantRate |
-                             benchmark::Counter::kInvert);
-}
-BENCHMARK(bm_fisher_yates)->RangeMultiplier(4)->Range(1 << 14, 1 << 24)->Unit(benchmark::kMillisecond);
+struct result {
+  std::string kernel;
+  std::uint64_t n = 0;  // items (words, labels, or elements) per rep
+  double seconds = 0.0;
+};
 
-// The shuffle's memory behaviour without its arithmetic: one random read-
-// modify-write per item (same address stream shape as Fisher-Yates swaps).
-void bm_random_touch(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint64_t> v(n);
-  std::iota(v.begin(), v.end(), 0);
-  rng::xoshiro256ss e(43);
-  for (auto _ : state) {
-    std::uint64_t acc = 0;
-    for (std::size_t i = n; i > 1; --i) {
-      const auto j = static_cast<std::size_t>(rng::uniform_below(e, i));
-      acc ^= v[j];
-      v[j] = acc;
+/// The split kernel's scatter loop (smp/parallel_split.hpp), isolated:
+/// stream items to per-label cursors.  `prefetch` toggles the software
+/// prefetch this PR added to the real kernel.
+void scatter_once(const std::vector<std::uint8_t>& label, const std::vector<std::uint64_t>& items,
+                  std::vector<std::uint64_t>& cursor_init, std::vector<std::uint64_t>& scratch,
+                  bool prefetch) {
+  std::vector<std::uint64_t> cursor = cursor_init;
+  const std::size_t n = items.size();
+  constexpr std::size_t kDist = 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (prefetch && i + kDist < n) {
+      __builtin_prefetch(&scratch[static_cast<std::size_t>(cursor[label[i + kDist]])], 1, 1);
     }
-    benchmark::DoNotOptimize(acc);
+    scratch[static_cast<std::size_t>(cursor[label[i]]++)] = items[i];
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-  state.counters["cycles_per_item"] =
-      benchmark::Counter(static_cast<double>(n) / estimated_cpu_hz(),
-                         benchmark::Counter::kIsIterationInvariantRate |
-                             benchmark::Counter::kInvert);
 }
-BENCHMARK(bm_random_touch)->RangeMultiplier(4)->Range(1 << 14, 1 << 24)->Unit(benchmark::kMillisecond);
-
-// RNG-only control: the arithmetic cost floor of the shuffle.
-void bm_rng_only(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  rng::xoshiro256ss e(44);
-  for (auto _ : state) {
-    std::uint64_t acc = 0;
-    for (std::size_t i = n; i > 1; --i) acc ^= rng::uniform_below(e, i);
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-  state.counters["cycles_per_item"] =
-      benchmark::Counter(static_cast<double>(n) / estimated_cpu_hz(),
-                         benchmark::Counter::kIsIterationInvariantRate |
-                             benchmark::Counter::kInvert);
-}
-BENCHMARK(bm_rng_only)->Arg(1 << 22)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf(
-      "E2: sequential per-item cost (paper intro: 60..100 cycles/item on a\n"
-      "300 MHz Sparc / 800 MHz Pentium III; memory-bound fraction 33%%..80%%).\n"
-      "Read cycles_per_item of bm_fisher_yates: the cache-resident sizes give\n"
-      "the pure compute cost, the largest (RAM-resident) size the full cost;\n"
-      "1 - small/large is the memory-bound share of the wall clock (the paper's\n"
-      "33%%..80%%).  bm_random_touch isolates the memory+RNG kernel and\n"
-      "bm_rng_only the arithmetic floor.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  const std::string mode = argc > 1 ? argv[1] : "full";
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_simd.json";
+  const bool small = mode == "small";
+  const std::uint64_t n_words = small ? (1ull << 22) : (1ull << 24);  // keystream / label draws
+  const std::uint64_t n_items = small ? (1ull << 21) : (1ull << 23);  // fisher-yates / scatter
+  const int reps = small ? 3 : 5;
+  constexpr double kMinSpeedup = 2.0;
+  constexpr std::uint32_t kFan = 16;  // the default split fan-out
+
+  const rng::simd_path hw = rng::detected_simd_path();
+  const rng::simd_path active = rng::active_simd_path();
+  std::cout << "E2: per-item cost of the split kernels (paper intro: 60..100 cycles/item,\n"
+            << "33..80% memory-bound).  simd: detected=" << rng::simd_path_name(hw)
+            << " active=" << rng::simd_path_name(active) << ", best of " << reps << "\n\n";
+
+  std::vector<result> results;
+  const auto add = [&](std::string kernel, std::uint64_t n, double seconds) {
+    results.push_back({std::move(kernel), n, seconds});
+    return seconds;
+  };
+
+  // --- keystream: raw batch generation, scalar kernel vs active kernel ---
+  const auto key = rng::philox4x64::derive_key(0xE2, 0);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n_words));
+  const auto keystream = [&](rng::simd_path path) {
+    // One kernel call per engine-sized batch, like the hot loops refill.
+    constexpr std::uint64_t kBlocks = rng::batched_philox::kBatchBlocks;
+    rng::philox4x64::block_type ctr{};
+    for (std::uint64_t at = 0; at + 4 * kBlocks <= n_words; at += 4 * kBlocks) {
+      rng::philox4x64_batch_on(path, ctr, key, kBlocks, words.data() + at);
+      ctr[0] += kBlocks;
+    }
+  };
+  const double key_scalar =
+      add("keystream scalar", n_words,
+          best_of(reps, [&](int) { keystream(rng::simd_path::scalar); }));
+  const double key_vector =
+      add(std::string("keystream ") + rng::simd_path_name(active), n_words,
+          best_of(reps, [&](int) { keystream(active); }));
+
+  // --- label draws: scalar engine vs batched engine (acceptance metric) --
+  const auto labels_scalar = [&](int r) {
+    rng::philox4x64 e(0xE2, static_cast<std::uint64_t>(r));
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < n_words; ++i) acc += e() & (kFan - 1);
+    if (acc == 0xDEAD) std::cout << "";  // keep the loop observable
+  };
+  const auto labels_batched = [&](int r) {
+    rng::batched_philox e(0xE2, static_cast<std::uint64_t>(r));
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < n_words; ++i) acc += e() & (kFan - 1);
+    if (acc == 0xDEAD) std::cout << "";
+  };
+  const double lab_scalar = add("labels scalar engine", n_words, best_of(reps, labels_scalar));
+  const double lab_batched = add("labels batched engine", n_words, best_of(reps, labels_batched));
+
+  // --- fisher-yates: the full shuffle with each engine -------------------
+  std::vector<std::uint64_t> data(static_cast<std::size_t>(n_items));
+  std::iota(data.begin(), data.end(), 0);
+  const double fy_scalar = add("fisher-yates scalar engine", n_items, best_of(reps, [&](int r) {
+                                 rng::philox4x64 e(0xE2, static_cast<std::uint64_t>(r));
+                                 seq::fisher_yates(e, std::span<std::uint64_t>(data));
+                               }));
+  const double fy_batched = add("fisher-yates batched engine", n_items, best_of(reps, [&](int r) {
+                                  rng::batched_philox e(0xE2, static_cast<std::uint64_t>(r));
+                                  seq::fisher_yates(e, std::span<std::uint64_t>(data));
+                                }));
+
+  // --- scatter: split-kernel cursor scatter, +- software prefetch --------
+  std::vector<std::uint8_t> label(static_cast<std::size_t>(n_items));
+  {
+    rng::batched_philox e(0xE2B);
+    for (auto& l : label) l = static_cast<std::uint8_t>(e() & (kFan - 1));
+  }
+  std::vector<std::uint64_t> counts(kFan, 0);
+  for (const auto l : label) ++counts[l];
+  std::vector<std::uint64_t> cursor_init(kFan, 0);
+  for (std::uint32_t j = 1; j < kFan; ++j) cursor_init[j] = cursor_init[j - 1] + counts[j - 1];
+  std::vector<std::uint64_t> scratch(static_cast<std::size_t>(n_items));
+  const double sc_plain =
+      add("scatter", n_items,
+          best_of(reps, [&](int) { scatter_once(label, data, cursor_init, scratch, false); }));
+  const double sc_prefetch =
+      add("scatter + prefetch", n_items,
+          best_of(reps, [&](int) { scatter_once(label, data, cursor_init, scratch, true); }));
+
+  // --- report ------------------------------------------------------------
+  const double hz = estimated_cpu_hz();
+  table t({"kernel", "n", "T [s]", "ns/item", "cycles/item"});
+  std::vector<json_record> out;
+  for (const auto& r : results) {
+    const double ns_item = r.seconds * 1e9 / static_cast<double>(r.n);
+    const double cyc_item = r.seconds * hz / static_cast<double>(r.n);
+    t.add_row({r.kernel, fmt_count(r.n), fmt(r.seconds, 4), fmt(ns_item, 2), fmt(cyc_item, 1)});
+    json_record rec;
+    rec.add("bench", "e2_per_item_cost")
+        .add("mode", mode)
+        .add("kernel", r.kernel)
+        .add("n", r.n)
+        .add("seconds", r.seconds)
+        .add("ns_per_item", ns_item)
+        .add("cycles_per_item", cyc_item);
+    out.push_back(std::move(rec));
+  }
+  t.print(std::cout);
+
+  const double keystream_speedup = key_vector > 0.0 ? key_scalar / key_vector : 0.0;
+  const double label_speedup = lab_batched > 0.0 ? lab_scalar / lab_batched : 0.0;
+  const double fy_speedup = fy_batched > 0.0 ? fy_scalar / fy_batched : 0.0;
+  const double scatter_speedup = sc_prefetch > 0.0 ? sc_plain / sc_prefetch : 0.0;
+  const bool scalar_only = hw == rng::simd_path::scalar || active == rng::simd_path::scalar;
+  const bool pass = !scalar_only && label_speedup >= kMinSpeedup;
+
+  std::cout << "\nspeedups: keystream x" << fmt(keystream_speedup, 2) << ", batched labels x"
+            << fmt(label_speedup, 2) << " (gate: >= x" << fmt(kMinSpeedup, 1)
+            << "), fisher-yates x" << fmt(fy_speedup, 2) << ", scatter prefetch x"
+            << fmt(scatter_speedup, 2) << "\n";
+  if (scalar_only) {
+    std::cout << "scalar-only configuration (no vector kernel for this host / CGP_SIMD=off): "
+                 "speedup gate not applicable, exiting 2\n";
+  } else if (!pass) {
+    std::cout << "batched label speedup below gate, exiting 2\n";
+  }
+
+  json_record summary;
+  summary.add("bench", "e2_per_item_cost")
+      .add("mode", mode)
+      .add("kernel", "summary")
+      .add("simd_detected", rng::simd_path_name(hw))
+      .add("simd_active", rng::simd_path_name(active))
+      .add("keystream_speedup", keystream_speedup)
+      .add("batched_label_speedup", label_speedup)
+      .add("fisher_yates_speedup", fy_speedup)
+      .add("scatter_prefetch_speedup", scatter_speedup)
+      .add("min_speedup", kMinSpeedup)
+      .add("scalar_only", scalar_only)
+      .add("pass", pass);
+  out.push_back(std::move(summary));
+  if (write_json_records(json_path, out)) {
+    std::cout << "\nwrote " << out.size() << " records to " << json_path << "\n";
+  }
+  return pass ? 0 : 2;
 }

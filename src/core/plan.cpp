@@ -12,6 +12,7 @@
 #include "core/registry.hpp"
 #include "obs/plan_feedback.hpp"
 #include "rng/philox.hpp"
+#include "rng/philox_batch.hpp"
 #include "rng/splitmix64.hpp"
 #include "seq/fisher_yates.hpp"
 #include "util/stopwatch.hpp"
@@ -210,6 +211,9 @@ std::uint64_t machine_profile::fingerprint() const noexcept {
   h = mix_in(h, comm_ranks);
   h = mix_in(h, bits(comm_g_ns_per_word));
   h = mix_in(h, bits(comm_l_ns));
+  // Runtime, not a field: re-keys cached plans whenever the profile moves
+  // to a host with a different ISA (or CGP_SIMD flips the path).
+  h = mix_in(h, static_cast<std::uint64_t>(rng::active_simd_path()));
   return h;
 }
 
@@ -356,6 +360,7 @@ std::string permutation_plan::explain() const {
     os << " M=" << em_memory_items << " B=" << em_block_items << " K=" << em_fan_out
        << " levels=" << em_levels;
   }
+  os << " rng.simd_path=" << rng::simd_path_name(rng::active_simd_path());
   os << " predicted=" << fmt_seconds(predicted_seconds) << "\n";
   os << "candidates:\n";
   for (const auto& c : candidates) {

@@ -105,10 +105,15 @@ struct machine_profile {
   double seq_ns_hit = 2.5;    ///< Fisher-Yates ns/item, cache-resident
   double seq_ns_miss = 10.0;  ///< Fisher-Yates ns/item, memory-bound
   double seq_ns_far = 0.0;    ///< ns/item at far_bytes (0 = seq_ns_miss)
-  double split_ns = 3.0;      ///< smp streaming split, ns/item/level (per thread)
+  // Default per-item rates assume the batched (SIMD-dispatched) label
+  // draws of rng/philox_batch.hpp: the split and em passes spend less of
+  // their per-item budget on keystream arithmetic than the original
+  // scalar-engine estimates did.  `calibrate()` still overwrites split_ns
+  // with a measured value; these are the uncalibrated priors.
+  double split_ns = 2.4;      ///< smp streaming split, ns/item/level (per thread)
   double level_overhead_ns = 3.0e4;     ///< matrix sampling + barrier per split level
   double dispatch_overhead_ns = 5.0e4;  ///< per-call engine lookup/dispatch
-  double em_ns_per_item_pass = 25.0;    ///< em engine ns/item per streaming pass
+  double em_ns_per_item_pass = 19.0;    ///< em engine ns/item per streaming pass
 
   // --- BSP communication terms of the distributed cgm backend -----------
   // The classic (p, g, L) triple: p ranks, a per-word streaming cost g
@@ -132,6 +137,11 @@ struct machine_profile {
   /// in core/registry.hpp): two profiles with equal fingerprints plan every
   /// workload identically, and recalibration changes the fingerprint, so
   /// stale cached plans can never be served for a re-measured machine.
+  /// The HOST's active SIMD path (rng::active_simd_path()) is mixed in as
+  /// well -- it is deliberately not a stored field, so a profile serialized
+  /// on an AVX2 host and loaded on a scalar-only one re-keys automatically:
+  /// the calibrated rates embody the vector kernels' speed and must not be
+  /// served to a machine running the scalar path (and vice versa).
   [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 

@@ -64,6 +64,7 @@
 #include "obs/trace.hpp"
 #include "rng/counting.hpp"
 #include "rng/philox.hpp"
+#include "rng/philox_batch.hpp"
 #include "rng/stream.hpp"
 #include "seq/fisher_yates.hpp"
 #include "smp/thread_pool.hpp"
@@ -238,7 +239,12 @@ class engine_state {
     pool_.parallel_for(0, nchunks, [&](std::size_t c_lo, std::size_t c_hi) {
       for (std::size_t c = c_lo; c < c_hi; ++c) {
         const auto [blks, items] = chunk_bounds(c);
-        auto e = rng::stream_engine_at(seed_, label_stream, items.first - lo);
+        // Batched replay of the index-keyed label stream: bit-identical to
+        // rng::stream_engine_at(seed_, label_stream, items.first - lo), but
+        // the keystream is generated kBatchBlocks at a time through the
+        // SIMD kernels -- this pass is pure keystream + histogram, so it is
+        // where the vector win shows up undiluted.
+        rng::batched_philox e(seed_, label_stream, items.first - lo);
         for (std::uint64_t i = items.first; i < items.second; ++i) {
           ++counts[c][e() & (fan_ - 1)];
         }
@@ -273,7 +279,7 @@ class engine_state {
       pool_.parallel_for(0, nchunks, [&](std::size_t c_lo, std::size_t c_hi) {
         for (std::size_t c = c_lo; c < c_hi; ++c) {
           const auto [blks, items] = chunk_bounds(c);
-          auto e = rng::stream_engine_at(seed_, label_stream, items.first - lo);
+          rng::batched_philox e(seed_, label_stream, items.first - lo);
           std::vector<item_writer> out;
           out.reserve(fan_);
           for (std::uint32_t j = 0; j < fan_; ++j) out.emplace_back(write_q, dest[c * fan_ + j], b);
@@ -356,7 +362,9 @@ class engine_state {
                                                    const async_options& opt = {}) {
   CGP_EXPECTS(n <= dev.item_capacity());
   CGP_EXPECTS(opt.buffer_depth >= 1);
-  block_device scratch(dev.item_capacity(), dev.block_items());
+  // The ping-pong scratch inherits the main device's hugepage placement:
+  // both sides of every scatter level should sit on the same page size.
+  block_device scratch(dev.item_capacity(), dev.block_items(), dev.hugepage_backed());
   const std::uint64_t before = dev.stats().transfers() + scratch.stats().transfers();
   detail_async::engine_state state(dev, scratch, pool, seed, opt);
   state.run(n);

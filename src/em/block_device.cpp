@@ -1,13 +1,65 @@
 #include "em/block_device.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
 #include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 #include "obs/metrics.hpp"
 
 namespace cgp::em {
 
+namespace detail {
+
+device_buffer::device_buffer(std::uint64_t words, bool hugepages) {
+  const std::size_t bytes = static_cast<std::size_t>(words) * sizeof(std::uint64_t);
+#if defined(__linux__)
+  if (hugepages && bytes > 0) {
+    // Round the mapping up to the 2 MiB hugepage granularity so MADV_HUGEPAGE
+    // can cover the whole buffer; anonymous mappings are zero-filled, which
+    // is the same initial content the vector path provides.
+    constexpr std::size_t kHugeSize = 2ull << 20;
+    const std::size_t mapped = (bytes + kHugeSize - 1) / kHugeSize * kHugeSize;
+    void* p = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      ptr_ = static_cast<std::uint64_t*>(p);
+      mapped_bytes_ = mapped;
+      // Advisory only: if the kernel has THP disabled the mapping still
+      // works on base pages, so a madvise failure downgrades the report,
+      // not the device.
+      huge_ = ::madvise(p, mapped, MADV_HUGEPAGE) == 0;
+      return;
+    }
+  }
+#else
+  (void)hugepages;
+#endif
+  fallback_.assign(static_cast<std::size_t>(words), 0);
+  ptr_ = fallback_.data();
+}
+
+device_buffer::~device_buffer() {
+#if defined(__linux__)
+  if (mapped_bytes_ != 0) ::munmap(ptr_, mapped_bytes_);
+#endif
+}
+
+}  // namespace detail
+
 namespace {
+
+bool env_hugepages() {
+  const char* env = std::getenv("CGP_EM_HUGEPAGES");
+  if (env == nullptr) return false;
+  const std::string_view v(env);
+  return v == "1" || v == "on" || v == "true";
+}
 
 // Process-wide I/O metrics, shared across every simulated device and
 // queue (per-run accounting stays in io_stats / async_stats).  References
@@ -28,11 +80,19 @@ obs::gauge& io_queue_gauge() {
 }  // namespace
 
 block_device::block_device(std::uint64_t item_capacity, std::uint32_t block_items)
+    : block_device(item_capacity, block_items, default_hugepages()) {}
+
+block_device::block_device(std::uint64_t item_capacity, std::uint32_t block_items, bool hugepages)
     : item_capacity_(item_capacity),
       block_items_(block_items),
-      blocks_((item_capacity + block_items - 1) / block_items) {
+      blocks_((item_capacity + block_items - 1) / block_items),
+      data_((item_capacity + block_items - 1) / block_items * block_items, hugepages) {
   CGP_EXPECTS(block_items >= 1);
-  data_.assign(blocks_ * block_items_, 0);
+}
+
+bool block_device::default_hugepages() noexcept {
+  static const bool v = env_hugepages();
+  return v;
 }
 
 io_stats block_device::stats() const {
@@ -59,7 +119,7 @@ void block_device::write_block(std::uint64_t b, std::span<const std::uint64_t> i
   CGP_EXPECTS(b < blocks_);
   CGP_EXPECTS(in.size() == block_items_);
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::copy(in.begin(), in.end(), data_.begin() + static_cast<std::ptrdiff_t>(b * block_items_));
+  std::copy(in.begin(), in.end(), data_.data() + b * block_items_);
   ++stats_.block_writes;
   io_writes_counter().add();
 }
@@ -73,8 +133,7 @@ void block_device::read_items(std::uint64_t item_lo, std::span<std::uint64_t> ou
     const std::uint64_t first = blk * block_items_;
     const std::uint64_t lo = std::max<std::uint64_t>(first, item_lo);
     const std::uint64_t up = std::min<std::uint64_t>(first + block_items_, hi);
-    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(lo),
-              data_.begin() + static_cast<std::ptrdiff_t>(up),
+    std::copy(data_.data() + lo, data_.data() + up,
               out.begin() + static_cast<std::ptrdiff_t>(lo - item_lo));
     ++stats_.block_reads;
   }
@@ -98,8 +157,7 @@ void block_device::write_items(std::uint64_t item_lo, std::span<const std::uint6
       io_reads_counter().add();
     }
     std::copy(in.begin() + static_cast<std::ptrdiff_t>(lo - item_lo),
-              in.begin() + static_cast<std::ptrdiff_t>(up - item_lo),
-              data_.begin() + static_cast<std::ptrdiff_t>(lo));
+              in.begin() + static_cast<std::ptrdiff_t>(up - item_lo), data_.data() + lo);
     ++stats_.block_writes;
   }
   io_writes_counter().add((hi - 1) / block_items_ - item_lo / block_items_ + 1);
@@ -107,12 +165,12 @@ void block_device::write_items(std::uint64_t item_lo, std::span<const std::uint6
 
 void block_device::poke(std::uint64_t item, std::uint64_t value) noexcept {
   CGP_ASSERT(item < item_capacity_);
-  data_[item] = value;
+  data_.data()[item] = value;
 }
 
 std::uint64_t block_device::peek(std::uint64_t item) const noexcept {
   CGP_ASSERT(item < item_capacity_);
-  return data_[item];
+  return data_.data()[item];
 }
 
 buffer_pool::buffer_pool(block_device& dev, std::uint32_t frames) : dev_(dev), frames_(frames) {

@@ -91,7 +91,7 @@ bool tracing() noexcept {
 void set_tracing(bool on) noexcept {
   // Resolve the environment first so a later tracing() call cannot
   // overwrite the explicit choice (and CGP_TRACE still registers its dump).
-  tracing();
+  static_cast<void>(tracing());
   g_tracing.store(on ? 1 : 0, std::memory_order_relaxed);
 }
 

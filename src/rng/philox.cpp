@@ -7,11 +7,12 @@ namespace cgp::rng {
 namespace {
 
 // Round constants from Salmon et al., "Parallel random numbers: as easy as
-// 1, 2, 3" (Random123 reference implementation).
-constexpr std::uint64_t kMul0 = 0xD2E7470EE14C6C93ull;
-constexpr std::uint64_t kMul1 = 0xCA5A826395121157ull;
-constexpr std::uint64_t kWeyl0 = 0x9E3779B97F4A7C15ull;  // golden ratio
-constexpr std::uint64_t kWeyl1 = 0xBB67AE8584CAA73Bull;  // sqrt(3) - 1
+// 1, 2, 3" -- the shared definitions in rng/philox.hpp (philox_constants),
+// also consumed by the SIMD batch kernels.
+constexpr std::uint64_t kMul0 = philox_constants::mul0;
+constexpr std::uint64_t kMul1 = philox_constants::mul1;
+constexpr std::uint64_t kWeyl0 = philox_constants::weyl0;
+constexpr std::uint64_t kWeyl1 = philox_constants::weyl1;
 
 struct hilo {
   std::uint64_t hi;
@@ -33,13 +34,18 @@ inline void round_once(philox4x64::block_type& x, std::array<std::uint64_t, 2>& 
 
 }  // namespace
 
-philox4x64::philox4x64(std::uint64_t seed, std::uint64_t stream) noexcept {
+philox4x64::philox4x64(std::uint64_t seed, std::uint64_t stream) noexcept
+    : key_(derive_key(seed, stream)) {}
+
+std::array<std::uint64_t, 2> philox4x64::derive_key(std::uint64_t seed,
+                                                    std::uint64_t stream) noexcept {
   // Hash (seed, stream) into the 128-bit key so that adjacent stream ids do
   // not yield adjacent keys; Philox's security margin does not require this,
   // but it keeps user-visible streams free of low-entropy key structure.
   std::uint64_t s = seed;
-  key_[0] = splitmix64_next(s) ^ mix64(stream);
-  key_[1] = splitmix64_next(s) + mix64(~stream);
+  const std::uint64_t k0 = splitmix64_next(s) ^ mix64(stream);
+  const std::uint64_t k1 = splitmix64_next(s) + mix64(~stream);
+  return {k0, k1};
 }
 
 void philox4x64::discard_blocks(std::uint64_t n_blocks) noexcept {

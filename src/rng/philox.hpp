@@ -15,6 +15,17 @@
 
 namespace cgp::rng {
 
+/// The published Philox-4x64 round constants (Salmon et al., Random123
+/// reference implementation).  One definition shared by the scalar engine
+/// below and the SIMD batch kernels (rng/philox_batch.cpp), so the two can
+/// never drift apart; the keystream-equality tests pin the agreement.
+struct philox_constants {
+  static constexpr std::uint64_t mul0 = 0xD2E7470EE14C6C93ull;
+  static constexpr std::uint64_t mul1 = 0xCA5A826395121157ull;
+  static constexpr std::uint64_t weyl0 = 0x9E3779B97F4A7C15ull;  // golden ratio
+  static constexpr std::uint64_t weyl1 = 0xBB67AE8584CAA73Bull;  // sqrt(3) - 1
+};
+
 /// Counter-based engine: 256-bit counter, 128-bit key, 10 rounds.
 /// Satisfies `random_engine64`; `operator()` returns one 64-bit word and
 /// internally steps through the 4 words of each block before incrementing
@@ -50,6 +61,12 @@ class philox4x64 {
   /// The raw keyed bijection (10 Philox rounds), exposed for test vectors.
   [[nodiscard]] static block_type bijection(block_type counter,
                                             std::array<std::uint64_t, 2> key) noexcept;
+
+  /// The 128-bit key the (seed, stream) constructor installs -- exposed so
+  /// the batched keystream generators (rng/philox_batch.hpp) key themselves
+  /// exactly like the scalar engine and stay bit-identical to it.
+  [[nodiscard]] static std::array<std::uint64_t, 2> derive_key(std::uint64_t seed,
+                                                               std::uint64_t stream) noexcept;
 
   friend bool operator==(const philox4x64&, const philox4x64&) noexcept = default;
 

@@ -1,0 +1,758 @@
+// rng/philox_batch.cpp
+//
+// The keystream kernels behind philox4x64_batch and their runtime
+// dispatch.  Three implementations of one contract (out[4i+j] =
+// bijection(counter + i, key)[j]):
+//
+//   * scalar -- the reference: the bijection's rounds inlined with four
+//     independent blocks interleaved (a single block's 10 rounds are a
+//     pure multiply-latency chain; four chains run the multiplier at
+//     throughput).  Every other kernel is differential-tested against the
+//     one-block-at-a-time philox4x64::bijection, which this loop replays
+//     exactly.
+//   * avx2 -- 4 blocks per 256-bit vector (one block per 64-bit lane),
+//     two vector groups interleaved per call so the 10-round dependency
+//     chain of one group hides under the other's.  AVX2 has no 64x64->128
+//     multiply, so mulhilo is built from four 32x32->64 partial products
+//     (_mm256_mul_epu32) -- the standard decomposition.  Compiled with a
+//     per-function target attribute, so the file builds without -mavx2
+//     and the binary runs on non-AVX2 hosts (dispatch never calls it
+//     there).
+//   * avx512 -- the same shape at 8 blocks per 512-bit vector, two groups
+//     in flight.  The multiply emulation is the port bottleneck of the
+//     64x64 cipher, so doubling lanes per instruction is what clears the
+//     2x label-draw gate on AVX-512 hosts; detection prefers this tier,
+//     CGP_SIMD=avx2 narrows back for comparison.
+//   * neon -- aarch64: 2 blocks per 128-bit vector, two pairs in flight;
+//     the same 32-bit partial-product mulhilo via vmull_u32.  (A scalar
+//     mul/umulh pair is competitive on many ARM cores; the vector path
+//     still wins on the wide ones, and the portable fallback is one env
+//     var away.)
+//
+// Lane order cannot leak into output by construction: lanes are assigned
+// consecutive counters and stored back in counter order, and no round
+// mixes data ACROSS lanes -- the Philox bijection is applied to each
+// block independently, exactly as the scalar loop applies it.
+#include "rng/philox_batch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define CGP_HAVE_AVX2_KERNEL 1
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define CGP_HAVE_NEON_KERNEL 1
+#endif
+
+namespace cgp::rng {
+
+namespace {
+
+using block = philox4x64::block_type;
+using key_t2 = std::array<std::uint64_t, 2>;
+
+/// 256-bit counter + 1 (the scalar engine's increment, shared by all
+/// kernels when they step to the next block).
+inline void increment(block& c) noexcept {
+  for (auto& word : c) {
+    if (++word != 0) break;
+  }
+}
+
+struct hilo {
+  std::uint64_t hi;
+  std::uint64_t lo;
+};
+
+inline hilo mulhilo(std::uint64_t a, std::uint64_t b) noexcept {
+  const unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+  return {static_cast<std::uint64_t>(prod >> 64), static_cast<std::uint64_t>(prod)};
+}
+
+/// One Philox round on one block -- the same arithmetic as
+/// philox4x64::bijection's round (the equality tests pin it), inlined here
+/// so the interleaved loop below stays call-free.
+inline void round1(block& x, std::uint64_t k0, std::uint64_t k1) noexcept {
+  const hilo p0 = mulhilo(philox_constants::mul0, x[0]);
+  const hilo p1 = mulhilo(philox_constants::mul1, x[2]);
+  x = {p1.hi ^ x[1] ^ k0, p1.lo, p0.hi ^ x[3] ^ k1, p0.lo};
+}
+
+void batch_scalar(block counter, const key_t2& key, std::uint64_t nblocks,
+                  std::uint64_t* out) noexcept {
+  // Four independent blocks in flight: a single block's 10 rounds are a
+  // pure latency chain (each round waits on two multiplies of the previous
+  // one), which leaves the multiplier mostly idle.  Interleaving four
+  // independent chains runs it at throughput instead -- the same trick the
+  // vector kernels use, done in scalar registers.  Output is bit-identical
+  // to the one-at-a-time loop because each block's rounds are untouched.
+  while (nblocks >= 4) {
+    block b0 = counter;
+    increment(counter);
+    block b1 = counter;
+    increment(counter);
+    block b2 = counter;
+    increment(counter);
+    block b3 = counter;
+    increment(counter);
+    std::uint64_t k0 = key[0];
+    std::uint64_t k1 = key[1];
+    for (int r = 0; r < 10; ++r) {
+      round1(b0, k0, k1);
+      round1(b1, k0, k1);
+      round1(b2, k0, k1);
+      round1(b3, k0, k1);
+      k0 += philox_constants::weyl0;
+      k1 += philox_constants::weyl1;
+    }
+    std::memcpy(out, b0.data(), sizeof(b0));
+    std::memcpy(out + 4, b1.data(), sizeof(b1));
+    std::memcpy(out + 8, b2.data(), sizeof(b2));
+    std::memcpy(out + 12, b3.data(), sizeof(b3));
+    out += 16;
+    nblocks -= 4;
+  }
+  for (; nblocks > 0; --nblocks) {
+    const block b = philox4x64::bijection(counter, key);
+    std::memcpy(out, b.data(), sizeof(b));
+    out += 4;
+    increment(counter);
+  }
+}
+
+#if defined(CGP_HAVE_AVX2_KERNEL)
+
+// mulhilo(constant a, per-lane b) on 4 64-bit lanes from 32x32->64 partial
+// products: a*b = al*bl + 2^32 (al*bh + ah*bl) + 2^64 ah*bh.  `mid`
+// accumulates the three 32-bit-aligned middle terms (sum < 3 * 2^32, no
+// overflow); its carry feeds the high word.
+__attribute__((target("avx2"), always_inline)) inline void mulhilo4(
+    __m256i a, __m256i a_hi, __m256i b, __m256i mask32, __m256i* hi, __m256i* lo) noexcept {
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i albl = _mm256_mul_epu32(a, b);       // low 32 of each lane
+  const __m256i albh = _mm256_mul_epu32(a, b_hi);
+  const __m256i ahbl = _mm256_mul_epu32(a_hi, b);
+  const __m256i ahbh = _mm256_mul_epu32(a_hi, b_hi);
+  const __m256i mid = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_srli_epi64(albl, 32), _mm256_and_si256(albh, mask32)),
+      _mm256_and_si256(ahbl, mask32));
+  *lo = _mm256_or_si256(_mm256_slli_epi64(mid, 32), _mm256_and_si256(albl, mask32));
+  *hi = _mm256_add_epi64(
+      _mm256_add_epi64(ahbh, _mm256_srli_epi64(albh, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(ahbl, 32), _mm256_srli_epi64(mid, 32)));
+}
+
+struct avx2_group {
+  __m256i x0, x1, x2, x3;
+};
+
+__attribute__((target("avx2"), always_inline)) inline void round4(
+    avx2_group& g, __m256i k0, __m256i k1, __m256i m0, __m256i m0h, __m256i m1, __m256i m1h,
+    __m256i mask32) noexcept {
+  __m256i p0hi, p0lo, p1hi, p1lo;
+  mulhilo4(m0, m0h, g.x0, mask32, &p0hi, &p0lo);
+  mulhilo4(m1, m1h, g.x2, mask32, &p1hi, &p1lo);
+  const __m256i nx0 = _mm256_xor_si256(_mm256_xor_si256(p1hi, g.x1), k0);
+  const __m256i nx2 = _mm256_xor_si256(_mm256_xor_si256(p0hi, g.x3), k1);
+  g.x0 = nx0;
+  g.x1 = p1lo;
+  g.x2 = nx2;
+  g.x3 = p0lo;
+}
+
+/// Load 4 consecutive counters as one lane-per-block group (counter word w
+/// of block l lands in lane l of vector xw), advancing `ctr` past them.
+/// The common case (no 64-bit carry inside the group) is pure vector
+/// arithmetic; the carry edge falls back to building the lanes one by one.
+__attribute__((target("avx2"), always_inline)) inline avx2_group load4(block& ctr) noexcept {
+  avx2_group g;
+  if (ctr[0] < std::numeric_limits<std::uint64_t>::max() - 4) {
+    g.x0 = _mm256_add_epi64(_mm256_set1_epi64x(static_cast<long long>(ctr[0])),
+                            _mm256_set_epi64x(3, 2, 1, 0));
+    g.x1 = _mm256_set1_epi64x(static_cast<long long>(ctr[1]));
+    g.x2 = _mm256_set1_epi64x(static_cast<long long>(ctr[2]));
+    g.x3 = _mm256_set1_epi64x(static_cast<long long>(ctr[3]));
+    ctr[0] += 4;
+    return g;
+  }
+  alignas(32) std::uint64_t lane[4][4];
+  for (int l = 0; l < 4; ++l) {
+    lane[l][0] = ctr[0];
+    lane[l][1] = ctr[1];
+    lane[l][2] = ctr[2];
+    lane[l][3] = ctr[3];
+    increment(ctr);
+  }
+  g.x0 = _mm256_set_epi64x(static_cast<long long>(lane[3][0]), static_cast<long long>(lane[2][0]),
+                           static_cast<long long>(lane[1][0]), static_cast<long long>(lane[0][0]));
+  g.x1 = _mm256_set_epi64x(static_cast<long long>(lane[3][1]), static_cast<long long>(lane[2][1]),
+                           static_cast<long long>(lane[1][1]), static_cast<long long>(lane[0][1]));
+  g.x2 = _mm256_set_epi64x(static_cast<long long>(lane[3][2]), static_cast<long long>(lane[2][2]),
+                           static_cast<long long>(lane[1][2]), static_cast<long long>(lane[0][2]));
+  g.x3 = _mm256_set_epi64x(static_cast<long long>(lane[3][3]), static_cast<long long>(lane[2][3]),
+                           static_cast<long long>(lane[1][3]), static_cast<long long>(lane[0][3]));
+  return g;
+}
+
+/// Store a group back in counter order (out[4l + w] = lane l of vector xw)
+/// via an in-register 4x4 transpose -- four vector stores, never bouncing
+/// words through a scalar temp (a store-forwarding stall per word, which
+/// is what made the first cut of this kernel SLOWER than scalar).
+__attribute__((target("avx2"), always_inline)) inline void store4(const avx2_group& g,
+                                                                  std::uint64_t* out) noexcept {
+  const __m256i t0 = _mm256_unpacklo_epi64(g.x0, g.x1);  // b0w0 b0w1 | b2w0 b2w1
+  const __m256i t1 = _mm256_unpackhi_epi64(g.x0, g.x1);  // b1w0 b1w1 | b3w0 b3w1
+  const __m256i t2 = _mm256_unpacklo_epi64(g.x2, g.x3);  // b0w2 b0w3 | b2w2 b2w3
+  const __m256i t3 = _mm256_unpackhi_epi64(g.x2, g.x3);  // b1w2 b1w3 | b3w2 b3w3
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 0),
+                      _mm256_permute2x128_si256(t0, t2, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4),
+                      _mm256_permute2x128_si256(t1, t3, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8),
+                      _mm256_permute2x128_si256(t0, t2, 0x31));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 12),
+                      _mm256_permute2x128_si256(t1, t3, 0x31));
+}
+
+__attribute__((target("avx2"))) void batch_avx2(block counter, const key_t2& key,
+                                                std::uint64_t nblocks,
+                                                std::uint64_t* out) noexcept {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFll);
+  const __m256i m0 = _mm256_set1_epi64x(static_cast<long long>(philox_constants::mul0));
+  const __m256i m0h = _mm256_set1_epi64x(static_cast<long long>(philox_constants::mul0 >> 32));
+  const __m256i m1 = _mm256_set1_epi64x(static_cast<long long>(philox_constants::mul1));
+  const __m256i m1h = _mm256_set1_epi64x(static_cast<long long>(philox_constants::mul1 >> 32));
+  const __m256i w0 = _mm256_set1_epi64x(static_cast<long long>(philox_constants::weyl0));
+  const __m256i w1 = _mm256_set1_epi64x(static_cast<long long>(philox_constants::weyl1));
+
+  // Two groups (8 blocks) in flight: group B's rounds fill the multiply
+  // latency of group A's, roughly doubling throughput over one group.
+  while (nblocks >= 8) {
+    avx2_group a = load4(counter);
+    avx2_group b = load4(counter);
+    __m256i k0 = _mm256_set1_epi64x(static_cast<long long>(key[0]));
+    __m256i k1 = _mm256_set1_epi64x(static_cast<long long>(key[1]));
+    for (int r = 0; r < 10; ++r) {
+      round4(a, k0, k1, m0, m0h, m1, m1h, mask32);
+      round4(b, k0, k1, m0, m0h, m1, m1h, mask32);
+      k0 = _mm256_add_epi64(k0, w0);
+      k1 = _mm256_add_epi64(k1, w1);
+    }
+    store4(a, out);
+    store4(b, out + 16);
+    out += 32;
+    nblocks -= 8;
+  }
+  while (nblocks >= 4) {
+    avx2_group a = load4(counter);
+    __m256i k0 = _mm256_set1_epi64x(static_cast<long long>(key[0]));
+    __m256i k1 = _mm256_set1_epi64x(static_cast<long long>(key[1]));
+    for (int r = 0; r < 10; ++r) {
+      round4(a, k0, k1, m0, m0h, m1, m1h, mask32);
+      k0 = _mm256_add_epi64(k0, w0);
+      k1 = _mm256_add_epi64(k1, w1);
+    }
+    store4(a, out);
+    out += 16;
+    nblocks -= 4;
+  }
+  if (nblocks > 0) batch_scalar(counter, key, nblocks, out);
+}
+
+// ---- AVX-512: 8 blocks per vector, two groups in flight ------------------
+//
+// Same partial-product mulhilo as the AVX2 kernel, twice the lanes per
+// instruction -- on 64x64 Philox the multiply emulation is the port
+// bottleneck, so halving the instructions per word is what finally clears
+// the 2x gate (AVX2 alone plateaus around 1.3-1.6x over the interleaved
+// scalar loop).  Needs AVX512F + DQ (mask-free 64-bit lane ops).
+
+// GCC 12's -Wmaybe-uninitialized fires inside avx512fintrin.h: the
+// unmasked _mm512_mul_epu32 / _mm512_srli_epi64 wrappers pass
+// _mm512_undefined_epi32() (deliberately uninitialized, fully overwritten
+// by the builtin) as the masked-out source.  False positive; silence it
+// for the kernel so -Werror builds stay clean.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline void mulhilo8(
+    __m512i a, __m512i a_hi, __m512i b, __m512i mask32, __m512i* hi, __m512i* lo) noexcept {
+  const __m512i b_hi = _mm512_srli_epi64(b, 32);
+  const __m512i albl = _mm512_mul_epu32(a, b);
+  const __m512i albh = _mm512_mul_epu32(a, b_hi);
+  const __m512i ahbl = _mm512_mul_epu32(a_hi, b);
+  const __m512i ahbh = _mm512_mul_epu32(a_hi, b_hi);
+  const __m512i mid = _mm512_add_epi64(
+      _mm512_add_epi64(_mm512_srli_epi64(albl, 32), _mm512_and_si512(albh, mask32)),
+      _mm512_and_si512(ahbl, mask32));
+  // ternlog 0xF8 = A | (B & C): fuses the or+and of the low-word blend.
+  *lo = _mm512_ternarylogic_epi64(_mm512_slli_epi64(mid, 32), albl, mask32, 0xF8);
+  *hi = _mm512_add_epi64(
+      _mm512_add_epi64(ahbh, _mm512_srli_epi64(albh, 32)),
+      _mm512_add_epi64(_mm512_srli_epi64(ahbl, 32), _mm512_srli_epi64(mid, 32)));
+}
+
+struct avx512_group {
+  __m512i x0, x1, x2, x3;
+};
+
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline void round8(
+    avx512_group& g, __m512i k0, __m512i k1, __m512i m0, __m512i m0h, __m512i m1, __m512i m1h,
+    __m512i mask32) noexcept {
+  __m512i p0hi, p0lo, p1hi, p1lo;
+  mulhilo8(m0, m0h, g.x0, mask32, &p0hi, &p0lo);
+  mulhilo8(m1, m1h, g.x2, mask32, &p1hi, &p1lo);
+  // vpternlogq 0x96 = three-way XOR in one uop: every 512-bit ALU op on
+  // this kernel contends for ports 0/5, so each fused xor is a cycle back.
+  const __m512i nx0 = _mm512_ternarylogic_epi64(p1hi, g.x1, k0, 0x96);
+  const __m512i nx2 = _mm512_ternarylogic_epi64(p0hi, g.x3, k1, 0x96);
+  g.x0 = nx0;
+  g.x1 = p1lo;
+  g.x2 = nx2;
+  g.x3 = p0lo;
+}
+
+/// Load 8 consecutive counters lane-per-block, advancing `ctr`.  Vector
+/// fast path when no 64-bit carry falls inside the group.
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline avx512_group load8(
+    block& ctr) noexcept {
+  avx512_group g;
+  if (ctr[0] < std::numeric_limits<std::uint64_t>::max() - 8) {
+    g.x0 = _mm512_add_epi64(_mm512_set1_epi64(static_cast<long long>(ctr[0])),
+                            _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0));
+    g.x1 = _mm512_set1_epi64(static_cast<long long>(ctr[1]));
+    g.x2 = _mm512_set1_epi64(static_cast<long long>(ctr[2]));
+    g.x3 = _mm512_set1_epi64(static_cast<long long>(ctr[3]));
+    ctr[0] += 8;
+    return g;
+  }
+  alignas(64) std::uint64_t lane[4][8];
+  for (int l = 0; l < 8; ++l) {
+    lane[0][l] = ctr[0];
+    lane[1][l] = ctr[1];
+    lane[2][l] = ctr[2];
+    lane[3][l] = ctr[3];
+    increment(ctr);
+  }
+  g.x0 = _mm512_load_si512(lane[0]);
+  g.x1 = _mm512_load_si512(lane[1]);
+  g.x2 = _mm512_load_si512(lane[2]);
+  g.x3 = _mm512_load_si512(lane[3]);
+  return g;
+}
+
+/// Store a group back in counter order (out[4l + w] = lane l of vector xw)
+/// via an in-register 8x4 transpose: unpack word pairs, gather each block's
+/// 4 words with permutex2var, then pair up blocks with shuffle_i64x2.
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline void store8(
+    const avx512_group& g, std::uint64_t* out) noexcept {
+  const __m512i t0 = _mm512_unpacklo_epi64(g.x0, g.x1);  // b0w0 b0w1 | b2.. | b4.. | b6..
+  const __m512i t1 = _mm512_unpackhi_epi64(g.x0, g.x1);  // b1w0 b1w1 | b3.. | b5.. | b7..
+  const __m512i t2 = _mm512_unpacklo_epi64(g.x2, g.x3);  // b0w2 b0w3 | b2.. | b4.. | b6..
+  const __m512i t3 = _mm512_unpackhi_epi64(g.x2, g.x3);  // b1w2 b1w3 | b3.. | b5.. | b7..
+  const __m512i lo_idx = _mm512_set_epi64(11, 10, 3, 2, 9, 8, 1, 0);   // blocks {0,2} / {1,3}
+  const __m512i hi_idx = _mm512_set_epi64(15, 14, 7, 6, 13, 12, 5, 4); // blocks {4,6} / {5,7}
+  const __m512i m02 = _mm512_permutex2var_epi64(t0, lo_idx, t2);
+  const __m512i m13 = _mm512_permutex2var_epi64(t1, lo_idx, t3);
+  const __m512i m46 = _mm512_permutex2var_epi64(t0, hi_idx, t2);
+  const __m512i m57 = _mm512_permutex2var_epi64(t1, hi_idx, t3);
+  _mm512_storeu_si512(out + 0, _mm512_shuffle_i64x2(m02, m13, 0x44));   // blocks 0,1
+  _mm512_storeu_si512(out + 8, _mm512_shuffle_i64x2(m02, m13, 0xEE));   // blocks 2,3
+  _mm512_storeu_si512(out + 16, _mm512_shuffle_i64x2(m46, m57, 0x44));  // blocks 4,5
+  _mm512_storeu_si512(out + 24, _mm512_shuffle_i64x2(m46, m57, 0xEE));  // blocks 6,7
+}
+
+__attribute__((target("avx512f,avx512dq"))) void batch_avx512(block counter, const key_t2& key,
+                                                              std::uint64_t nblocks,
+                                                              std::uint64_t* out) noexcept {
+  const __m512i mask32 = _mm512_set1_epi64(0xFFFFFFFFll);
+  const __m512i m0 = _mm512_set1_epi64(static_cast<long long>(philox_constants::mul0));
+  const __m512i m0h = _mm512_set1_epi64(static_cast<long long>(philox_constants::mul0 >> 32));
+  const __m512i m1 = _mm512_set1_epi64(static_cast<long long>(philox_constants::mul1));
+  const __m512i m1h = _mm512_set1_epi64(static_cast<long long>(philox_constants::mul1 >> 32));
+  const __m512i w0 = _mm512_set1_epi64(static_cast<long long>(philox_constants::weyl0));
+  const __m512i w1 = _mm512_set1_epi64(static_cast<long long>(philox_constants::weyl1));
+
+  // Two groups (16 blocks) in flight, same interleave rationale as the
+  // AVX2 kernel; 32 zmm registers hold both groups without spills.
+  while (nblocks >= 16) {
+    avx512_group a = load8(counter);
+    avx512_group b = load8(counter);
+    __m512i k0 = _mm512_set1_epi64(static_cast<long long>(key[0]));
+    __m512i k1 = _mm512_set1_epi64(static_cast<long long>(key[1]));
+    for (int r = 0; r < 10; ++r) {
+      round8(a, k0, k1, m0, m0h, m1, m1h, mask32);
+      round8(b, k0, k1, m0, m0h, m1, m1h, mask32);
+      k0 = _mm512_add_epi64(k0, w0);
+      k1 = _mm512_add_epi64(k1, w1);
+    }
+    store8(a, out);
+    store8(b, out + 32);
+    out += 64;
+    nblocks -= 16;
+  }
+  while (nblocks >= 8) {
+    avx512_group a = load8(counter);
+    __m512i k0 = _mm512_set1_epi64(static_cast<long long>(key[0]));
+    __m512i k1 = _mm512_set1_epi64(static_cast<long long>(key[1]));
+    for (int r = 0; r < 10; ++r) {
+      round8(a, k0, k1, m0, m0h, m1, m1h, mask32);
+      k0 = _mm512_add_epi64(k0, w0);
+      k1 = _mm512_add_epi64(k1, w1);
+    }
+    store8(a, out);
+    out += 32;
+    nblocks -= 8;
+  }
+  if (nblocks > 0) batch_avx2(counter, key, nblocks, out);
+}
+
+// ---- AVX-512 + IFMA variant of the same kernel ---------------------------
+//
+// vpmadd52{lo,hi}uq multiply the low 52 bits of each 64-bit lane and
+// accumulate the low/high 52 bits of the 104-bit product.  Splitting
+// a = a1*2^52 + a0 and b = b1*2^52 + b0 (a1, b1 < 2^12 because the inputs
+// are 64-bit) gives the exact 128-bit product from three 52-bit columns:
+//
+//   s0 = lo52(a0*b0)
+//   s1 = hi52(a0*b0) + lo52(a0*b1) + lo52(a1*b0)      (column weight 2^52)
+//   s2 = hi52(a0*b1) + hi52(a1*b0) +     a1*b1        (column weight 2^104;
+//                                                      a1*b1 < 2^24 is exact)
+//   lo64 = s0 | (s1 << 52)       -- disjoint bits, no carry possible
+//   hi64 = (s1 >> 12) + (s2 << 40)
+//
+// That is 13 port-0/5 uops per mulhilo against 18 for the 32-bit
+// partial-product version, and the multiplier limbs ignore bits 63:52 of
+// their operands, so `a` needs only one shift (no masking).  On the
+// port-bound round loop this is a straight ~20% uop cut.  The output is
+// the same bijection bit for bit -- the differential tests cover whichever
+// variant dispatches on the host.
+__attribute__((target("avx512f,avx512dq,avx512ifma"), always_inline)) inline void mulhilo8_ifma(
+    __m512i b0, __m512i b1, __m512i a, __m512i zero, __m512i* hi, __m512i* lo) noexcept {
+  const __m512i a1 = _mm512_srli_epi64(a, 52);
+  const __m512i s0 = _mm512_madd52lo_epu64(zero, a, b0);
+  const __m512i s1 = _mm512_madd52lo_epu64(
+      _mm512_madd52lo_epu64(_mm512_madd52hi_epu64(zero, a, b0), a, b1), a1, b0);
+  const __m512i s2 = _mm512_madd52hi_epu64(
+      _mm512_madd52hi_epu64(_mm512_madd52lo_epu64(zero, a1, b1), a, b1), a1, b0);
+  *lo = _mm512_or_si512(s0, _mm512_slli_epi64(s1, 52));
+  *hi = _mm512_add_epi64(_mm512_srli_epi64(s1, 12), _mm512_slli_epi64(s2, 40));
+}
+
+__attribute__((target("avx512f,avx512dq,avx512ifma"), always_inline)) inline void round8_ifma(
+    avx512_group& g, __m512i k0, __m512i k1, __m512i m0b0, __m512i m0b1, __m512i m1b0,
+    __m512i m1b1, __m512i zero) noexcept {
+  __m512i p0hi, p0lo, p1hi, p1lo;
+  mulhilo8_ifma(m0b0, m0b1, g.x0, zero, &p0hi, &p0lo);
+  mulhilo8_ifma(m1b0, m1b1, g.x2, zero, &p1hi, &p1lo);
+  const __m512i nx0 = _mm512_ternarylogic_epi64(p1hi, g.x1, k0, 0x96);
+  const __m512i nx2 = _mm512_ternarylogic_epi64(p0hi, g.x3, k1, 0x96);
+  g.x0 = nx0;
+  g.x1 = p1lo;
+  g.x2 = nx2;
+  g.x3 = p0lo;
+}
+
+__attribute__((target("avx512f,avx512dq,avx512ifma"))) void batch_avx512_ifma(
+    block counter, const key_t2& key, std::uint64_t nblocks, std::uint64_t* out) noexcept {
+  constexpr std::uint64_t kMask52 = (std::uint64_t{1} << 52) - 1;
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i m0b0 = _mm512_set1_epi64(static_cast<long long>(philox_constants::mul0 & kMask52));
+  const __m512i m0b1 = _mm512_set1_epi64(static_cast<long long>(philox_constants::mul0 >> 52));
+  const __m512i m1b0 = _mm512_set1_epi64(static_cast<long long>(philox_constants::mul1 & kMask52));
+  const __m512i m1b1 = _mm512_set1_epi64(static_cast<long long>(philox_constants::mul1 >> 52));
+  const __m512i w0 = _mm512_set1_epi64(static_cast<long long>(philox_constants::weyl0));
+  const __m512i w1 = _mm512_set1_epi64(static_cast<long long>(philox_constants::weyl1));
+
+  while (nblocks >= 16) {
+    avx512_group a = load8(counter);
+    avx512_group b = load8(counter);
+    __m512i k0 = _mm512_set1_epi64(static_cast<long long>(key[0]));
+    __m512i k1 = _mm512_set1_epi64(static_cast<long long>(key[1]));
+    for (int r = 0; r < 10; ++r) {
+      round8_ifma(a, k0, k1, m0b0, m0b1, m1b0, m1b1, zero);
+      round8_ifma(b, k0, k1, m0b0, m0b1, m1b0, m1b1, zero);
+      k0 = _mm512_add_epi64(k0, w0);
+      k1 = _mm512_add_epi64(k1, w1);
+    }
+    store8(a, out);
+    store8(b, out + 32);
+    out += 64;
+    nblocks -= 16;
+  }
+  while (nblocks >= 8) {
+    avx512_group a = load8(counter);
+    __m512i k0 = _mm512_set1_epi64(static_cast<long long>(key[0]));
+    __m512i k1 = _mm512_set1_epi64(static_cast<long long>(key[1]));
+    for (int r = 0; r < 10; ++r) {
+      round8_ifma(a, k0, k1, m0b0, m0b1, m1b0, m1b1, zero);
+      k0 = _mm512_add_epi64(k0, w0);
+      k1 = _mm512_add_epi64(k1, w1);
+    }
+    store8(a, out);
+    out += 32;
+    nblocks -= 8;
+  }
+  if (nblocks > 0) batch_avx2(counter, key, nblocks, out);
+}
+
+/// Whether the avx512 path may take the IFMA round function.  One probe,
+/// cached; both variants compute the identical bijection.
+bool avx512_use_ifma() noexcept {
+  static const bool v = __builtin_cpu_supports("avx512ifma") != 0;
+  return v;
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // CGP_HAVE_AVX2_KERNEL
+
+#if defined(CGP_HAVE_NEON_KERNEL)
+
+struct neon_pair {
+  uint64x2_t x0, x1, x2, x3;
+};
+
+// mulhilo(constant a, per-lane b) on 2 64-bit lanes -- the same 32-bit
+// partial-product decomposition as the AVX2 kernel, via vmull_u32.
+inline void mulhilo2(uint32x2_t a_lo, uint32x2_t a_hi, uint64x2_t b, uint64x2_t mask32,
+                     uint64x2_t* hi, uint64x2_t* lo) noexcept {
+  const uint32x2_t b_lo = vmovn_u64(b);
+  const uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  const uint64x2_t albl = vmull_u32(a_lo, b_lo);
+  const uint64x2_t albh = vmull_u32(a_lo, b_hi);
+  const uint64x2_t ahbl = vmull_u32(a_hi, b_lo);
+  const uint64x2_t ahbh = vmull_u32(a_hi, b_hi);
+  const uint64x2_t mid = vaddq_u64(
+      vaddq_u64(vshrq_n_u64(albl, 32), vandq_u64(albh, mask32)), vandq_u64(ahbl, mask32));
+  *lo = vorrq_u64(vshlq_n_u64(mid, 32), vandq_u64(albl, mask32));
+  *hi = vaddq_u64(vaddq_u64(ahbh, vshrq_n_u64(albh, 32)),
+                  vaddq_u64(vshrq_n_u64(ahbl, 32), vshrq_n_u64(mid, 32)));
+}
+
+inline void round2(neon_pair& g, uint64x2_t k0, uint64x2_t k1, uint32x2_t m0lo, uint32x2_t m0hi,
+                   uint32x2_t m1lo, uint32x2_t m1hi, uint64x2_t mask32) noexcept {
+  uint64x2_t p0hi, p0lo, p1hi, p1lo;
+  mulhilo2(m0lo, m0hi, g.x0, mask32, &p0hi, &p0lo);
+  mulhilo2(m1lo, m1hi, g.x2, mask32, &p1hi, &p1lo);
+  const uint64x2_t nx0 = veorq_u64(veorq_u64(p1hi, g.x1), k0);
+  const uint64x2_t nx2 = veorq_u64(veorq_u64(p0hi, g.x3), k1);
+  g.x0 = nx0;
+  g.x1 = p1lo;
+  g.x2 = nx2;
+  g.x3 = p0lo;
+}
+
+inline neon_pair load2(block& ctr) noexcept {
+  neon_pair g;
+  if (ctr[0] < std::numeric_limits<std::uint64_t>::max() - 2) {
+    // Common case: no 64-bit carry inside the pair -- pure vector setup.
+    const std::uint64_t step[2] = {0, 1};
+    g.x0 = vaddq_u64(vdupq_n_u64(ctr[0]), vld1q_u64(step));
+    g.x1 = vdupq_n_u64(ctr[1]);
+    g.x2 = vdupq_n_u64(ctr[2]);
+    g.x3 = vdupq_n_u64(ctr[3]);
+    ctr[0] += 2;
+    return g;
+  }
+  std::uint64_t lane[2][4];
+  for (int l = 0; l < 2; ++l) {
+    for (int w = 0; w < 4; ++w) lane[l][w] = ctr[w];
+    increment(ctr);
+  }
+  const std::uint64_t t0[2] = {lane[0][0], lane[1][0]};
+  const std::uint64_t t1[2] = {lane[0][1], lane[1][1]};
+  const std::uint64_t t2[2] = {lane[0][2], lane[1][2]};
+  const std::uint64_t t3[2] = {lane[0][3], lane[1][3]};
+  g.x0 = vld1q_u64(t0);
+  g.x1 = vld1q_u64(t1);
+  g.x2 = vld1q_u64(t2);
+  g.x3 = vld1q_u64(t3);
+  return g;
+}
+
+/// Store a pair back in counter order via in-register zips (four vector
+/// stores, no scalar bounce -- see the AVX2 store4 note).
+inline void store2(const neon_pair& g, std::uint64_t* out) noexcept {
+  vst1q_u64(out + 0, vzip1q_u64(g.x0, g.x1));  // b0w0 b0w1
+  vst1q_u64(out + 2, vzip1q_u64(g.x2, g.x3));  // b0w2 b0w3
+  vst1q_u64(out + 4, vzip2q_u64(g.x0, g.x1));  // b1w0 b1w1
+  vst1q_u64(out + 6, vzip2q_u64(g.x2, g.x3));  // b1w2 b1w3
+}
+
+void batch_neon(block counter, const key_t2& key, std::uint64_t nblocks,
+                std::uint64_t* out) noexcept {
+  const uint64x2_t mask32 = vdupq_n_u64(0xFFFFFFFFull);
+  const uint32x2_t m0lo = vdup_n_u32(static_cast<std::uint32_t>(philox_constants::mul0));
+  const uint32x2_t m0hi = vdup_n_u32(static_cast<std::uint32_t>(philox_constants::mul0 >> 32));
+  const uint32x2_t m1lo = vdup_n_u32(static_cast<std::uint32_t>(philox_constants::mul1));
+  const uint32x2_t m1hi = vdup_n_u32(static_cast<std::uint32_t>(philox_constants::mul1 >> 32));
+  const uint64x2_t w0 = vdupq_n_u64(philox_constants::weyl0);
+  const uint64x2_t w1 = vdupq_n_u64(philox_constants::weyl1);
+
+  while (nblocks >= 4) {
+    neon_pair a = load2(counter);
+    neon_pair b = load2(counter);
+    uint64x2_t k0 = vdupq_n_u64(key[0]);
+    uint64x2_t k1 = vdupq_n_u64(key[1]);
+    for (int r = 0; r < 10; ++r) {
+      round2(a, k0, k1, m0lo, m0hi, m1lo, m1hi, mask32);
+      round2(b, k0, k1, m0lo, m0hi, m1lo, m1hi, mask32);
+      k0 = vaddq_u64(k0, w0);
+      k1 = vaddq_u64(k1, w1);
+    }
+    store2(a, out);
+    store2(b, out + 8);
+    out += 16;
+    nblocks -= 4;
+  }
+  while (nblocks >= 2) {
+    neon_pair a = load2(counter);
+    uint64x2_t k0 = vdupq_n_u64(key[0]);
+    uint64x2_t k1 = vdupq_n_u64(key[1]);
+    for (int r = 0; r < 10; ++r) {
+      round2(a, k0, k1, m0lo, m0hi, m1lo, m1hi, mask32);
+      k0 = vaddq_u64(k0, w0);
+      k1 = vaddq_u64(k1, w1);
+    }
+    store2(a, out);
+    out += 8;
+    nblocks -= 2;
+  }
+  if (nblocks > 0) batch_scalar(counter, key, nblocks, out);
+}
+
+#endif  // CGP_HAVE_NEON_KERNEL
+
+/// Mirror the resolved path into the obs gauge (value = the enum), so
+/// metrics snapshots record which kernel the process ran.
+void publish_path(simd_path p) {
+  obs::get_gauge("rng.simd_path").set(static_cast<std::int64_t>(p));
+}
+
+/// -1 = no programmatic override; otherwise the forced simd_path value.
+std::atomic<int> g_override{-1};
+
+simd_path resolve_env_path() {
+  const char* env = std::getenv("CGP_SIMD");
+  simd_path chosen = detected_simd_path();
+  if (env != nullptr) {
+    const std::string_view v(env);
+    if (v == "off" || v == "0" || v == "scalar") {
+      chosen = simd_path::scalar;
+    } else if (v == "avx512") {
+      chosen = simd_path_supported(simd_path::avx512) ? simd_path::avx512 : simd_path::scalar;
+    } else if (v == "avx2") {
+      chosen = simd_path_supported(simd_path::avx2) ? simd_path::avx2 : simd_path::scalar;
+    } else if (v == "neon") {
+      chosen = simd_path_supported(simd_path::neon) ? simd_path::neon : simd_path::scalar;
+    }
+    // anything else ("on", "1", "auto", typos) keeps hardware detection
+  }
+  publish_path(chosen);
+  return chosen;
+}
+
+}  // namespace
+
+simd_path detected_simd_path() noexcept {
+#if defined(CGP_HAVE_AVX2_KERNEL)
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq")) {
+    return simd_path::avx512;
+  }
+  return __builtin_cpu_supports("avx2") ? simd_path::avx2 : simd_path::scalar;
+#elif defined(CGP_HAVE_NEON_KERNEL)
+  return simd_path::neon;
+#else
+  return simd_path::scalar;
+#endif
+}
+
+bool simd_path_supported(simd_path p) noexcept {
+  switch (p) {
+    case simd_path::scalar:
+      return true;
+#if defined(CGP_HAVE_AVX2_KERNEL)
+    case simd_path::avx2:
+      // An AVX-512 host runs the avx2 kernel too (CGP_SIMD=avx2 is how its
+      // owner benchmarks the narrower tier).
+      return __builtin_cpu_supports("avx2");
+    case simd_path::avx512:
+      return detected_simd_path() == simd_path::avx512;
+#endif
+#if defined(CGP_HAVE_NEON_KERNEL)
+    case simd_path::neon:
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+simd_path active_simd_path() noexcept {
+  const int o = g_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<simd_path>(o);
+  static const simd_path env_path = resolve_env_path();
+  return env_path;
+}
+
+void set_simd_override(simd_path p) noexcept {
+  if (!simd_path_supported(p)) p = simd_path::scalar;
+  g_override.store(static_cast<int>(p), std::memory_order_relaxed);
+  publish_path(p);
+}
+
+void clear_simd_override() noexcept {
+  g_override.store(-1, std::memory_order_relaxed);
+  publish_path(active_simd_path());
+}
+
+void philox4x64_batch_on(simd_path path, const philox4x64::block_type& counter,
+                         const std::array<std::uint64_t, 2>& key, std::uint64_t nblocks,
+                         std::uint64_t* out) noexcept {
+  if (nblocks == 0) return;
+  switch (path) {
+#if defined(CGP_HAVE_AVX2_KERNEL)
+    case simd_path::avx512:
+      if (simd_path_supported(simd_path::avx512)) {
+        if (avx512_use_ifma()) {
+          batch_avx512_ifma(counter, key, nblocks, out);
+        } else {
+          batch_avx512(counter, key, nblocks, out);
+        }
+        return;
+      }
+      break;
+    case simd_path::avx2:
+      if (simd_path_supported(simd_path::avx2)) {
+        batch_avx2(counter, key, nblocks, out);
+        return;
+      }
+      break;
+#endif
+#if defined(CGP_HAVE_NEON_KERNEL)
+    case simd_path::neon:
+      batch_neon(counter, key, nblocks, out);
+      return;
+#endif
+    default:
+      break;
+  }
+  batch_scalar(counter, key, nblocks, out);
+}
+
+void philox4x64_batch(const philox4x64::block_type& counter,
+                      const std::array<std::uint64_t, 2>& key, std::uint64_t nblocks,
+                      std::uint64_t* out) noexcept {
+  philox4x64_batch_on(active_simd_path(), counter, key, nblocks, out);
+}
+
+}  // namespace cgp::rng

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -131,8 +132,15 @@ class engine {
       seq::fisher_yates(e, data);
       return;
     }
-    std::vector<T> scratch(data.size());
-    shuffle_subtree(data, std::span<T>(scratch), seed, kShuffleRoot, opt_, &pool_, /*top=*/true);
+    // Default-initialized scratch (not a value-initialized vector): the
+    // allocating thread must NOT touch the pages, so under the first-touch
+    // policy each page faults in on whichever NUMA node's worker first
+    // scatters into it -- and stays local to that worker's bucket range
+    // for the rest of the recursion (T is trivially copyable, so skipping
+    // the zero-fill is well-defined for the write-before-read scatter).
+    std::unique_ptr<T[]> scratch(new T[data.size()]);
+    shuffle_subtree(data, std::span<T>(scratch.get(), data.size()), seed, kShuffleRoot, opt_,
+                    &pool_, /*top=*/true);
   }
 
   /// Uniformly permute a vector (convenience; same contract as `shuffle`).

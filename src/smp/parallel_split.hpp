@@ -38,6 +38,7 @@
 #include "core/comm_matrix.hpp"
 #include "core/sample_matrix.hpp"
 #include "rng/philox.hpp"
+#include "rng/philox_batch.hpp"
 #include "rng/splitmix64.hpp"
 #include "seq/fisher_yates.hpp"
 #include "smp/thread_pool.hpp"
@@ -147,7 +148,13 @@ inline void split_chunk_labels_into(const split_plan& plan, std::uint64_t seed,
     at += count;
   }
   CGP_ASSERT(at == label.size());
-  auto engine = detail::node_engine(seed, node, detail::kChunkSalt, c);
+  // Batched keystream on the chunk's dedicated stream: rng::batched_philox
+  // replays philox4x64(seed, stream) word for word (same derive_key keying,
+  // same word order), only generating kBatchBlocks counter blocks per
+  // refill through the SIMD kernels -- so this Fisher-Yates consumes the
+  // identical draw sequence as the scalar engine did and the shuffled label
+  // array (hence every backend's output) is bit-unchanged.
+  rng::batched_philox engine(seed, detail::node_stream(node, detail::kChunkSalt, c));
   seq::fisher_yates(engine, std::span<std::uint8_t>(label));
 }
 
@@ -197,7 +204,18 @@ template <typename T>
                                                     static_cast<std::size_t>(len));
       for (std::uint32_t j = 0; j < k; ++j) cursor[j] = plan.dest[c * k + j];
       split_chunk_labels_into(plan, seed, node, static_cast<std::uint32_t>(c), label);
-      for (std::size_t i = 0; i < chunk.size(); ++i) {
+      // Scatter with software prefetch: the write targets jump between K
+      // bucket cursors, which defeats the hardware streamers once K x
+      // (active pages) exceeds what they track.  The labels are already
+      // materialized, so the destination of iteration i+dist is known now
+      // -- prefetch its cache line (write intent, low temporal locality).
+      constexpr std::size_t kPrefetchDist = 8;
+      const std::size_t sz = chunk.size();
+      for (std::size_t i = 0; i < sz; ++i) {
+        if (i + kPrefetchDist < sz) {
+          __builtin_prefetch(&scratch[static_cast<std::size_t>(cursor[label[i + kPrefetchDist]])],
+                             1, 1);
+        }
         scratch[static_cast<std::size_t>(cursor[label[i]]++)] = chunk[i];
       }
     }

@@ -11,6 +11,18 @@
 // need bit-reproducible output (the SMP engine does) must derive every
 // random stream from (seed, task index), never from the executing thread, so
 // the result is independent of the pool size and of scheduling.
+//
+// NUMA awareness: on Linux hosts with more than one NUMA node, workers are
+// pinned in contiguous groups to the nodes (worker i serves node
+// i * nodes / size()), and `parallel_for` posts chunk `part` to the local
+// queue of worker `part % size()` -- so across the repeated passes of a
+// recursive split, chunk c is always executed by the same worker, on the
+// same node, and the pages c's first pass faulted in (first-touch policy)
+// stay node-local for every later pass.  Idle workers steal from other
+// queues, so placement is a preference, never a stall; stealing can move a
+// chunk off its home node but cannot change any output (see the
+// determinism contract above).  Single-node hosts and non-Linux builds
+// skip pinning entirely; `CGP_NUMA=off` (or `0`) disables it explicitly.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +50,13 @@ class thread_pool {
   /// True iff the calling thread is one of this pool's workers.
   [[nodiscard]] bool on_worker_thread() const noexcept;
 
+  /// Number of NUMA node groups the workers are pinned across (1 on
+  /// single-node hosts, non-Linux builds, or under CGP_NUMA=off).
+  [[nodiscard]] unsigned numa_node_count() const noexcept;
+
+  /// The node group worker `worker` is pinned to (0 when unpinned).
+  [[nodiscard]] unsigned worker_node(unsigned worker) const noexcept;
+
   /// Enqueue `fn` for execution on a worker; the future carries its result
   /// (or exception).
   template <typename F>
@@ -61,6 +80,7 @@ class thread_pool {
 
  private:
   void post(std::function<void()> task);
+  void post_local(unsigned worker, std::function<void()> task);
   void worker_loop(unsigned index);
 
   struct state;
