@@ -52,6 +52,8 @@
 #include "em/async_shuffle.hpp"  // IWYU pragma: export
 #include "em/block_device.hpp"   // IWYU pragma: export
 #include "em/shuffle.hpp"        // IWYU pragma: export
+#include "prp/cipher.hpp"        // IWYU pragma: export
+#include "prp/shard.hpp"         // IWYU pragma: export
 #include "seq/blocked_shuffle.hpp"  // IWYU pragma: export
 #include "seq/fisher_yates.hpp"  // IWYU pragma: export
 #include "seq/rao_sandelius.hpp"  // IWYU pragma: export

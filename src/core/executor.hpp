@@ -47,6 +47,7 @@
 #include "em/async_shuffle.hpp"
 #include "em/block_device.hpp"
 #include "obs/trace.hpp"
+#include "prp/cipher.hpp"
 #include "rng/philox.hpp"
 #include "rng/uniform.hpp"
 #include "seq/fisher_yates.hpp"
@@ -91,6 +92,9 @@ struct backend_options {
   /// identity streaming onto and off the device, which the old poke/peek
   /// path silently omitted.
   em::async_report* em_report_out = nullptr;
+  /// Cipher knobs of the prp backend (round count; the permutation is a
+  /// function of them).
+  prp::cipher_options prp_engine{};
 
   // --- planner inputs (backend::automatic) ------------------------------
   /// RAM budget in bytes; 0 = unconstrained.  Below n * sizeof(T) the
@@ -99,6 +103,11 @@ struct backend_options {
   /// Expected draws of this shape (amortizes dispatch overhead in the
   /// planner's smp estimate).
   std::uint64_t repetitions = 1;
+  /// Fraction of the output the caller will actually read, in (0, 1];
+  /// 1.0 = dense (the default).  Declaring < 1.0 lets the planner offer
+  /// the O(1)-memory prp backend, which pays only for positions read
+  /// (see workload::accessed_fraction for the law caveat).
+  double accessed_fraction = 1.0;
   /// Machine profile for the planner; nullptr = machine_profile::detect().
   /// Point at a machine_profile::calibrate() result for measured costs.
   const machine_profile* profile = nullptr;
@@ -346,6 +355,57 @@ class cgm_executor final : public executor {
   cgm::distributed_options opt_;
 };
 
+/// The O(1)-memory cipher backend (src/prp/): pi is EVALUATED, never
+/// stored.  `fill_random_permutation` writes eval_range(0, out) of a
+/// prp::cipher keyed by (seed, n) -- the same (seed, n) contract as every
+/// other backend, bit-reproducible across SIMD paths and hosts -- and
+/// `shuffle_raw` gathers through the same cipher in O(chunk) index
+/// memory (one staged payload copy, like the in-RAM gather fallbacks, but
+/// never a materialized index vector).  The full power of the backend is
+/// the library surface on top: cipher::pi / pi_inverse point lookups and
+/// prp::shard_view lazy slices, where nothing of size n ever exists.
+///
+/// Law caveat: the output law is a keyed PRP family -- chi-square-uniform
+/// (tests/test_prp.cpp) but not the exact-uniform law of the
+/// materializing engines -- which is why the planner only offers this
+/// backend to workloads declaring sparse access.
+class prp_executor final : public executor {
+ public:
+  explicit prp_executor(prp::cipher_options opt) : opt_(opt) {}
+
+  [[nodiscard]] backend kind() const noexcept override { return backend::prp; }
+
+  void shuffle_raw(void* data, std::uint64_t n, std::uint32_t elem_bytes,
+                   std::uint64_t seed) override {
+    if (n < 2) return;
+    const obs::span sp("cipher-gather", "exec");
+    const prp::cipher c(seed, n, opt_);
+    // data[i] <- tmp[pi(i)], pi evaluated in O(chunk) batches: shuffling
+    // an iota span therefore reproduces fill_random_permutation exactly.
+    auto* base = static_cast<unsigned char*>(data);
+    const std::vector<unsigned char> tmp(base, base + n * elem_bytes);
+    std::array<std::uint64_t, 4096> idx;
+    for (std::uint64_t at = 0; at < n; at += idx.size()) {
+      const std::uint64_t take = std::min<std::uint64_t>(idx.size(), n - at);
+      c.eval_range(at, std::span<std::uint64_t>(idx.data(), take));
+      for (std::uint64_t j = 0; j < take; ++j) {
+        std::memcpy(base + (at + j) * elem_bytes, tmp.data() + idx[j] * elem_bytes,
+                    elem_bytes);
+      }
+    }
+  }
+
+  void fill_random_permutation(std::span<std::uint64_t> out, std::uint64_t seed) override {
+    if (out.empty()) return;
+    const obs::span sp("cipher-eval", "exec");
+    const prp::cipher c(seed, out.size(), opt_);
+    c.eval_range(0, out);
+  }
+
+ private:
+  prp::cipher_options opt_;
+};
+
 /// The resolved em execution configuration: plan geometry with
 /// per-option fallbacks, plus the compute pool.  The single source of
 /// truth shared by make_executor's em branch and the service layer's
@@ -503,6 +563,7 @@ class em_executor final : public executor {
     w.element_bytes = elem_bytes;
     w.memory_budget_bytes = opt.memory_budget_bytes;
     w.repetitions = opt.repetitions;
+    w.accessed_fraction = opt.accessed_fraction;
     return plan_permutation(w, opt.profile != nullptr ? *opt.profile
                                                       : machine_profile::detect());
   }
@@ -537,6 +598,10 @@ class em_executor final : public executor {
       plan.threads = opt.engine != nullptr ? opt.engine->threads() : hw_threads(opt.parallelism);
       plan.em_memory_items = opt.em_engine.memory_items;
       plan.em_block_items = opt.em_block_items;
+      break;
+    case backend::prp:
+      plan.threads = 1;
+      plan.accessed_fraction = opt.accessed_fraction;
       break;
     default:
       plan.threads = 1;
@@ -573,6 +638,8 @@ class em_executor final : public executor {
       return std::make_unique<em_executor>(cfg.aopt, cfg.block_items, *cfg.pool,
                                            opt.em_report_out);
     }
+    case backend::prp:
+      return std::make_unique<prp_executor>(opt.prp_engine);
     case backend::automatic:
     default:
       CGP_ASSERT(false && "resolve_plan never leaves backend::automatic in a plan");

@@ -11,6 +11,7 @@
 
 #include "core/registry.hpp"
 #include "obs/plan_feedback.hpp"
+#include "prp/cipher.hpp"
 #include "rng/philox.hpp"
 #include "rng/philox_batch.hpp"
 #include "rng/splitmix64.hpp"
@@ -184,6 +185,22 @@ machine_profile machine_profile::calibrate(std::uint64_t small_n, std::uint64_t 
         (best - fixed) * 1e9 * p / (static_cast<double>(levels) * static_cast<double>(large_n));
     prof.split_ns = std::max(0.05, per_level_item);
   }
+
+  // One batched cipher evaluation (the prp candidate's only per-item
+  // term).  Pure ALU work, so a short probe at any domain size measures
+  // the production rate; 1<<16 evals take well under a millisecond.
+  {
+    const std::uint64_t probe_n = std::uint64_t{1} << 30;
+    const prp::cipher c(0xCA71B4, probe_n);
+    std::vector<std::uint64_t> out(std::uint64_t{1} << 16);
+    double best = kInfeasible;
+    for (int r = 0; r < 3; ++r) {
+      stopwatch sw;
+      c.eval_range(static_cast<std::uint64_t>(r) * out.size(), out, nullptr);
+      best = std::min(best, sw.seconds());
+    }
+    prof.prp_eval_ns = std::max(1.0, best * 1e9 / static_cast<double>(out.size()));
+  }
   return prof;
 }
 
@@ -211,6 +228,11 @@ std::uint64_t machine_profile::fingerprint() const noexcept {
   h = mix_in(h, comm_ranks);
   h = mix_in(h, bits(comm_g_ns_per_word));
   h = mix_in(h, bits(comm_l_ns));
+  h = mix_in(h, bits(prp_eval_ns));
+  // The build's cipher depth, not a field: a binary compiled with a
+  // different kDefaultRounds prices the prp candidate differently (and
+  // produces different permutations), so its cached plans must re-key.
+  h = mix_in(h, prp::cipher::kDefaultRounds);
   // Runtime, not a field: re-keys cached plans whenever the profile moves
   // to a host with a different ISA (or CGP_SIMD flips the path).
   h = mix_in(h, static_cast<std::uint64_t>(rng::active_simd_path()));
@@ -224,6 +246,12 @@ permutation_plan plan_permutation(const workload& w, const machine_profile& prof
   const std::uint32_t p = normalized_threads(prof.threads);
   const double reps = static_cast<double>(std::max<std::uint64_t>(w.repetitions, 1));
   const bool ram_feasible = w.memory_budget_bytes == 0 || w.memory_budget_bytes >= bytes;
+  // Declared consumption density, clamped into (0, 1]; non-positive or
+  // unset values mean "all of it".
+  const double frac = (w.accessed_fraction > 0.0 && w.accessed_fraction <= 1.0)
+                          ? w.accessed_fraction
+                          : 1.0;
+  plan.accessed_fraction = frac;
 
   // --- candidate costs (seconds per draw) -----------------------------
   const double t_seq =
@@ -293,11 +321,29 @@ permutation_plan plan_permutation(const workload& w, const machine_profile& prof
     t_cgm = prof.dispatch_overhead_ns * 1e-9 / reps + cgm_dist_s + cgm_local_s + cgm_leaf_s;
   }
 
+  // The prp candidate: evaluate pi pointwise with the cipher instead of
+  // materializing it.  Pays only for the positions actually read -- frac *
+  // n evaluations at the calibrated ALU rate -- while every materializing
+  // candidate above pays for all n (and for a repeated workload pays it
+  // EVERY draw, where prp re-keys for free: a new draw is a new (seed, n),
+  // zero work until positions are read).  Offered only when the workload
+  // declares sparse access (frac < 1): the cipher's law is a keyed PRP
+  // family -- statistically uniform (chi-square-pinned) but not the exact
+  // uniform law of the materializing engines -- so dense default workloads
+  // keep their previous plans bit-for-bit.
+  const bool prp_feasible = frac < 1.0;
+  const double t_prp =
+      prp_feasible
+          ? prof.dispatch_overhead_ns * 1e-9 / reps +
+                frac * static_cast<double>(n) * prof.prp_eval_ns * 1e-9
+          : kInfeasible;
+
   plan.candidates = {
       {backend::sequential, ram_feasible, t_seq},
       {backend::smp, ram_feasible, t_smp},
       {backend::em, true, t_em},
       {backend::cgm, cgm_feasible, t_cgm},
+      {backend::prp, prp_feasible, t_prp},
   };
 
   // --- choose ----------------------------------------------------------
@@ -310,6 +356,7 @@ permutation_plan plan_permutation(const workload& w, const machine_profile& prof
   plan.predicted_seconds = best->seconds;
   plan.split_levels = levels_smp;
   plan.threads = plan.chosen == backend::sequential ? 1
+                 : plan.chosen == backend::prp      ? 1
                  : plan.chosen == backend::cgm      ? ranks
                                                     : p;
 
@@ -317,6 +364,13 @@ permutation_plan plan_permutation(const workload& w, const machine_profile& prof
   switch (plan.chosen) {
     case backend::sequential:
       plan.phases = {{"fisher-yates", t_seq}};
+      break;
+    case backend::prp:
+      plan.phases = {
+          {"dispatch (amortized over repetitions)", prof.dispatch_overhead_ns * 1e-9 / reps},
+          {"cipher evaluations (accessed fraction of n)",
+           frac * static_cast<double>(n) * prof.prp_eval_ns * 1e-9},
+      };
       break;
     case backend::cgm:
       plan.phases = {
@@ -360,19 +414,30 @@ std::string permutation_plan::explain() const {
     os << " M=" << em_memory_items << " B=" << em_block_items << " K=" << em_fan_out
        << " levels=" << em_levels;
   }
+  if (accessed_fraction < 1.0) os << " accessed_fraction=" << accessed_fraction;
   os << " rng.simd_path=" << rng::simd_path_name(rng::active_simd_path());
   os << " predicted=" << fmt_seconds(predicted_seconds) << "\n";
   os << "candidates:\n";
   for (const auto& c : candidates) {
     os << "  " << backend_name(c.which) << ": ";
     if (!c.feasible) {
-      os << "infeasible (exceeds memory budget)";
+      os << (c.which == backend::prp
+                 ? "infeasible (dense access: workload reads all of pi, and the "
+                   "cipher's law is pseudorandom, not the exact-uniform law)"
+                 : "infeasible (exceeds memory budget)");
     } else {
       os << fmt_seconds(c.seconds);
     }
     if (c.which == chosen) os << "  <- chosen";
     os << "\n";
   }
+  // The prp candidate's win conditions, stated whether or not it won: it
+  // pays per position READ while everyone else pays per position STORED.
+  os << "prp wins when: accessed_fraction << 1 (declared sparse lookups / shard"
+        " reads; currently "
+     << (accessed_fraction < 1.0 ? "declared" : "NOT declared -- prp sits out")
+     << "), repetitions >> 1 (each draw is a free re-key, no rebuild), or n"
+        " beyond the memory budget (O(1) state vs em's on-device pi)\n";
   os << "phases:\n";
   for (const auto& ph : phases) {
     os << "  " << ph.label << ": " << fmt_seconds(ph.seconds) << "\n";

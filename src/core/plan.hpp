@@ -58,7 +58,8 @@ enum class backend : std::uint8_t {
   em,             ///< out-of-core engine (async block-device scatter)
   cgm,            ///< distributed engine over a comm::transport
   sequential,     ///< seq::fisher_yates reference
-  automatic,      ///< planner-chosen: cost model picks seq / smp / em / cgm
+  prp,            ///< O(1)-memory cipher PRP (src/prp/): pi evaluated, never stored
+  automatic,      ///< planner-chosen: cost model picks seq / smp / em / cgm / prp
 };
 
 [[nodiscard]] constexpr const char* backend_name(backend b) noexcept {
@@ -68,6 +69,7 @@ enum class backend : std::uint8_t {
     case backend::em: return "em";
     case backend::cgm: return "cgm";
     case backend::sequential: return "seq";
+    case backend::prp: return "prp";
     case backend::automatic: return "auto";
   }
   return "?";
@@ -84,6 +86,16 @@ struct workload {
   /// How many permutations of this shape the caller will draw (repeated
   /// generation amortizes fixed dispatch overhead, favouring smp earlier).
   std::uint64_t repetitions = 1;
+  /// Fraction of pi's positions the caller will actually read, in (0, 1].
+  /// 1.0 (the default) declares dense consumption -- every materializing
+  /// backend competes as before and the prp candidate stays out of the
+  /// race (its permutation law is a keyed cipher family, statistically
+  /// uniform but not the exact-uniform law of the materializing engines,
+  /// so `automatic` only offers it to workloads that DECLARE sparse
+  /// access).  Below 1.0 the prp backend's cost scales with the accessed
+  /// fraction while every other backend still pays for all n, which is
+  /// what makes point lookups and shard reads of huge domains planable.
+  double accessed_fraction = 1.0;
 };
 
 /// Probed / calibrated machine description.  `detect()` fills conservative
@@ -128,6 +140,13 @@ struct machine_profile {
   double comm_g_ns_per_word = 5.0;   ///< g: ns per 8-byte word through the transport
   double comm_l_ns = 2.0e4;          ///< L: per-superstep barrier/latency, ns
 
+  /// One batched prp::cipher evaluation (pi of one index, amortized over
+  /// an eval_range chunk): kDefaultRounds swap-or-not rounds plus the
+  /// expected cycle-walk retry.  Pure ALU work -- no memory traffic, so
+  /// unlike every *_ns above it does not ramp with n.  `calibrate()`
+  /// overwrites it with a measured rate.
+  double prp_eval_ns = 55.0;
+
   [[nodiscard]] static machine_profile detect();
   [[nodiscard]] static machine_profile calibrate(std::uint64_t small_n = 1ull << 15,
                                                  std::uint64_t large_n = 1ull << 22);
@@ -169,6 +188,10 @@ struct permutation_plan {
   std::uint32_t em_block_items = 0;   ///< B, items per device block
   std::uint32_t em_fan_out = 0;       ///< K = pow2-floor(M/B - 2), clamped to [2, 256]
   std::uint32_t em_levels = 0;        ///< predicted distribution depth ceil(log_K(n/M))
+
+  /// Echo of workload::accessed_fraction (the prp candidate's cost and
+  /// explain()'s win-condition line depend on it).
+  double accessed_fraction = 1.0;
 
   double predicted_seconds = 0.0;        ///< per draw, for the chosen backend
   std::vector<phase_estimate> phases;    ///< per-phase breakdown of the choice

@@ -1,6 +1,7 @@
 #include "core/registry.hpp"
 
 #include <array>
+#include <bit>
 #include <list>
 #include <map>
 #include <memory>
@@ -59,7 +60,7 @@ struct transport_node {
 
 // Plan-cache key: the workload fields that enter plan_permutation plus the
 // profile fingerprint (recalibration re-keys every entry).
-using plan_key = std::array<std::uint64_t, 5>;
+using plan_key = std::array<std::uint64_t, 6>;
 
 struct registry {
   std::mutex mutex;
@@ -173,6 +174,7 @@ machine_profile recalibrate_shared_profile() {
 
 permutation_plan cached_plan(const workload& w, const machine_profile& prof) {
   const plan_key key = {w.n, w.element_bytes, w.memory_budget_bytes, w.repetitions,
+                        std::bit_cast<std::uint64_t>(w.accessed_fraction),
                         prof.fingerprint()};
   registry& reg = instance();
   static obs::counter& lookups = obs::get_counter("core.plan_cache.lookups");

@@ -1,0 +1,102 @@
+// prp/shard.hpp
+//
+// Lazy sharded views over a prp::cipher: shard k of S is the image under
+// pi of the contiguous preimage range shard_bounds(n, k, S), so the S
+// views jointly enumerate pi(0..n) EXACTLY once -- the ML-epoch workload
+// from the ROADMAP (millions of clients, each iterating its private slice
+// of one shared permutation) with nothing materialized anywhere: a view
+// is a pointer to the cipher plus two integers.
+//
+// Replay discipline: shards of one permutation share the cipher's
+// (seed, n); clients that must be mutually independent key their ciphers
+// with distinct seeds derived through rng::nested_stream -- the service
+// does exactly that with svc::job_seed(server_seed, client_id, ordinal),
+// so a remote shard stream is bit-replayable against a local
+// prp::cipher(job_seed, n).shard(k, S).
+//
+// Iteration is forward, O(rounds) per element, O(1) memory; `fill` is the
+// batched path (cipher::eval_range) for consumers that want chunk-at-a-
+// time throughput -- ~3x faster per element than the iterator.
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <span>
+
+#include "prp/cipher.hpp"
+#include "util/assert.hpp"
+
+namespace cgp::prp {
+
+/// One shard's lazy window onto the permutation.  Borrows the cipher:
+/// the view (and its iterators) must not outlive it.  Copyable, O(1).
+class shard_view {
+ public:
+  /// Forward iterator producing pi(begin_index()), pi(begin_index()+1), ...
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint64_t;
+    using difference_type = std::int64_t;
+    using pointer = const std::uint64_t*;
+    using reference = std::uint64_t;
+
+    iterator() = default;
+    iterator(const cipher* c, std::uint64_t pos) noexcept : c_(c), pos_(pos) {}
+
+    [[nodiscard]] std::uint64_t operator*() const noexcept { return c_->pi(pos_); }
+    iterator& operator++() noexcept {
+      ++pos_;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator old = *this;
+      ++pos_;
+      return old;
+    }
+    [[nodiscard]] bool operator==(const iterator& o) const noexcept {
+      return pos_ == o.pos_;
+    }
+    [[nodiscard]] bool operator!=(const iterator& o) const noexcept {
+      return pos_ != o.pos_;
+    }
+
+   private:
+    const cipher* c_ = nullptr;
+    std::uint64_t pos_ = 0;
+  };
+
+  shard_view(const cipher& c, std::uint64_t shard, std::uint64_t num_shards) noexcept
+      : c_(&c), range_(shard_bounds(c.domain(), shard, num_shards)) {
+    CGP_EXPECTS(num_shards > 0 && shard < num_shards);
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return range_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return range_.size() == 0; }
+
+  /// The preimage range this shard covers: pi is applied to
+  /// [begin_index(), end_index()), and the S shards' ranges tile [0, n).
+  [[nodiscard]] std::uint64_t begin_index() const noexcept { return range_.lo; }
+  [[nodiscard]] std::uint64_t end_index() const noexcept { return range_.hi; }
+
+  [[nodiscard]] iterator begin() const noexcept { return {c_, range_.lo}; }
+  [[nodiscard]] iterator end() const noexcept { return {c_, range_.hi}; }
+
+  /// Batched read: out[j] = pi(begin_index() + offset + j).  The chunked
+  /// consumption path (same engine as svc::stream's cipher branch).
+  void fill(std::uint64_t offset, std::span<std::uint64_t> out,
+            eval_stats* stats = nullptr) const {
+    CGP_EXPECTS(offset + out.size() <= size());
+    c_->eval_range(range_.lo + offset, out, stats);
+  }
+
+ private:
+  const cipher* c_;
+  shard_range range_;
+};
+
+inline shard_view cipher::shard(std::uint64_t k, std::uint64_t num_shards) const {
+  return {*this, k, num_shards};
+}
+
+}  // namespace cgp::prp

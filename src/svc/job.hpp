@@ -35,6 +35,7 @@
 
 #include "core/plan.hpp"
 #include "em/block_device.hpp"
+#include "prp/cipher.hpp"
 #include "rng/splitmix64.hpp"
 #include "rng/stream.hpp"
 #include "util/assert.hpp"
@@ -102,6 +103,15 @@ struct job_state {
   /// out-of-core backend): chunks are read off the device on demand, so
   /// no full-n vector ever materializes for the stream.
   std::unique_ptr<em::block_device> dev;
+  /// Cipher-backed permutation (prp-planned stream jobs and shard jobs):
+  /// nothing is stored AT ALL -- every pull evaluates
+  /// pi(shard_base + cursor ..) on demand, O(chunk) memory, O(1) state.
+  /// The cipher's domain may exceed st.n: a shard job's stream serves the
+  /// st.n-item window of the full-domain permutation starting at
+  /// shard_base (whole-permutation prp streams have shard_base = 0 and
+  /// domain == n).
+  std::unique_ptr<prp::cipher> cipher;
+  std::uint64_t shard_base = 0;
 
   // Transitions are guarded: queued -> running -> {done, failed}, or
   // queued -> rejected at admission.  A job that reached a terminal

@@ -87,6 +87,7 @@ core::permutation_plan plan_for_job(std::uint64_t n, std::uint32_t elem_bytes,
     w.element_bytes = elem_bytes;
     w.memory_budget_bytes = o.memory_budget_bytes;
     w.repetitions = o.repetitions;
+    w.accessed_fraction = o.accessed_fraction;
     return core::cached_plan(w, *o.profile);
   }
   return core::resolve_plan(n, elem_bytes, o);
@@ -141,6 +142,22 @@ stream server::submit_stream(std::uint64_t client_id, std::uint64_t n) {
   return stream(st, opt_.stream_chunk_items);
 }
 
+stream server::submit_shard(std::uint64_t client_id, std::uint64_t n, std::uint64_t shard,
+                            std::uint64_t num_shards) {
+  CGP_EXPECTS(num_shards > 0 && shard < num_shards);
+  auto st = make_state(client_id, n);
+  // The stream serves the shard's window: st->n is the WINDOW length (what
+  // size()/read() run against), shard_base its offset into the full
+  // domain; the cipher keeps the domain itself.
+  const prp::shard_range r = prp::shard_bounds(n, shard, num_shards);
+  st->shard_base = r.lo;
+  st->n = r.size();
+  // Always a small job: opening a shard is O(rounds) key-schedule work
+  // regardless of n -- the whole point of the backend.
+  enqueue(true, [this, st, n] { run_shard(*st, n); }, st);
+  return stream(st, opt_.stream_chunk_items);
+}
+
 future<void> server::submit_shuffle_raw(std::uint64_t client_id, void* data, std::uint64_t n,
                                         std::uint32_t elem_bytes) {
   auto st = make_state(client_id, n);
@@ -185,7 +202,13 @@ void server::run_fill(detail::job_state& st, bool streamed) {
     }
     {
       const core::feedback_scope fb(st.plan, st.n, sizeof(std::uint64_t));
-      if (streamed && st.plan.chosen == core::backend::em) {
+      if (streamed && st.plan.chosen == core::backend::prp) {
+        // Cipher-backed stream: nothing is materialized -- the stream
+        // evaluates pi on demand through the same (seed, n, options)
+        // cipher the prp executor would fill from, so chunk content is
+        // bit-identical to a whole-delivery prp job.
+        st.cipher = std::make_unique<prp::cipher>(st.seed, st.n, o.prp_engine);
+      } else if (streamed && st.plan.chosen == core::backend::em) {
         // The em executor's native fill mode minus its final bulk readback:
         // identity onto the device, shuffle there, KEEP the device -- the
         // stream pulls chunks off it via accounted range reads, so no
@@ -200,6 +223,33 @@ void server::run_fill(detail::job_state& st, bool streamed) {
         core::make_executor(st.plan, o)->fill_random_permutation(
             std::span<std::uint64_t>(st.pi), st.seed);
       }
+    }
+    done_.fetch_add(1, std::memory_order_relaxed);
+    note_job_done(st, latency_hist_);
+    st.finish(job_status::done);
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    note_job_failed();
+    st.fail(std::current_exception());
+  }
+}
+
+void server::run_shard(detail::job_state& st, std::uint64_t domain_n) {
+  st.set_running();
+  try {
+    const core::backend_options o = job_options(ctx_, st.seed);
+    // A shard job IS the prp backend: record an honest plan (the window's
+    // share of the domain as the accessed fraction) rather than running
+    // the planner -- no other backend can serve a lazy window of a
+    // permutation it never built.
+    st.plan = core::permutation_plan{};
+    st.plan.chosen = core::backend::prp;
+    st.plan.threads = 1;
+    st.plan.accessed_fraction =
+        domain_n == 0 ? 1.0
+                      : static_cast<double>(st.n) / static_cast<double>(domain_n);
+    if (st.n != 0) {
+      st.cipher = std::make_unique<prp::cipher>(st.seed, domain_n, o.prp_engine);
     }
     done_.fetch_add(1, std::memory_order_relaxed);
     note_job_done(st, latency_hist_);

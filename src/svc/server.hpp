@@ -104,6 +104,19 @@ class server {
   /// Sample a uniform permutation of {0..n-1}, delivered as chunks.
   [[nodiscard]] stream submit_stream(std::uint64_t client_id, std::uint64_t n);
 
+  /// Open shard `shard` of `num_shards` of a FRESH cipher-backed
+  /// permutation of {0..n-1}: the returned stream serves the contiguous
+  /// window pi[lo..hi) (prp::shard_bounds geometry -- the S shards of one
+  /// job seed jointly tile its pi exactly once) evaluated on demand
+  /// through the O(1)-state prp::cipher.  No pi on disk, no full-n vector
+  /// anywhere, O(chunk) memory per pull -- n can exceed every materializing
+  /// backend's budget.  Consumes one (client, ordinal) like every submit:
+  /// the job is keyed job_seed(server_seed, client_id, ordinal), so the
+  /// shard replays locally as prp::cipher(job_seed, n).shard(k, S).
+  /// Requires num_shards > 0 and shard < num_shards.
+  [[nodiscard]] stream submit_shard(std::uint64_t client_id, std::uint64_t n,
+                                    std::uint64_t shard, std::uint64_t num_shards);
+
   /// Uniformly permute the client's records in place.  `data` must stay
   /// valid (and untouched by the client) until the future completes.
   template <typename T>
@@ -163,6 +176,7 @@ class server {
                const std::shared_ptr<detail::job_state>& st);
   void run_shuffle(detail::job_state& st, void* data, std::uint32_t elem_bytes);
   void run_fill(detail::job_state& st, bool streamed);
+  void run_shard(detail::job_state& st, std::uint64_t domain_n);
 
   server_options opt_;
   cgp::context ctx_;

@@ -18,7 +18,9 @@
 // device the em engine shuffled (the executor's native fill mode, minus
 // its final bulk readback), and every pull is an accounted
 // `read_items` range read -- no full-n vector ever materializes, the
-// resident footprint stays O(M).
+// resident footprint stays O(M).  Cipher-planned (prp) jobs -- including
+// server::submit_shard windows -- store NOTHING: every pull evaluates
+// pi(shard_base + cursor ..) through the O(1)-state prp::cipher.
 //
 // Determinism: the chunk boundary never enters any seed -- the stream
 // serves exactly the permutation `future<permutation>` would have
@@ -53,7 +55,10 @@ class stream : public job_handle {
     const std::size_t got = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, out.size()));
     if (got == 0) return 0;
-    if (s_->dev != nullptr) {
+    if (s_->cipher != nullptr) {
+      // Cipher-backed (prp) stream: evaluate the window on demand.
+      s_->cipher->eval_range(s_->shard_base + cursor_, out.first(got));
+    } else if (s_->dev != nullptr) {
       s_->dev->read_items(cursor_, out.first(got));
     } else {
       std::copy_n(s_->pi.begin() + static_cast<std::ptrdiff_t>(cursor_), got, out.begin());

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -24,6 +25,7 @@ enum opcode : std::uint32_t {
   kOpStreamPull = 4,
   kOpMetrics = 5,
   kOpStreamClose = 6,
+  kOpShardOpen = 7,
 };
 
 enum status : std::uint32_t {
@@ -195,6 +197,32 @@ void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
                         {reinterpret_cast<const std::byte*>(&ordinal), sizeof(ordinal)});
         break;
       }
+      case kOpShardOpen: {
+        std::uint64_t shard = 0;
+        std::uint64_t num_shards = 0;
+        if (body.size() != 2 * sizeof(std::uint64_t)) {
+          alive = respond(s, kBadRequest, 0, {});
+          break;
+        }
+        std::memcpy(&shard, body.data(), sizeof(shard));
+        std::memcpy(&num_shards, body.data() + sizeof(shard), sizeof(num_shards));
+        if (num_shards == 0 || shard >= num_shards) {
+          alive = respond(s, kBadRequest, 0, {});
+          break;
+        }
+        stream st = srv_.submit_shard(h.a, h.b, shard, num_shards);
+        const job_status js = st.wait();
+        if (js != job_status::done) {
+          alive = respond(s, status_of(js), st.ordinal(), {});
+          break;
+        }
+        const std::uint64_t ordinal = st.ordinal();
+        const std::uint64_t id = next_stream++;
+        streams.emplace(id, std::move(st));
+        alive = respond(s, kOk, id,
+                        {reinterpret_cast<const std::byte*>(&ordinal), sizeof(ordinal)});
+        break;
+      }
       case kOpStreamPull: {
         const auto it = streams.find(h.a);
         if (it == streams.end()) {
@@ -303,6 +331,24 @@ remote_stream wire_client::open_stream(std::uint64_t client_id, std::uint64_t n)
   std::uint64_t ordinal = 0;
   std::memcpy(&ordinal, r.body.data(), sizeof(ordinal));
   return remote_stream(this, r.a, n, ordinal);
+}
+
+remote_stream wire_client::open_shard(std::uint64_t client_id, std::uint64_t n,
+                                      std::uint64_t shard, std::uint64_t num_shards) {
+  if (num_shards == 0 || shard >= num_shards) {
+    throw std::runtime_error("svc wire: invalid shard geometry");
+  }
+  std::array<std::uint64_t, 2> geom = {shard, num_shards};
+  const reply r = call(kOpShardOpen, client_id, n, 0,
+                       {reinterpret_cast<const std::byte*>(geom.data()), sizeof(geom)});
+  if (r.body.size() != sizeof(std::uint64_t)) {
+    throw std::runtime_error("svc wire: malformed shard_open response");
+  }
+  std::uint64_t ordinal = 0;
+  std::memcpy(&ordinal, r.body.data(), sizeof(ordinal));
+  // The stream length is the shard window, not n; both ends derive it from
+  // the same constexpr geometry helper.
+  return remote_stream(this, r.a, prp::shard_bounds(n, shard, num_shards).size(), ordinal);
 }
 
 std::string wire_client::metrics_snapshot() {

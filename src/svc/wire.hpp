@@ -23,6 +23,10 @@
 //            -> a=items returned (0 = exhausted), body = items u64s
 //   opcode 5 metrics_snapshot    -> body = the snapshot JSON document
 //   opcode 6 stream_close        a=stream id
+//   opcode 7 shard_open          a=client_id  b=n  body = u64 shard | u64 num_shards
+//            -> a=stream id, body = u64 ordinal  (pull/close via opcodes 4/6;
+//            the stream serves shard `shard` of a cipher-backed permutation
+//            of [0, n) -- nothing materialized server-side, O(chunk) pulls)
 //
 //   status: 0 ok | 1 rejected (admission) | 2 failed (backend threw)
 //           3 bad request (malformed header/body)
@@ -150,6 +154,16 @@ class wire_client {
 
   /// Open a server-side stream job of n items for chunked pulls.
   [[nodiscard]] remote_stream open_stream(std::uint64_t client_id, std::uint64_t n);
+
+  /// Open shard `shard` of `num_shards` of a fresh cipher-backed
+  /// permutation of [0, n) (server::submit_shard over the wire): pulls
+  /// deliver the window pi[lo..hi) with nothing materialized server-side.
+  /// The returned stream's size() is the shard length (prp::shard_bounds
+  /// geometry, computed client-side -- both ends share the constexpr
+  /// helper); replay locally as prp::cipher(job_seed(seed, client_id,
+  /// ordinal()), n).shard(shard, num_shards).
+  [[nodiscard]] remote_stream open_shard(std::uint64_t client_id, std::uint64_t n,
+                                         std::uint64_t shard, std::uint64_t num_shards);
 
   /// The server's metrics_snapshot() JSON document.
   [[nodiscard]] std::string metrics_snapshot();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/context.hpp"
+#include "prp/cipher.hpp"
 #include "support/perm_check.hpp"
 #include "svc/job.hpp"
 #include "svc/wire.hpp"
@@ -131,6 +132,66 @@ TEST(WireRpc, RemoteStreamAssemblesTheWholePermutation) {
   ASSERT_EQ(assembled.size(), n);
   cgp::context ctx;
   EXPECT_EQ(assembled, ctx.random_permutation(n, svc::job_seed(kSeed, 11, s.ordinal())));
+}
+
+TEST(WireRpc, ShardStreamOverWireEqualsLocalCipherReplay) {
+  // The wire twin of server::submit_shard: open_shard pulls the window
+  // pi[lo..hi) of a cipher-backed permutation with nothing materialized
+  // server-side, and the whole shard replays locally as
+  // prp::cipher(job_seed(seed, client, ordinal), n).shard(k, S).
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+
+  const std::uint64_t n = 1'000'003;  // prime domain: the cycle walk is live
+  const std::uint64_t S = 3;
+  std::vector<std::uint64_t> assembled;
+
+  for (std::uint64_t k = 0; k < S; ++k) {
+    svc::remote_stream s = cl.open_shard(/*client_id=*/13, n, k, S);
+    const prp::shard_range r = prp::shard_bounds(n, k, S);
+    EXPECT_EQ(s.size(), r.size());
+
+    std::vector<std::uint64_t> got;
+    std::vector<std::uint64_t> chunk(8192);
+    while (const std::size_t m = s.read(std::span<std::uint64_t>(chunk))) {
+      got.insert(got.end(), chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(m));
+    }
+    s.close();
+
+    // Each shard job consumed its own ordinal (k-th submission of client
+    // 13) and replays against a LOCAL cipher -- the wire added nothing.
+    EXPECT_EQ(s.ordinal(), k);
+    const prp::cipher local(svc::job_seed(kSeed, 13, s.ordinal()), n);
+    std::vector<std::uint64_t> expected(r.size());
+    local.eval_range(r.lo, std::span<std::uint64_t>(expected));
+    EXPECT_EQ(got, expected) << "shard " << k;
+    assembled.insert(assembled.end(), got.begin(), got.end());
+  }
+
+  // One job's shards would tile pi exactly once; shards of DIFFERENT
+  // ordinals (as here) are windows of different permutations, so the
+  // concatenation need not be one -- but each window is still in-range.
+  ASSERT_EQ(assembled.size(), n);
+  for (const std::uint64_t y : assembled) ASSERT_LT(y, n);
+}
+
+TEST(WireRpc, ShardOpenValidatesGeometry) {
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+
+  // shard >= num_shards is malformed -- client-side validation throws
+  // before any bytes move.
+  EXPECT_THROW((void)cl.open_shard(1, 100, /*shard=*/5, /*num_shards=*/5),
+               std::runtime_error);
+  EXPECT_THROW((void)cl.open_shard(1, 100, /*shard=*/0, /*num_shards=*/0),
+               std::runtime_error);
+
+  // The connection stays usable.
+  svc::remote_stream s = cl.open_shard(1, 100, 0, 2);
+  EXPECT_EQ(s.size(), 50u);
+  std::vector<std::uint64_t> out(50);
+  EXPECT_EQ(s.read(std::span<std::uint64_t>(out)), 50u);
+  s.close();
 }
 
 // --- concurrent connections --------------------------------------------------
