@@ -55,12 +55,16 @@ void count_exchange_obs() {
 // here rather than pay bswap on the fast path.
 //
 //   header:  u32 magic 'CGPF' | u32 source | u32 superstep
-//            u32 flags (1 = FIN: source's last frame this superstep)
+//            u32 flags (1 = FIN: source's last frame this superstep;
+//                       2 = TRACE: a 24-byte trace extension follows
+//                       the header, before the body)
 //            u32 message_count  | u32 body_bytes
+//   ext:     u64 trace_id | u64 span_id | u64 reserved(0)   (iff TRACE)
 //   record:  u32 tag | u32 payload_bytes | payload
 // ---------------------------------------------------------------------
 constexpr std::uint32_t kFrameMagic = 0x46504743u;  // "CGPF" as LE bytes
 constexpr std::uint32_t kFlagFin = 1u;
+constexpr std::uint32_t kFlagTrace = 2u;
 constexpr std::size_t kRecordHeader = 8;
 
 struct frame_header {
@@ -73,6 +77,17 @@ struct frame_header {
 };
 static_assert(sizeof(frame_header) == 24);
 static_assert(std::is_trivially_copyable_v<frame_header>);
+
+/// The optional trace extension: the cutting rank's obs::trace_context.
+/// Same 24-byte layout as the RPC plane's (svc/wire.cpp) -- one format to
+/// document, one for a cross-host build to keep.
+struct frame_trace_ext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t reserved = 0;
+};
+static_assert(sizeof(frame_trace_ext) == 24);
+static_assert(std::is_trivially_copyable_v<frame_trace_ext>);
 
 /// A wedged barrier helps nobody: any wire-level failure mid-superstep
 /// (peer EOF = crashed rank, connection reset) kills the whole process
@@ -180,26 +195,33 @@ class socket_endpoint final : public endpoint {
     agg_buf& a = agg_[dest];
     if (a.count == 0 && flags == 0) return;  // nothing staged, no barrier to signal
     CGP_ASSERT(a.body.size() <= UINT32_MAX);
+    const obs::trace_context tc = obs::current_trace();
+    const bool traced = obs::tracing() && tc.trace_id != 0;
     frame_header h;
     h.source = rank_;
     h.superstep = step_;
-    h.flags = flags;
+    h.flags = flags | (traced ? kFlagTrace : 0);
     h.message_count = a.count;
     h.body_bytes = static_cast<std::uint32_t>(a.body.size());
+    frame_trace_ext ext;
+    ext.trace_id = tc.trace_id;
+    ext.span_id = tc.span_id;
+    const std::size_t ext_len = traced ? sizeof(ext) : 0;
     byte_queue& o = out_[dest];
     const std::size_t off = o.buf.size();
-    o.buf.resize(off + sizeof(h) + a.body.size());
+    o.buf.resize(off + sizeof(h) + ext_len + a.body.size());
     std::memcpy(o.buf.data() + off, &h, sizeof(h));
+    if (traced) std::memcpy(o.buf.data() + off + sizeof(h), &ext, sizeof(ext));
     if (!a.body.empty()) {
-      std::memcpy(o.buf.data() + off + sizeof(h), a.body.data(), a.body.size());
+      std::memcpy(o.buf.data() + off + sizeof(h) + ext_len, a.body.data(), a.body.size());
     }
     sc_.frames.fetch_add(1, std::memory_order_relaxed);
-    sc_.wire_bytes.fetch_add(sizeof(h) + a.body.size(), std::memory_order_relaxed);
+    sc_.wire_bytes.fetch_add(sizeof(h) + ext_len + a.body.size(), std::memory_order_relaxed);
     (by_size ? sc_.flushes_size : sc_.flushes_sync).fetch_add(1, std::memory_order_relaxed);
     static obs::counter& frames = obs::get_counter("comm.socket.frames");
     static obs::counter& wire_bytes = obs::get_counter("comm.socket.wire_bytes");
     frames.add();
-    wire_bytes.add(sizeof(h) + a.body.size());
+    wire_bytes.add(sizeof(h) + ext_len + a.body.size());
     a.body.clear();
     a.count = 0;
   }
@@ -259,7 +281,16 @@ class socket_endpoint final : public endpoint {
       std::memcpy(&h, iq.buf.data() + iq.head, sizeof(h));
       CGP_ASSERT(h.magic == kFrameMagic && "corrupt frame on transport socket");
       CGP_ASSERT(h.source == peer);
-      if (iq.buf.size() - iq.head < sizeof(h) + h.body_bytes) break;  // partial frame
+      const std::size_t ext_len = (h.flags & kFlagTrace) != 0 ? sizeof(frame_trace_ext) : 0;
+      if (iq.buf.size() - iq.head < sizeof(h) + ext_len + h.body_bytes) break;  // partial
+      if (ext_len != 0) {
+        // A context-free parsing thread joins the sender's trace; a thread
+        // already inside a trace (the normal case: run() installed the
+        // submitter's context) keeps its own.
+        frame_trace_ext ext;
+        std::memcpy(&ext, iq.buf.data() + iq.head + sizeof(h), sizeof(ext));
+        obs::adopt_trace(obs::trace_context{ext.trace_id, ext.span_id});
+      }
       // A peer can run at most ONE superstep ahead: its FIN(s+1) needs
       // our FIN(s), which we only send once we are in exchange(s), and
       // its step-(s+2) frames would need our FIN(s+1).
@@ -267,7 +298,7 @@ class socket_endpoint final : public endpoint {
                  "frame from an impossible superstep");
       const bool ahead = h.superstep != step_;
       auto& dst = ahead ? next_[peer] : cur_[peer];
-      const std::byte* body = iq.buf.data() + iq.head + sizeof(h);
+      const std::byte* body = iq.buf.data() + iq.head + sizeof(h) + ext_len;
       std::size_t off = 0;
       for (std::uint32_t i = 0; i < h.message_count; ++i) {
         std::uint32_t tag = 0;
@@ -285,7 +316,7 @@ class socket_endpoint final : public endpoint {
       }
       CGP_ASSERT(off == h.body_bytes && "frame body length mismatch");
       if ((h.flags & kFlagFin) != 0) (ahead ? fin_next_ : fin_cur_)[peer] = 1;
-      iq.head += sizeof(h) + h.body_bytes;
+      iq.head += sizeof(h) + ext_len + h.body_bytes;
     }
     if (iq.head == iq.buf.size()) {
       iq.buf.clear();
@@ -382,10 +413,14 @@ socket_transport::socket_transport(std::uint32_t ranks, socket_options opt)
 socket_transport::~socket_transport() = default;
 
 void socket_transport::run(const std::function<void(endpoint&)>& program) {
+  // Rank threads inherit the caller's trace context, so every rank's
+  // spans stitch under the job that ran the program.
+  const obs::trace_context caller = obs::current_trace();
   std::vector<std::thread> threads;
   threads.reserve(ranks_);
   for (std::uint32_t r = 0; r < ranks_; ++r) {
-    threads.emplace_back([this, r, &program] {
+    threads.emplace_back([this, r, &program, caller] {
+      const obs::trace_scope trace_guard(caller);
       socket_endpoint ep(r, ranks_, conn_[r], opt_, *counters_);
       try {
         program(ep);

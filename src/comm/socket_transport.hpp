@@ -39,6 +39,15 @@
 // mid-superstep, aborts the process loudly (matching threaded_transport's
 // crashed-rank policy) instead of wedging the remaining ranks at the
 // barrier.
+//
+// Tracing: while obs tracing is on, each cut frame carries the cutting
+// rank's obs::trace_context in an optional 24-byte extension (frame flag
+// bit 1) between header and body, and rank threads inherit the caller's
+// context from run() -- so every rank's "exchange" spans, and anything a
+// parsed frame triggers on a context-free thread (obs::adopt_trace),
+// stitch into the one trace that submitted the job.  Old peers never see
+// the extension (the flag is only set while tracing), and it cannot
+// affect delivered messages -- observability only.
 #pragma once
 
 #include <cstdint>

@@ -170,10 +170,14 @@ threaded_transport::~threaded_transport() = default;
 
 void threaded_transport::run(const std::function<void(endpoint&)>& program) {
   threaded_run_state state(ranks_);
+  // Pool threads inherit the caller's trace context for the duration of
+  // their rank program, so per-rank spans stitch under the calling job.
+  const obs::trace_context caller = obs::current_trace();
   std::vector<std::future<void>> done;
   done.reserve(ranks_);
   for (std::uint32_t r = 0; r < ranks_; ++r) {
-    done.push_back(pool_->submit([this, r, &state, &program] {
+    done.push_back(pool_->submit([this, r, &state, &program, caller] {
+      const obs::trace_scope trace_guard(caller);
       threaded_endpoint ep(state, r, ranks_);
       try {
         program(ep);

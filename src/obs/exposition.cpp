@@ -1,0 +1,121 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cgp::obs {
+
+namespace {
+
+void append_line(std::string& out, const std::string& name, const std::string& labels,
+                 std::uint64_t v) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+void append_line(std::string& out, const std::string& name, const std::string& labels,
+                 std::int64_t v) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+std::string quantile_label(const char* q, const std::string& extra) {
+  std::string l = "{";
+  if (!extra.empty()) l += extra + ",";
+  l += std::string("quantile=\"") + q + "\"}";
+  return l;
+}
+
+// One summary block: quantiles + _sum + _count, optionally labeled.
+void append_summary(std::string& out, const std::string& name, const std::string& extra,
+                    std::uint64_t p50, std::uint64_t p90, std::uint64_t p99,
+                    std::uint64_t sum, std::uint64_t count, std::uint64_t p99_exemplar) {
+  append_line(out, name, quantile_label("0.5", extra), p50);
+  append_line(out, name, quantile_label("0.9", extra), p90);
+  append_line(out, name, quantile_label("0.99", extra), p99);
+  const std::string plain = extra.empty() ? "" : "{" + extra + "}";
+  append_line(out, name + "_sum", plain, sum);
+  append_line(out, name + "_count", plain, count);
+  if (p99_exemplar != 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "# exemplar %s trace_id=0x%016llx\n", name.c_str(),
+                  static_cast<unsigned long long>(p99_exemplar));
+    out += buf;
+  }
+}
+
+std::string client_label(std::uint64_t id) {
+  return "client_id=\"" + std::to_string(id) + "\"";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "cgp_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_exposition() {
+  std::string out;
+  out.reserve(1 << 14);
+  for (const metric_snapshot& s : snapshot()) {
+    const std::string name = prometheus_name(s.name);
+    switch (s.which) {
+      case metric_snapshot::kind::counter:
+        out += "# TYPE " + name + "_total counter\n";
+        append_line(out, name + "_total", "", s.count);
+        break;
+      case metric_snapshot::kind::gauge:
+        out += "# TYPE " + name + " gauge\n";
+        append_line(out, name, "", s.level);
+        out += "# TYPE " + name + "_peak gauge\n";
+        append_line(out, name + "_peak", "", s.peak);
+        break;
+      case metric_snapshot::kind::histogram:
+        out += "# TYPE " + name + " summary\n";
+        append_summary(out, name, "", s.p50, s.p90, s.p99, s.sum, s.count, s.p99_exemplar);
+        break;
+      case metric_snapshot::kind::counter_family:
+      case metric_snapshot::kind::histogram_family:
+        break;  // snapshot() never returns these
+    }
+  }
+  for (const family_snapshot& f : family_snapshots()) {
+    const std::string name = prometheus_name(f.name);
+    if (!f.histograms) {
+      out += "# TYPE " + name + "_total counter\n";
+      for (const auto& e : f.entries) {
+        append_line(out, name + "_total", "{" + client_label(e.label) + "}", e.stats.count);
+      }
+      if (f.overflow_count != 0) {
+        append_line(out, name + "_total", "{client_id=\"overflow\"}", f.overflow_count);
+      }
+    } else {
+      out += "# TYPE " + name + " summary\n";
+      for (const auto& e : f.entries) {
+        append_summary(out, name, client_label(e.label), e.stats.p50, e.stats.p90,
+                       e.stats.p99, e.stats.sum, e.stats.count, e.stats.p99_exemplar);
+      }
+      if (f.overflow_count != 0) {
+        append_line(out, name + "_count", "{client_id=\"overflow\"}", f.overflow_count);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cgp::obs

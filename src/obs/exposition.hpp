@@ -1,0 +1,36 @@
+// obs/exposition.hpp
+//
+// Renders the metrics registry in Prometheus text exposition format
+// (version 0.0.4), the lingua franca any scrape-based monitoring stack
+// can ingest.  Served remotely through svc::wire opcode `telemetry`
+// (form 0); also writable to disk by examples/benches for CI validation.
+//
+// Mapping rules:
+//   - names: dotted registry names are sanitized ([^a-zA-Z0-9_] -> '_')
+//     and prefixed `cgp_`, e.g. `svc.jobs.done` -> `cgp_svc_jobs_done`.
+//   - counters  -> `<name>_total` with `# TYPE ... counter`.
+//   - gauges    -> `<name>` plus `<name>_peak` (both TYPE gauge).
+//   - histograms -> Prometheus *summaries*: `<name>{quantile="0.5|0.9|
+//     0.99"}`, `<name>_sum`, `<name>_count` (the registry's log-scale
+//     buckets answer quantiles directly; re-exporting 496 cumulative
+//     buckets would bloat every scrape for no extra fidelity).  A bucket
+//     exemplar near p99, when present, rides along as a comment line
+//     (`# exemplar <name> trace_id=0x...`) -- comments are valid
+//     exposition and keep the trace link greppable.
+//   - labeled families -> the same rules with a `client_id="<label>"`
+//     label per entry plus `client_id="overflow"` for the shared
+//     overflow slot.
+#pragma once
+
+#include <string>
+
+namespace cgp::obs {
+
+/// The whole registry (scalars + families) as Prometheus text exposition.
+[[nodiscard]] std::string prometheus_exposition();
+
+/// `cgp_` + `name` with every character outside [a-zA-Z0-9_] replaced by
+/// '_': a valid Prometheus metric name for any registry name.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+}  // namespace cgp::obs

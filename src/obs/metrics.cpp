@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <utility>
 
 #include "util/json.hpp"
 
@@ -28,13 +30,22 @@ int resolve_enabled_slow() noexcept {
 // One registered metric.  The name and kind are fixed at insertion; the
 // payload lives in-node so the reference survives later registrations
 // (std::list keeps node addresses stable, like core/registry.hpp).
+// Families sit behind unique_ptrs: they are big (64 slots) and rare, so
+// only nodes of a family kind pay for one.
 struct metric_node {
-  metric_node(std::string n, metric_snapshot::kind k) : name(std::move(n)), which(k) {}
+  metric_node(std::string n, metric_snapshot::kind k) : name(std::move(n)), which(k) {
+    if (k == metric_snapshot::kind::counter_family) cf = std::make_unique<counter_family>();
+    if (k == metric_snapshot::kind::histogram_family) {
+      hf = std::make_unique<histogram_family>();
+    }
+  }
   std::string name;
   metric_snapshot::kind which;
   counter c;
   gauge g;
   histogram h;
+  std::unique_ptr<counter_family> cf;
+  std::unique_ptr<histogram_family> hf;
 };
 
 struct metric_registry {
@@ -95,6 +106,99 @@ std::uint64_t histogram::quantile(double q) const noexcept {
   return 0;
 }
 
+std::uint64_t histogram::quantile_exemplar(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto k = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::size_t qb = kBuckets;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= k) {
+      qb = b;
+      break;
+    }
+  }
+  if (qb == kBuckets) {
+    for (std::size_t b = kBuckets; b-- > 0;) {
+      if (counts_[b].load(std::memory_order_relaxed) != 0) {
+        qb = b;
+        break;
+      }
+    }
+    if (qb == kBuckets) return 0;
+  }
+  for (std::size_t b = qb; b < kBuckets; ++b) {
+    const std::uint64_t e = exemplars_[b].load(std::memory_order_relaxed);
+    if (e != 0) return e;
+  }
+  for (std::size_t b = qb; b-- > 0;) {
+    const std::uint64_t e = exemplars_[b].load(std::memory_order_relaxed);
+    if (e != 0) return e;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> counter_family::values() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const family_slot& s : slots_) {
+    const std::uint64_t k = s.key.load(std::memory_order_acquire);
+    if (k != 0) out.emplace_back(k - 1, s.c.value());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+histogram_family::~histogram_family() {
+  for (family_slot& s : slots_) delete s.h.load(std::memory_order_relaxed);
+}
+
+histogram& histogram_family::with(std::uint64_t label) {
+  if (!enabled() || label == std::uint64_t(-1)) return overflow_;
+  std::size_t i = static_cast<std::size_t>(rng::mix64(label)) & (kSlots - 1);
+  const std::uint64_t want = label + 1;
+  for (std::size_t probes = 0; probes < kSlots; ++probes, i = (i + 1) & (kSlots - 1)) {
+    std::uint64_t k = slots_[i].key.load(std::memory_order_acquire);
+    if (k == 0) {
+      std::uint64_t expected = 0;
+      if (slots_[i].key.compare_exchange_strong(expected, want,
+                                                std::memory_order_acq_rel)) {
+        k = want;
+      } else {
+        k = expected;
+      }
+    }
+    if (k == want) {
+      histogram* p = slots_[i].h.load(std::memory_order_acquire);
+      if (p == nullptr) {
+        auto fresh = std::make_unique<histogram>();
+        histogram* expected = nullptr;
+        if (slots_[i].h.compare_exchange_strong(expected, fresh.get(),
+                                                std::memory_order_acq_rel)) {
+          p = fresh.release();
+        } else {
+          p = expected;  // lost the install race; `fresh` is freed
+        }
+      }
+      return *p;
+    }
+  }
+  return overflow_;
+}
+
+std::vector<std::pair<std::uint64_t, const histogram*>> histogram_family::entries() const {
+  std::vector<std::pair<std::uint64_t, const histogram*>> out;
+  for (const family_slot& s : slots_) {
+    const std::uint64_t k = s.key.load(std::memory_order_acquire);
+    const histogram* p = s.h.load(std::memory_order_acquire);
+    if (k != 0 && p != nullptr) out.emplace_back(k - 1, p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 counter& get_counter(std::string_view name) {
   return node_for(name, metric_snapshot::kind::counter).c;
 }
@@ -105,6 +209,14 @@ gauge& get_gauge(std::string_view name) {
 
 histogram& get_histogram(std::string_view name) {
   return node_for(name, metric_snapshot::kind::histogram).h;
+}
+
+counter_family& get_counter_family(std::string_view name) {
+  return *node_for(name, metric_snapshot::kind::counter_family).cf;
+}
+
+histogram_family& get_histogram_family(std::string_view name) {
+  return *node_for(name, metric_snapshot::kind::histogram_family).hf;
 }
 
 std::vector<metric_snapshot> snapshot() {
@@ -132,13 +244,63 @@ std::vector<metric_snapshot> snapshot() {
           s.p50 = n.h.quantile(0.50);
           s.p90 = n.h.quantile(0.90);
           s.p99 = n.h.quantile(0.99);
+          s.p99_exemplar = n.h.quantile_exemplar(0.99);
           break;
+        case metric_snapshot::kind::counter_family:
+        case metric_snapshot::kind::histogram_family:
+          continue;  // different shape; family_snapshots() covers these
       }
       out.push_back(std::move(s));
     }
   }
   std::sort(out.begin(), out.end(),
             [](const metric_snapshot& a, const metric_snapshot& b) { return a.name < b.name; });
+  return out;
+}
+
+std::vector<family_snapshot> family_snapshots() {
+  metric_registry& reg = instance();
+  std::vector<family_snapshot> out;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& n : reg.nodes) {
+      if (n.which == metric_snapshot::kind::counter_family) {
+        family_snapshot f;
+        f.name = n.name;
+        f.histograms = false;
+        for (const auto& [label, v] : n.cf->values()) {
+          family_snapshot::entry e;
+          e.label = label;
+          e.stats.which = metric_snapshot::kind::counter;
+          e.stats.count = v;
+          f.entries.push_back(std::move(e));
+        }
+        f.overflow_count = n.cf->overflow().value();
+        out.push_back(std::move(f));
+      } else if (n.which == metric_snapshot::kind::histogram_family) {
+        family_snapshot f;
+        f.name = n.name;
+        f.histograms = true;
+        for (const auto& [label, h] : n.hf->entries()) {
+          family_snapshot::entry e;
+          e.label = label;
+          e.stats.which = metric_snapshot::kind::histogram;
+          e.stats.count = h->count();
+          e.stats.sum = h->sum();
+          e.stats.max = h->max();
+          e.stats.p50 = h->quantile(0.50);
+          e.stats.p90 = h->quantile(0.90);
+          e.stats.p99 = h->quantile(0.99);
+          e.stats.p99_exemplar = h->quantile_exemplar(0.99);
+          f.entries.push_back(std::move(e));
+        }
+        f.overflow_count = n.hf->overflow().count();
+        out.push_back(std::move(f));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const family_snapshot& a, const family_snapshot& b) { return a.name < b.name; });
   return out;
 }
 
@@ -165,16 +327,48 @@ std::string snapshot_json() {
         hists += json_escape_quoted(s.name) + ": {\"count\": " + std::to_string(s.count) +
                  ", \"sum\": " + std::to_string(s.sum) + ", \"max\": " + std::to_string(s.max) +
                  ", \"p50\": " + std::to_string(s.p50) + ", \"p90\": " + std::to_string(s.p90) +
-                 ", \"p99\": " + std::to_string(s.p99) + "}";
+                 ", \"p99\": " + std::to_string(s.p99) +
+                 ", \"p99_exemplar_trace_id\": \"" + std::to_string(s.p99_exemplar) + "\"}";
         break;
       }
+      case metric_snapshot::kind::counter_family:
+      case metric_snapshot::kind::histogram_family:
+        break;  // rendered below from family_snapshots()
     }
   }
   counters += "}";
   gauges += "}";
   hists += "}";
+  std::string cfams = "{";
+  std::string hfams = "{";
+  for (const family_snapshot& f : family_snapshots()) {
+    std::string body = "{";
+    for (const auto& e : f.entries) {
+      if (body.size() > 1) body += ", ";
+      if (f.histograms) {
+        body += "\"" + std::to_string(e.label) + "\": {\"count\": " +
+                std::to_string(e.stats.count) + ", \"sum\": " + std::to_string(e.stats.sum) +
+                ", \"max\": " + std::to_string(e.stats.max) +
+                ", \"p50\": " + std::to_string(e.stats.p50) +
+                ", \"p90\": " + std::to_string(e.stats.p90) +
+                ", \"p99\": " + std::to_string(e.stats.p99) +
+                ", \"p99_exemplar_trace_id\": \"" + std::to_string(e.stats.p99_exemplar) +
+                "\"}";
+      } else {
+        body += "\"" + std::to_string(e.label) + "\": " + std::to_string(e.stats.count);
+      }
+    }
+    if (body.size() > 1) body += ", ";
+    body += "\"overflow\": " + std::to_string(f.overflow_count) + "}";
+    std::string& section = f.histograms ? hfams : cfams;
+    if (section.size() > 1) section += ", ";
+    section += json_escape_quoted(f.name) + ": " + body;
+  }
+  cfams += "}";
+  hfams += "}";
   return "{\"counters\": " + counters + ", \"gauges\": " + gauges +
-         ", \"histograms\": " + hists + "}";
+         ", \"histograms\": " + hists + ", \"counter_families\": " + cfams +
+         ", \"histogram_families\": " + hfams + "}";
 }
 
 }  // namespace cgp::obs

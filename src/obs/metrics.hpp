@@ -23,16 +23,21 @@
 // Naming scheme (DESIGN.md section 8): dotted lowercase `layer.noun` /
 // `layer.noun.verb`, e.g. `core.plan_cache.hits`, `em.io.reads`,
 // `comm.bytes_sent`, `svc.jobs.done`.  Histogram values are unit-suffixed
-// (`svc.job_latency_ns`).
+// (`svc.job_latency_ns`).  Labeled families append `.by_client` (e.g.
+// `svc.jobs.done.by_client`); the label is always a numeric id, never a
+// string, which is what keeps cardinality bounded by construction.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "rng/splitmix64.hpp"
 
 namespace cgp::obs {
 
@@ -123,14 +128,19 @@ class histogram {
     return (std::uint64_t{1} << msb) + (sub << (msb - 3));
   }
 
-  void record(std::uint64_t v) noexcept {
+  /// Record `v`; when `trace_id` is nonzero it is retained as the bucket's
+  /// exemplar (last writer wins), linking e.g. a p99 latency outlier
+  /// directly to its distributed trace.
+  void record(std::uint64_t v, std::uint64_t trace_id = 0) noexcept {
     if (!enabled()) return;
-    counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    const std::size_t b = bucket_of(v);
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
     std::uint64_t m = max_.load(std::memory_order_relaxed);
     while (v > m && !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
     }
+    if (trace_id != 0) exemplars_[b].store(trace_id, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept {
@@ -157,11 +167,103 @@ class histogram {
   [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
   [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
 
+  /// The exemplar trace_id stored in bucket `b` (0 when none was recorded).
+  [[nodiscard]] std::uint64_t exemplar(std::size_t b) const noexcept {
+    return b < kBuckets ? exemplars_[b].load(std::memory_order_relaxed) : 0;
+  }
+
+  /// The exemplar nearest the q-quantile: the quantile's own bucket if it
+  /// holds one, else the closest exemplar-bearing bucket above it (tail
+  /// outliers live above the quantile).  0 when no traced value landed
+  /// there.
+  [[nodiscard]] std::uint64_t quantile_exemplar(double q) const noexcept;
+
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplars_{};
+};
+
+/// A bounded family of counters keyed by a numeric label (client_id,
+/// rank, ...): per-tenant metrics without per-tenant registration churn.
+/// Slots are claimed lock-free on first use (open addressing over a fixed
+/// array, one CAS); after the claim, a hit is the same single relaxed RMW
+/// as a plain counter.  When all kSlots labels are taken -- or the
+/// registry is disabled -- hits land on the shared overflow counter, so
+/// with() never fails and cardinality is bounded by construction.
+class counter_family {
+ public:
+  static constexpr std::size_t kSlots = 64;  ///< distinct labels per family
+
+  /// The counter for `label`.  Hot callers cache the reference per tenant
+  /// where possible; an uncached call costs one mix + a short probe.
+  [[nodiscard]] counter& with(std::uint64_t label) noexcept {
+    // Disabled: skip the probe entirely (adds on the result are no-ops
+    // anyway).  UINT64_MAX would collide with the empty-slot encoding.
+    if (!enabled() || label == std::uint64_t(-1)) return overflow_;
+    std::size_t i = static_cast<std::size_t>(rng::mix64(label)) & (kSlots - 1);
+    const std::uint64_t want = label + 1;  // key 0 means "empty"
+    for (std::size_t probes = 0; probes < kSlots; ++probes, i = (i + 1) & (kSlots - 1)) {
+      const std::uint64_t k = slots_[i].key.load(std::memory_order_acquire);
+      if (k == want) return slots_[i].c;
+      if (k == 0) {
+        std::uint64_t expected = 0;
+        if (slots_[i].key.compare_exchange_strong(expected, want,
+                                                  std::memory_order_acq_rel)) {
+          return slots_[i].c;
+        }
+        if (expected == want) return slots_[i].c;
+      }
+    }
+    return overflow_;
+  }
+
+  /// (label, value) pairs for every claimed slot, sorted by label.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> values() const;
+
+  /// Hits that could not get a dedicated slot (or arrived while disabled).
+  [[nodiscard]] const counter& overflow() const noexcept { return overflow_; }
+
+ private:
+  struct family_slot {
+    std::atomic<std::uint64_t> key{0};  ///< label + 1; 0 = empty
+    counter c;
+  };
+  std::array<family_slot, kSlots> slots_{};
+  counter overflow_;
+};
+
+/// counter_family's shape for histograms (per-tenant latency
+/// distributions).  Slot payloads are heap-allocated on first claim (a
+/// histogram is several KB; 64 eager copies per family would be wasteful),
+/// installed with one CAS, and never freed before process exit.
+class histogram_family {
+ public:
+  static constexpr std::size_t kSlots = counter_family::kSlots;
+
+  histogram_family() = default;
+  histogram_family(const histogram_family&) = delete;
+  histogram_family& operator=(const histogram_family&) = delete;
+  ~histogram_family();
+
+  /// The histogram for `label` (the shared overflow histogram when the
+  /// family is full, the label unusable, or the registry disabled).
+  [[nodiscard]] histogram& with(std::uint64_t label);
+
+  /// (label, histogram) pairs for every claimed slot, sorted by label.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, const histogram*>> entries() const;
+
+  [[nodiscard]] const histogram& overflow() const noexcept { return overflow_; }
+
+ private:
+  struct family_slot {
+    std::atomic<std::uint64_t> key{0};  ///< label + 1; 0 = empty
+    std::atomic<histogram*> h{nullptr};
+  };
+  std::array<family_slot, kSlots> slots_{};
+  histogram overflow_;
 };
 
 /// Registry lookups: the metric named `name`, created on first use, alive
@@ -173,22 +275,53 @@ class histogram {
 [[nodiscard]] counter& get_counter(std::string_view name);
 [[nodiscard]] gauge& get_gauge(std::string_view name);
 [[nodiscard]] histogram& get_histogram(std::string_view name);
+[[nodiscard]] counter_family& get_counter_family(std::string_view name);
+[[nodiscard]] histogram_family& get_histogram_family(std::string_view name);
 
 /// One metric's state in a snapshot.
 struct metric_snapshot {
   std::string name;
-  enum class kind : std::uint8_t { counter, gauge, histogram } which = kind::counter;
+  enum class kind : std::uint8_t {
+    counter,
+    gauge,
+    histogram,
+    counter_family,
+    histogram_family
+  } which = kind::counter;
   std::uint64_t count = 0;   ///< counter value / histogram count
   std::int64_t level = 0;    ///< gauge value
   std::int64_t peak = 0;     ///< gauge high-water mark
   std::uint64_t sum = 0, max = 0, p50 = 0, p90 = 0, p99 = 0;  ///< histogram
+  std::uint64_t p99_exemplar = 0;  ///< trace_id nearest the p99 bucket (0 = none)
 };
 
-/// Point-in-time snapshot of every registered metric, sorted by name.
+/// One labeled family's state: per-label scalar stats plus the overflow
+/// slot.  For counter families only `stats.count` is meaningful; for
+/// histogram families the full histogram summary (and exemplar) is filled.
+struct family_snapshot {
+  std::string name;
+  bool histograms = false;
+  struct entry {
+    std::uint64_t label = 0;
+    metric_snapshot stats;  ///< name empty; which mirrors the family kind
+  };
+  std::vector<entry> entries;     ///< sorted by label
+  std::uint64_t overflow_count = 0;  ///< hits routed to the overflow slot
+};
+
+/// Point-in-time snapshot of every registered scalar metric, sorted by
+/// name.  Families are excluded (their per-label fan-out is a different
+/// shape); see family_snapshots().
 [[nodiscard]] std::vector<metric_snapshot> snapshot();
 
+/// Point-in-time snapshot of every registered labeled family, sorted by
+/// name.
+[[nodiscard]] std::vector<family_snapshot> family_snapshots();
+
 /// The snapshot rendered as one JSON object:
-/// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}, ...}}.
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}, ...},
+///  "counter_families": {name: {label: v, ...}, ...},
+///  "histogram_families": {name: {label: {...}, ...}, ...}}.
 [[nodiscard]] std::string snapshot_json();
 
 }  // namespace cgp::obs

@@ -1,0 +1,93 @@
+// obs/timeseries.hpp
+//
+// A background time-series sampler over the metrics registry: every
+// period it snapshots each scalar metric's primary value (counter count,
+// gauge level, histogram count) into a fixed-size ring of samples, so a
+// remote observer can pull recent history -- deltas and rates, not just
+// a one-shot total -- through svc::wire opcode `telemetry` (form 1).
+//
+// Design constraints mirror the rest of obs/:
+//   - *No allocation in steady state.*  Series get a stable index on
+//     first sight and every ring slot holds a values vector sized to the
+//     series set; once the set stops growing (registration is
+//     process-lifetime, so it does), sampling reuses fully-constructed
+//     slots and performs zero allocations.
+//   - *Never perturb output.*  The sampler only reads the registry; the
+//     bit-reproducibility suites run with it on, off, and toggled
+//     mid-run (tests/test_telemetry.cpp).
+//   - Sampling cost is one registry snapshot per period -- O(metrics)
+//     under the registry mutex, amortized to nothing at the default
+//     period (>= tens of ms).
+//
+// Timestamps are obs::detail::trace_now_ns() millis, i.e. the same
+// steady epoch span timestamps use, so samples and traces line up and
+// the wall anchor (obs::wall_epoch_ns) places both on the shared
+// timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+namespace cgp::obs {
+
+struct sampler_options {
+  std::uint32_t period_ms = 250;  ///< sampling period
+  std::size_t slots = 120;        ///< ring depth (120 x 250ms = 30s of history)
+};
+
+/// Background registry sampler with a fixed ring of samples.  start() is
+/// idempotent; the destructor stops the thread.  sample_now() takes one
+/// synchronous sample (tests, and pull-triggered refresh) and is safe
+/// with or without the thread running.
+class sampler {
+ public:
+  explicit sampler(sampler_options opt = {});
+  sampler(const sampler&) = delete;
+  sampler& operator=(const sampler&) = delete;
+  ~sampler();
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept;
+
+  /// Take one sample immediately (synchronously, on the calling thread).
+  void sample_now();
+
+  /// Samples taken since construction (monotone; the ring holds the last
+  /// min(taken, slots) of them).
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept;
+
+  /// The ring as one JSON object:
+  /// {"period_ms": P, "slots": S, "samples_taken": N, "wall_epoch_ns": "..",
+  ///  "series": ["svc.jobs.done", ...],
+  ///  "samples": [{"t_ms": T, "values": [..]}, ...],            // oldest first
+  ///  "deltas":  [{"t_ms": T, "dt_ms": D, "values": [..],
+  ///               "rates_per_s": [..]}, ...]}                  // sample[i]-sample[i-1]
+  [[nodiscard]] std::string ring_json() const;
+
+ private:
+  void loop();
+  void take_sample_locked();  ///< caller holds m_
+
+  struct sample_slot {
+    std::uint64_t t_ms = 0;
+    std::vector<std::int64_t> values;  ///< indexed by series id
+  };
+
+  sampler_options opt_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::vector<std::string> series_;  ///< stable index -> registry name
+  std::vector<sample_slot> ring_;    ///< ring_[ i % slots ]
+  std::uint64_t taken_ = 0;
+};
+
+}  // namespace cgp::obs

@@ -35,6 +35,7 @@
 
 #include "core/plan.hpp"
 #include "em/block_device.hpp"
+#include "obs/trace.hpp"
 #include "prp/cipher.hpp"
 #include "rng/splitmix64.hpp"
 #include "rng/stream.hpp"
@@ -88,6 +89,12 @@ struct job_state {
   /// the `svc.job_latency_ns` histogram (observability only -- nothing
   /// downstream of the clock can touch the job's randomness).
   std::chrono::steady_clock::time_point submitted_at{};
+  /// The submitter's trace context at admission ({0,0} when untraced).
+  /// Scheduler workers and batch pool threads re-install it around
+  /// execution, so the executor's spans stitch under the submitting
+  /// client's trace even across the wire.  Observability only: nothing
+  /// seeds from it.
+  obs::trace_context trace{};
 
   // --- completion ------------------------------------------------------
   mutable std::mutex m;

@@ -159,6 +159,7 @@ void scheduler::worker_loop() {
     space_.notify_all();
 
     if (have_single) {
+      const obs::trace_scope scope(single.trace);
       const obs::span sp("job", "batch");
       single.run();
     } else {

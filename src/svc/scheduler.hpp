@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "smp/thread_pool.hpp"
 
 namespace cgp::svc {
@@ -78,10 +79,14 @@ class scheduler {
  public:
   /// One unit of work.  `run` must be self-contained and must not throw
   /// (the server wraps job execution in its own catch); `small` marks the
-  /// task batchable.
+  /// task batchable.  `trace` is the submitter's trace context: a worker
+  /// executing the task singly installs it so the task's spans stitch
+  /// under the submitter (batched tasks run on pool threads, where the
+  /// server-side closure installs the job's own context instead).
   struct task {
     bool small = false;
     std::function<void()> run;
+    obs::trace_context trace{};
   };
 
   /// Workers start immediately; batches dispatch on `batch_pool`.

@@ -1,42 +1,19 @@
 #include "svc/server.hpp"
 
 #include <chrono>
+#include <map>
 #include <utility>
 
 #include "core/backend.hpp"
 #include "core/executor.hpp"
 #include "core/registry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace cgp::svc {
 
 namespace {
-
-/// End-to-end job latency (admission to `done`), in ns.  Recorded twice:
-/// into the process-wide `svc.job_latency_ns` registry histogram (the
-/// obs layer's cross-server aggregate) and into `mine`, the owning
-/// server's per-instance histogram -- what metrics_snapshot() reads, so
-/// two servers in one process never pollute each other's percentiles.
-obs::histogram& latency_histogram() {
-  static obs::histogram& h = obs::get_histogram("svc.job_latency_ns");
-  return h;
-}
-
-void note_job_done(const detail::job_state& st, obs::histogram& mine) {
-  static obs::counter& done = obs::get_counter("svc.jobs.done");
-  done.add();
-  const auto dt = std::chrono::steady_clock::now() - st.submitted_at;
-  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
-  const auto v = ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
-  latency_histogram().record(v);
-  mine.record(v);
-}
-
-void note_job_failed() {
-  static obs::counter& failed = obs::get_counter("svc.jobs.failed");
-  failed.add();
-}
 
 cgp::context_options context_options_of(const server_options& opt) {
   cgp::context_options co;
@@ -104,6 +81,41 @@ server::~server() { close(); }
 
 void server::close() { sched_.close(); }
 
+/// End-to-end job latency (admission to `done`), in ns.  Recorded into
+/// the process-wide `svc.job_latency_ns` registry histogram (the obs
+/// layer's cross-server aggregate), the registry's *.by_client families,
+/// and this server's per-instance histogram + tenant family -- what
+/// metrics_snapshot() reads, so two servers in one process never pollute
+/// each other's percentiles.  The job's trace_id (when the submission was
+/// traced) rides along as the latency bucket's exemplar.
+void server::note_done(const detail::job_state& st) {
+  static obs::counter& done = obs::get_counter("svc.jobs.done");
+  static obs::counter_family& done_by = obs::get_counter_family("svc.jobs.done.by_client");
+  static obs::histogram& lat = obs::get_histogram("svc.job_latency_ns");
+  static obs::histogram_family& lat_by =
+      obs::get_histogram_family("svc.job_latency_ns.by_client");
+  done.add();
+  done_by.with(st.client).add();
+  const auto dt = std::chrono::steady_clock::now() - st.submitted_at;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+  const auto v = ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  const std::uint64_t trace_id = st.trace.trace_id;
+  lat.record(v, trace_id);
+  lat_by.with(st.client).record(v, trace_id);
+  latency_hist_.record(v, trace_id);
+  tenant_done_.with(st.client).add();
+  tenant_latency_.with(st.client).record(v, trace_id);
+}
+
+void server::note_failed(const detail::job_state& st) {
+  static obs::counter& failed = obs::get_counter("svc.jobs.failed");
+  static obs::counter_family& failed_by =
+      obs::get_counter_family("svc.jobs.failed.by_client");
+  failed.add();
+  failed_by.with(st.client).add();
+  tenant_failed_.with(st.client).add();
+}
+
 std::shared_ptr<detail::job_state> server::make_state(std::uint64_t client_id, std::uint64_t n) {
   auto st = std::make_shared<detail::job_state>();
   st->client = client_id;
@@ -118,16 +130,30 @@ std::shared_ptr<detail::job_state> server::make_state(std::uint64_t client_id, s
   }
   st->seed = job_seed(opt_.seed, client_id, st->ordinal);
   st->submitted_at = std::chrono::steady_clock::now();
+  // Capture the submitter's trace context (a wire handler installs the
+  // remote client's before calling submit_*), so the job's execution
+  // spans stitch under it wherever they end up running.
+  st->trace = obs::current_trace();
   return st;
 }
 
 void server::enqueue(bool small, std::function<void()> run,
                      const std::shared_ptr<detail::job_state>& st) {
-  // A refused submission is counted once, by the scheduler (its stats
-  // are the single source of truth for admission outcomes).
-  if (!sched_.submit({small, std::move(run)})) {
+  static obs::counter_family& submitted_by =
+      obs::get_counter_family("svc.jobs.submitted.by_client");
+  static obs::counter_family& rejected_by =
+      obs::get_counter_family("svc.jobs.rejected.by_client");
+  // A refused submission is counted once globally, by the scheduler (its
+  // stats are the single source of truth for admission outcomes); the
+  // per-tenant attribution happens here, where the client is known.
+  if (!sched_.submit({small, std::move(run), st->trace})) {
+    rejected_by.with(st->client).add();
+    tenant_rejected_.with(st->client).add();
     st->finish(job_status::rejected);
+    return;
   }
+  submitted_by.with(st->client).add();
+  tenant_submitted_.with(st->client).add();
 }
 
 future<permutation> server::submit_permutation(std::uint64_t client_id, std::uint64_t n) {
@@ -169,6 +195,14 @@ future<void> server::submit_shuffle_raw(std::uint64_t client_id, void* data, std
 
 void server::run_shuffle(detail::job_state& st, void* data, std::uint32_t elem_bytes) {
   st.set_running();
+  // Execute under the submitter's trace (a batched job runs on a pool
+  // thread whose thread-local context is empty -- the scope, not the
+  // scheduler, is what carries the context there).  An untraced
+  // submission gets a fresh trace id while tracing is on, so its latency
+  // exemplar still points at a real trace.
+  if (st.trace.trace_id == 0 && obs::tracing()) st.trace.trace_id = obs::new_trace_id();
+  const obs::trace_scope trace_guard(st.trace);
+  const obs::span sp("svc.job", "svc");
   try {
     const core::backend_options o = job_options(ctx_, st.seed);
     st.plan = plan_for_job(st.n, elem_bytes, o);
@@ -180,23 +214,26 @@ void server::run_shuffle(detail::job_state& st, void* data, std::uint32_t elem_b
       core::make_executor(st.plan, o)->shuffle_raw(data, st.n, elem_bytes, st.seed);
     }
     done_.fetch_add(1, std::memory_order_relaxed);
-    note_job_done(st, latency_hist_);
+    note_done(st);
     st.finish(job_status::done);
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
-    note_job_failed();
+    note_failed(st);
     st.fail(std::current_exception());
   }
 }
 
 void server::run_fill(detail::job_state& st, bool streamed) {
   st.set_running();
+  if (st.trace.trace_id == 0 && obs::tracing()) st.trace.trace_id = obs::new_trace_id();
+  const obs::trace_scope trace_guard(st.trace);
+  const obs::span sp("svc.job", "svc");
   try {
     const core::backend_options o = job_options(ctx_, st.seed);
     st.plan = plan_for_job(st.n, sizeof(std::uint64_t), o);
     if (st.n == 0) {
       done_.fetch_add(1, std::memory_order_relaxed);
-      note_job_done(st, latency_hist_);
+      note_done(st);
       st.finish(job_status::done);
       return;
     }
@@ -225,17 +262,20 @@ void server::run_fill(detail::job_state& st, bool streamed) {
       }
     }
     done_.fetch_add(1, std::memory_order_relaxed);
-    note_job_done(st, latency_hist_);
+    note_done(st);
     st.finish(job_status::done);
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
-    note_job_failed();
+    note_failed(st);
     st.fail(std::current_exception());
   }
 }
 
 void server::run_shard(detail::job_state& st, std::uint64_t domain_n) {
   st.set_running();
+  if (st.trace.trace_id == 0 && obs::tracing()) st.trace.trace_id = obs::new_trace_id();
+  const obs::trace_scope trace_guard(st.trace);
+  const obs::span sp("svc.job", "svc");
   try {
     const core::backend_options o = job_options(ctx_, st.seed);
     // A shard job IS the prp backend: record an honest plan (the window's
@@ -252,11 +292,11 @@ void server::run_shard(detail::job_state& st, std::uint64_t domain_n) {
       st.cipher = std::make_unique<prp::cipher>(st.seed, domain_n, o.prp_engine);
     }
     done_.fetch_add(1, std::memory_order_relaxed);
-    note_job_done(st, latency_hist_);
+    note_done(st);
     st.finish(job_status::done);
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
-    note_job_failed();
+    note_failed(st);
     st.fail(std::current_exception());
   }
 }
@@ -282,7 +322,8 @@ std::string server::metrics_snapshot() const {
       .add("p50_ns", lat.p50())
       .add("p90_ns", lat.quantile(0.90))
       .add("p99_ns", lat.p99())
-      .add("max_ns", lat.max());
+      .add("max_ns", lat.max())
+      .add("p99_exemplar_trace_id", std::to_string(lat.quantile_exemplar(0.99)));
 
   json_record bat_rec;
   bat_rec.add("count", bat.count())
@@ -302,6 +343,46 @@ std::string server::metrics_snapshot() const {
       .add("hit_rate",
            lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups));
 
+  // Per-tenant section: union the labels across the per-instance families
+  // (a tenant that only ever got rejected still shows up), then render one
+  // object per client_id.
+  struct tenant_row {
+    std::uint64_t submitted = 0, done = 0, failed = 0, rejected = 0;
+    const obs::histogram* latency = nullptr;
+  };
+  std::map<std::uint64_t, tenant_row> tenants;
+  for (const auto& [label, v] : tenant_submitted_.values()) tenants[label].submitted = v;
+  for (const auto& [label, v] : tenant_done_.values()) tenants[label].done = v;
+  for (const auto& [label, v] : tenant_failed_.values()) tenants[label].failed = v;
+  for (const auto& [label, v] : tenant_rejected_.values()) tenants[label].rejected = v;
+  for (const auto& [label, h] : tenant_latency_.entries()) tenants[label].latency = h;
+  std::string tenants_json = "{";
+  for (const auto& [label, row] : tenants) {
+    json_record t;
+    t.add("submitted", row.submitted)
+        .add("done", row.done)
+        .add("failed", row.failed)
+        .add("rejected", row.rejected);
+    if (row.latency != nullptr) {
+      json_record l;
+      l.add("count", row.latency->count())
+          .add("p50_ns", row.latency->p50())
+          .add("p90_ns", row.latency->quantile(0.90))
+          .add("p99_ns", row.latency->p99())
+          .add("max_ns", row.latency->max())
+          .add("p99_exemplar_trace_id",
+               std::to_string(row.latency->quantile_exemplar(0.99)));
+      t.add_raw_json("latency", l.to_string());
+    }
+    if (tenants_json.size() > 1) tenants_json += ", ";
+    tenants_json += "\"" + std::to_string(label) + "\": " + t.to_string();
+  }
+  tenants_json += "}";
+
+  json_record trace_rec;
+  trace_rec.add("dropped_spans", obs::get_counter("obs.trace.dropped_spans").value())
+      .add("tracing", obs::tracing());
+
   json_record rec;
   rec.add("queue_depth", static_cast<std::uint64_t>(sched_.queue_depth()))
       .add("max_queue_depth", s.sched.max_queue_depth)
@@ -315,6 +396,8 @@ std::string server::metrics_snapshot() const {
       .add_raw_json("plan_cache", cache_rec.to_string())
       .add_raw_json("job_latency", lat_rec.to_string())
       .add_raw_json("batch_size", bat_rec.to_string())
+      .add_raw_json("tenants", tenants_json)
+      .add_raw_json("trace", trace_rec.to_string())
       // The full process-wide registry, for anything the curated fields
       // above don't surface (em I/O, comm bytes, per-backend exec counts).
       .add_raw_json("metrics", obs::snapshot_json());

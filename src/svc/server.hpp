@@ -143,12 +143,19 @@ class server {
   /// process-wide obs registry snapshot.  Always valid JSON; cheap enough
   /// to poll.
   ///
-  /// Scoping: the counters and the "job_latency" / "batch_size" sections
-  /// describe THIS server only (backed by per-instance histograms -- two
-  /// servers in one process do not pollute each other's percentiles);
-  /// "plan_cache" and "metrics" describe the whole process and say so
-  /// with a "scope": "process" marker (the plan cache is shared by
-  /// design: every server benefits from every server's planning).
+  /// Scoping: the counters and the "job_latency" / "batch_size" /
+  /// "tenants" sections describe THIS server only (backed by per-instance
+  /// histograms and labeled families -- two servers in one process do not
+  /// pollute each other's percentiles); "plan_cache" and "metrics"
+  /// describe the whole process and say so with a "scope": "process"
+  /// marker (the plan cache is shared by design: every server benefits
+  /// from every server's planning).
+  ///
+  /// "tenants" maps client_id -> {submitted, done, failed, rejected,
+  /// latency{count, p50_ns, p90_ns, p99_ns, max_ns,
+  /// p99_exemplar_trace_id}}; the exemplar links a tenant's p99 outlier
+  /// straight to its distributed trace.  "trace" reports the ring's
+  /// dropped-span count so a reader knows how complete a dump would be.
   [[nodiscard]] std::string metrics_snapshot() const;
 
   /// End-to-end latency (admission to done) of THIS server's jobs.  Its
@@ -161,6 +168,12 @@ class server {
   /// Scheduling tick sizes of THIS server's scheduler (singles record 1).
   [[nodiscard]] const obs::histogram& batch_size_histogram() const noexcept {
     return sched_.batch_size_histogram();
+  }
+
+  /// Per-tenant end-to-end latency distributions of THIS server's jobs
+  /// (one histogram per client_id, bounded by the family's slot count).
+  [[nodiscard]] const obs::histogram_family& tenant_latency_histograms() const noexcept {
+    return tenant_latency_;
   }
 
   /// The context the server executes through (profile + option
@@ -177,6 +190,8 @@ class server {
   void run_shuffle(detail::job_state& st, void* data, std::uint32_t elem_bytes);
   void run_fill(detail::job_state& st, bool streamed);
   void run_shard(detail::job_state& st, std::uint64_t domain_n);
+  void note_done(const detail::job_state& st);
+  void note_failed(const detail::job_state& st);
 
   server_options opt_;
   cgp::context ctx_;
@@ -188,6 +203,15 @@ class server {
   std::atomic<std::uint64_t> done_{0};
   std::atomic<std::uint64_t> failed_{0};
   obs::histogram latency_hist_;  ///< per-instance job latency (ns)
+
+  // Per-instance per-tenant accounting (the registry's *.by_client
+  // families aggregate across servers; these back the "tenants" section
+  // of metrics_snapshot()).
+  obs::counter_family tenant_submitted_;
+  obs::counter_family tenant_done_;
+  obs::counter_family tenant_failed_;
+  obs::counter_family tenant_rejected_;
+  obs::histogram_family tenant_latency_;
 };
 
 }  // namespace cgp::svc

@@ -8,7 +8,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace cgp::svc {
@@ -26,7 +28,11 @@ enum opcode : std::uint32_t {
   kOpMetrics = 5,
   kOpStreamClose = 6,
   kOpShardOpen = 7,
+  kOpTelemetry = 8,
 };
+
+/// Request flags (the header field old clients always send as 0).
+constexpr std::uint32_t kReqFlagTrace = 0x1u;  ///< trace extension follows header
 
 enum status : std::uint32_t {
   kOk = 0,
@@ -50,11 +56,36 @@ struct rpc_request_header {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint32_t c = 0;
-  std::uint32_t reserved = 0;
+  std::uint32_t flags = 0;  ///< kReqFlag* bits (was reserved; old peers send 0)
   std::uint64_t body_bytes = 0;
 };
 static_assert(sizeof(rpc_request_header) == 40);
 static_assert(std::is_trivially_copyable_v<rpc_request_header>);
+
+/// The optional trace extension (present iff kReqFlagTrace): the caller's
+/// obs::trace_context plus a reserved word for future context fields.
+struct rpc_trace_ext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t reserved = 0;
+};
+static_assert(sizeof(rpc_trace_ext) == 24);
+static_assert(std::is_trivially_copyable_v<rpc_trace_ext>);
+
+/// Static-storage span name per opcode (ring slots store the pointer).
+[[nodiscard]] const char* op_span_name(std::uint32_t op) noexcept {
+  switch (op) {
+    case kOpPermutation: return "wire.permutation";
+    case kOpShuffleRaw: return "wire.shuffle_raw";
+    case kOpStreamOpen: return "wire.stream_open";
+    case kOpStreamPull: return "wire.stream_pull";
+    case kOpMetrics: return "wire.metrics";
+    case kOpStreamClose: return "wire.stream_close";
+    case kOpShardOpen: return "wire.shard_open";
+    case kOpTelemetry: return "wire.telemetry";
+    default: return "wire.unknown";
+  }
+}
 
 struct rpc_response_header {
   std::uint32_t magic = kRespMagic;
@@ -98,10 +129,22 @@ static_assert(std::is_trivially_copyable_v<rpc_response_header>);
 wire_server::wire_server(wire_server_options opt)
     : srv_(opt.svc), listener_(net::listen_tcp(opt.address, opt.port)) {
   port_ = listener_.port;
+  if (opt.telemetry_period_ms > 0) {
+    obs::sampler_options so;
+    so.period_ms = opt.telemetry_period_ms;
+    so.slots = opt.telemetry_slots;
+    sampler_ = std::make_unique<obs::sampler>(so);
+    sampler_->start();
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
 wire_server::~wire_server() { stop(); }
+
+std::size_t wire_server::connections() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return live_.size();
+}
 
 void wire_server::accept_loop() {
   for (;;) {
@@ -138,11 +181,13 @@ void wire_server::stop() {
   for (auto& t : to_join) {
     if (t.joinable()) t.join();
   }
+  if (sampler_ != nullptr) sampler_->stop();
   srv_.close();
 }
 
 void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
   static obs::counter& requests = obs::get_counter("svc.wire.requests");
+  static obs::counter_family& bytes_by = obs::get_counter_family("svc.wire.bytes.by_client");
   // Streams are per-connection state: a client that disconnects (or never
   // closes) leaks nothing past its handler thread.
   std::unordered_map<std::uint64_t, stream> streams;
@@ -154,9 +199,24 @@ void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
     rpc_request_header h;
     if (!net::read_exact(s, &h, sizeof(h))) break;  // client hung up: normal
     if (h.magic != kReqMagic || h.body_bytes > kMaxBody) break;  // protocol breach: drop
+    rpc_trace_ext ext{};
+    if ((h.flags & kReqFlagTrace) != 0 && !net::read_exact(s, &ext, sizeof(ext))) break;
     std::vector<std::byte> body(static_cast<std::size_t>(h.body_bytes));
     if (!body.empty() && !net::read_exact(s, body.data(), body.size())) break;
     requests.add();
+
+    // Handle under the caller's trace: the scope installs the deserialized
+    // context (a no-op {0,0} for untraced peers), the span parents under
+    // the client's wire.call span, and everything the request triggers --
+    // scheduler, executor, transport ranks -- stitches below it.
+    const obs::trace_scope trace_guard(obs::trace_context{ext.trace_id, ext.span_id});
+    const obs::span sp(op_span_name(h.opcode), "wire");
+    // Per-tenant wire traffic, where the request names a client (streams
+    // resolve their owner through the server-side stream handle).
+    const auto note_bytes = [&](std::uint64_t client, std::uint64_t resp_body) {
+      bytes_by.with(client).add(sizeof(rpc_request_header) + h.body_bytes +
+                                sizeof(rpc_response_header) + resp_body);
+    };
 
     bool alive = true;
     switch (h.opcode) {
@@ -165,8 +225,10 @@ void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
         const job_status js = fut.wait();
         if (js == job_status::done) {
           const permutation pi = fut.get();
+          note_bytes(h.a, pi.size() * sizeof(std::uint64_t));
           alive = respond(s, kOk, fut.ordinal(), as_bytes_of(pi));
         } else {
+          note_bytes(h.a, 0);
           alive = respond(s, status_of(js), fut.ordinal(), {});
         }
         break;
@@ -178,6 +240,7 @@ void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
         }
         future<void> fut = srv_.submit_shuffle_raw(h.a, body.data(), h.b, h.c);
         const job_status js = fut.wait();
+        note_bytes(h.a, js == job_status::done ? body.size() : 0);
         alive = respond(s, status_of(js), fut.ordinal(),
                         js == job_status::done ? std::span<const std::byte>(body)
                                                : std::span<const std::byte>{});
@@ -186,6 +249,7 @@ void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
       case kOpStreamOpen: {
         stream st = srv_.submit_stream(h.a, h.b);
         const job_status js = st.wait();
+        note_bytes(h.a, js == job_status::done ? sizeof(std::uint64_t) : 0);
         if (js != job_status::done) {
           alive = respond(s, status_of(js), st.ordinal(), {});
           break;
@@ -212,6 +276,7 @@ void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
         }
         stream st = srv_.submit_shard(h.a, h.b, shard, num_shards);
         const job_status js = st.wait();
+        note_bytes(h.a, js == job_status::done ? sizeof(std::uint64_t) : 0);
         if (js != job_status::done) {
           alive = respond(s, status_of(js), st.ordinal(), {});
           break;
@@ -231,6 +296,7 @@ void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
         }
         pull_buf.resize(static_cast<std::size_t>(std::min(h.b, kMaxPullItems)));
         const std::size_t got = it->second.read(std::span<std::uint64_t>(pull_buf));
+        note_bytes(it->second.client(), got * sizeof(std::uint64_t));
         alive = respond(s, kOk, got,
                         {reinterpret_cast<const std::byte*>(pull_buf.data()),
                          got * sizeof(std::uint64_t)});
@@ -243,8 +309,31 @@ void wire_server::serve(std::uint64_t conn_id, net::socket_fd fd) {
         break;
       }
       case kOpStreamClose: {
-        streams.erase(h.a);
+        const auto it = streams.find(h.a);
+        if (it != streams.end()) {
+          note_bytes(it->second.client(), 0);
+          streams.erase(it);
+        }
         alive = respond(s, kOk, 0, {});
+        break;
+      }
+      case kOpTelemetry: {
+        std::string doc;
+        if (h.a == 0) {
+          doc = obs::prometheus_exposition();
+        } else if (h.a == 1) {
+          if (sampler_ != nullptr) {
+            sampler_->sample_now();  // the ring always ends "now"
+            doc = sampler_->ring_json();
+          } else {
+            doc = "{\"series\": [], \"samples\": []}";
+          }
+        } else {
+          alive = respond(s, kBadRequest, 0, {});
+          break;
+        }
+        alive = respond(s, kOk, 0,
+                        {reinterpret_cast<const std::byte*>(doc.data()), doc.size()});
         break;
       }
       default:
@@ -268,13 +357,25 @@ wire_client::wire_client(const std::string& host, std::uint16_t port)
 
 wire_client::reply wire_client::call(std::uint32_t opcode, std::uint64_t a, std::uint64_t b,
                                      std::uint32_t c, std::span<const std::byte> body) {
+  // The round trip is a span, and its context rides the request: the
+  // server installs {trace_id, span_id} before handling, so its
+  // wire.<op> span -- and everything under it -- parents here.
+  const obs::span sp("wire.call", "wire");
   rpc_request_header h;
   h.opcode = opcode;
   h.a = a;
   h.b = b;
   h.c = c;
   h.body_bytes = body.size();
+  rpc_trace_ext ext;
+  const obs::trace_context tc = obs::current_trace();
+  if (tc.trace_id != 0) {
+    h.flags |= kReqFlagTrace;
+    ext.trace_id = tc.trace_id;
+    ext.span_id = tc.span_id;
+  }
   if (!net::write_all(fd_.get(), &h, sizeof(h)) ||
+      ((h.flags & kReqFlagTrace) != 0 && !net::write_all(fd_.get(), &ext, sizeof(ext))) ||
       (!body.empty() && !net::write_all(fd_.get(), body.data(), body.size()))) {
     throw std::runtime_error("svc wire: connection lost while sending request");
   }
@@ -353,6 +454,11 @@ remote_stream wire_client::open_shard(std::uint64_t client_id, std::uint64_t n,
 
 std::string wire_client::metrics_snapshot() {
   const reply r = call(kOpMetrics, 0, 0, 0, {});
+  return std::string(reinterpret_cast<const char*>(r.body.data()), r.body.size());
+}
+
+std::string wire_client::telemetry(telemetry_form form) {
+  const reply r = call(kOpTelemetry, static_cast<std::uint64_t>(form), 0, 0, {});
   return std::string(reinterpret_cast<const char*>(r.body.data()), r.body.size());
 }
 

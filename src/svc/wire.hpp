@@ -10,8 +10,17 @@
 // order -- same rationale as the transport framing, comm/socket_transport.cpp):
 //
 //   request:   u32 magic 'CGPR' | u32 opcode | u64 a | u64 b
-//              u32 c | u32 reserved | u64 body_bytes | body
+//              u32 c | u32 flags | u64 body_bytes | [trace ext] | body
 //   response:  u32 magic 'CGPA' | u32 status | u64 a | u64 body_bytes | body
+//
+//   flags bit 0 (0x1): a 24-byte TRACE EXTENSION sits between the header
+//   and the body: u64 trace_id | u64 span_id | u64 reserved(0).  It
+//   carries the client's obs::trace_context, so the server's handling
+//   spans (and the job's executor spans) stitch under the caller's trace
+//   across the process boundary.  The flag is only set while the client
+//   is tracing; a server that predates it never sees it (old clients send
+//   flags = 0), and the extension is pure observability -- it can never
+//   change a job's output.
 //
 //   opcode 1 submit_permutation  a=client_id  b=n
 //            -> a=ordinal, body = n u64 items
@@ -27,6 +36,9 @@
 //            -> a=stream id, body = u64 ordinal  (pull/close via opcodes 4/6;
 //            the stream serves shard `shard` of a cipher-backed permutation
 //            of [0, n) -- nothing materialized server-side, O(chunk) pulls)
+//   opcode 8 telemetry           a=form: 0 = Prometheus text exposition,
+//            1 = the time-series sampler's JSON ring (obs/timeseries.hpp)
+//            -> body = the document
 //
 //   status: 0 ok | 1 rejected (admission) | 2 failed (backend threw)
 //           3 bad request (malformed header/body)
@@ -53,6 +65,7 @@
 #include <vector>
 
 #include "comm/net.hpp"
+#include "obs/timeseries.hpp"
 #include "svc/server.hpp"
 
 namespace cgp::svc {
@@ -63,6 +76,11 @@ struct wire_server_options {
   server_options svc{};                ///< the wrapped server's options
   const char* address = "127.0.0.1";   ///< bind address (IPv4 dotted quad)
   std::uint16_t port = 0;              ///< 0 = ephemeral; see port()
+  /// Period of the owned obs::sampler feeding `telemetry` form 1 (the
+  /// JSON ring of registry deltas + rates).  0 disables the sampler;
+  /// form 1 then serves an empty ring.
+  std::uint32_t telemetry_period_ms = 200;
+  std::size_t telemetry_slots = 120;   ///< ring depth (history = period * slots)
 };
 
 /// One svc::server behind a TCP listener.  Starts serving on
@@ -82,6 +100,12 @@ class wire_server {
   /// The wrapped service (e.g. for local submissions or close()).
   [[nodiscard]] server& service() noexcept { return srv_; }
 
+  /// Live connections right now (diagnostics; racy by nature).
+  [[nodiscard]] std::size_t connections() const;
+
+  /// The owned time-series sampler (nullptr when telemetry_period_ms = 0).
+  [[nodiscard]] obs::sampler* telemetry_sampler() noexcept { return sampler_.get(); }
+
   void stop();
 
  private:
@@ -91,8 +115,9 @@ class wire_server {
   server srv_;
   net::listener listener_;
   std::uint16_t port_ = 0;
+  std::unique_ptr<obs::sampler> sampler_;  ///< feeds telemetry form 1
 
-  std::mutex m_;
+  mutable std::mutex m_;
   bool stopping_ = false;
   std::uint64_t next_conn_ = 1;
   std::unordered_map<std::uint64_t, int> live_;  ///< conn id -> raw fd (for stop)
@@ -167,6 +192,17 @@ class wire_client {
 
   /// The server's metrics_snapshot() JSON document.
   [[nodiscard]] std::string metrics_snapshot();
+
+  /// Which document `telemetry()` fetches.
+  enum class telemetry_form : std::uint32_t {
+    prometheus = 0,  ///< Prometheus text exposition (obs/exposition.hpp)
+    json_ring = 1,   ///< the sampler's JSON ring (obs/timeseries.hpp)
+  };
+
+  /// The server process's telemetry document (opcode 8): the whole
+  /// registry -- every server, transport, and engine in that process --
+  /// not just the wrapped svc::server.
+  [[nodiscard]] std::string telemetry(telemetry_form form = telemetry_form::prometheus);
 
  private:
   friend class remote_stream;

@@ -8,7 +8,9 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <span>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -213,6 +215,192 @@ TEST(ObsDeterminism, TracingNeverChangesShuffleOutput) {
   EXPECT_EQ(draw(), base);
   obs::set_enabled(true);
   EXPECT_EQ(draw(), base);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed trace context: spans carry (trace_id, span_id, parent_id),
+// nest via the thread-local context, and restore it on close; adopt_trace
+// is the receive-side "install only if free" primitive.
+
+TEST(ObsTrace, SpanContextNestsAndRestores) {
+  obs::set_enabled(true);
+  obs::set_tracing(true);
+  obs::clear_trace();
+  ASSERT_EQ(obs::current_trace().trace_id, 0u);
+  obs::trace_context outer_ctx;
+  obs::trace_context inner_ctx;
+  {
+    const obs::span outer("ctx.outer", "test");
+    outer_ctx = obs::current_trace();
+    EXPECT_NE(outer_ctx.trace_id, 0u);
+    EXPECT_NE(outer_ctx.span_id, 0u);
+    {
+      const obs::span inner("ctx.inner", "test");
+      inner_ctx = obs::current_trace();
+      EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);  // joined, not forked
+      EXPECT_NE(inner_ctx.span_id, outer_ctx.span_id);
+    }
+    EXPECT_EQ(obs::current_trace().span_id, outer_ctx.span_id);  // restored
+  }
+  EXPECT_EQ(obs::current_trace().trace_id, 0u);  // fully unwound
+
+  // The recorded events carry the chain: inner parents under outer.
+  bool found_inner = false;
+  bool found_outer = false;
+  for (const obs::trace_event& e : obs::trace_snapshot()) {
+    if (std::string(e.name) == "ctx.inner") {
+      found_inner = true;
+      EXPECT_EQ(e.trace_id, outer_ctx.trace_id);
+      EXPECT_EQ(e.span_id, inner_ctx.span_id);
+      EXPECT_EQ(e.parent_id, outer_ctx.span_id);
+    }
+    if (std::string(e.name) == "ctx.outer") {
+      found_outer = true;
+      EXPECT_EQ(e.parent_id, 0u);  // a root span
+    }
+  }
+  EXPECT_TRUE(found_inner);
+  EXPECT_TRUE(found_outer);
+  obs::set_tracing(false);
+}
+
+TEST(ObsTrace, AdoptTraceInstallsOnlyWhenFree) {
+  obs::set_current_trace({});
+  obs::adopt_trace({0xABCD, 0x1234});
+  EXPECT_EQ(obs::current_trace().trace_id, 0xABCDu);  // free thread adopts
+  obs::adopt_trace({0xEEEE, 0x2222});
+  EXPECT_EQ(obs::current_trace().trace_id, 0xABCDu);  // occupied thread keeps
+  obs::set_current_trace({});
+}
+
+TEST(ObsTrace, FreshTraceIdsAreNonzeroAndDistinct) {
+  const std::uint64_t a = obs::new_trace_id();
+  const std::uint64_t b = obs::new_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(obs::wall_epoch_ns(), 0u);
+  EXPECT_EQ(obs::wall_epoch_ns(), obs::wall_epoch_ns());  // one anchor per process
+}
+
+// ---------------------------------------------------------------------------
+// Ring wraparound: recording past capacity evicts the oldest spans, the
+// relative dropped count reconciles exactly, and the process-wide
+// dropped-spans counter surfaces the evictions.
+
+TEST(ObsTrace, RingWraparoundReconciles) {
+  obs::set_enabled(true);
+  obs::clear_trace();
+  const std::uint64_t counter0 = obs::get_counter("obs.trace.dropped_spans").value();
+  // Well past the 64Ki ring: the overshoot must show up as drops.
+  constexpr std::uint64_t kWrite = (std::uint64_t{1} << 16) + 1000;
+  for (std::uint64_t i = 0; i < kWrite; ++i) {
+    obs::detail::record_event("wrap.ev", "test", i, 1, 1, i + 1, 0);
+  }
+  const std::vector<obs::trace_event> evs = obs::trace_snapshot();
+  // Everything not dropped is in the snapshot: sizes reconcile exactly.
+  EXPECT_EQ(evs.size() + obs::dropped_events(), kWrite);
+  EXPECT_GE(obs::dropped_events(), 1000u);
+  EXPECT_GE(obs::get_counter("obs.trace.dropped_spans").value() - counter0, 1000u);
+  // Survivors are the NEWEST records (the tail of the write sequence).
+  for (const obs::trace_event& e : evs) {
+    EXPECT_GE(e.ts_ns, kWrite - evs.size());
+  }
+  obs::clear_trace();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent dump-while-writing: snapshots taken while writers hammer the
+// ring must never surface a torn record (fields from two different
+// writers in one event) -- the seqlock + payload checksum contract.
+
+TEST(ObsTrace, SnapshotWhileWritingSeesNoTornRecords) {
+  obs::set_enabled(true);
+  obs::clear_trace();
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kIters = 40'000;  // > ring capacity in total: real laps
+  static const char* const kNames[kWriters] = {"torn.a", "torn.b", "torn.c", "torn.d",
+                                               "torn.e", "torn.f", "torn.g", "torn.h"};
+  std::atomic<int> go{0};
+  std::atomic<int> active{kWriters};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([t, &go, &active] {
+      // Writer t's records are internally consistent: every field derives
+      // from k = t + 1, so any cross-writer mix is detectable.
+      const std::uint64_t k = static_cast<std::uint64_t>(t) + 1;
+      go.fetch_add(1);
+      while (go.load() < kWriters) std::this_thread::yield();
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        obs::detail::record_event(kNames[t], "torn", k * 10, k * 100, k, k * 2 + 1, k * 3);
+      }
+      active.fetch_sub(1);
+    });
+  }
+  // Snapshot continuously WHILE the writers lap the ring.
+  std::uint64_t checked = 0;
+  while (active.load(std::memory_order_relaxed) > 0) {
+    for (const obs::trace_event& e : obs::trace_snapshot()) {
+      if (std::string(e.cat) != "torn") continue;
+      ++checked;
+      const std::uint64_t k = e.trace_id;
+      ASSERT_GE(k, 1u);
+      ASSERT_LE(k, static_cast<std::uint64_t>(kWriters));
+      // Every field must belong to the SAME writer k.
+      EXPECT_EQ(std::string(e.name), kNames[k - 1]);
+      EXPECT_EQ(e.ts_ns, k * 10);
+      EXPECT_EQ(e.dur_ns, k * 100);
+      EXPECT_EQ(e.span_id, k * 2 + 1);
+      EXPECT_EQ(e.parent_id, k * 3);
+    }
+  }
+  for (auto& w : writers) w.join();
+  // Post-join reconciliation: snapshot + dropped accounts for everything
+  // written, up to a handful of slots a lapped writer re-invalidated (the
+  // seqlock discards those rather than surfacing them torn -- at most one
+  // in-flight record per writer can be a casualty).
+  const std::vector<obs::trace_event> evs = obs::trace_snapshot();
+  const std::uint64_t total = static_cast<std::uint64_t>(kWriters) * kIters;
+  EXPECT_LE(evs.size() + obs::dropped_events(), total);
+  EXPECT_GE(evs.size() + obs::dropped_events() + 2 * kWriters, total);
+  for (const obs::trace_event& e : evs) {
+    if (std::string(e.cat) != "torn") continue;
+    ++checked;
+    const std::uint64_t k = e.trace_id;
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, static_cast<std::uint64_t>(kWriters));
+    EXPECT_EQ(std::string(e.name), kNames[k - 1]);
+    EXPECT_EQ(e.span_id, k * 2 + 1);
+  }
+  EXPECT_GT(checked, 0u);
+  obs::clear_trace();
+}
+
+// ---------------------------------------------------------------------------
+// The Chrome dump carries the cross-process stitching metadata: a
+// clock_anchor record (steady->wall translation) and a trace_summary
+// footer (events written + dropped spans).
+
+TEST(ObsTrace, ChromeDumpCarriesAnchorAndSummary) {
+  obs::set_enabled(true);
+  obs::set_tracing(true);
+  obs::clear_trace();
+  {
+    const obs::span sp("dump.probe", "test");
+  }
+  obs::set_tracing(false);
+  const std::string path = "obs_dump_test.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string dump = ss.str();
+  for (const char* key : {"\"clock_anchor\"", "\"wall_epoch_ns\"", "\"trace_summary\"",
+                          "\"dropped_spans\"", "\"trace_id\"", "\"span_id\"",
+                          "\"parent_id\"", "\"dump.probe\""}) {
+    EXPECT_NE(dump.find(key), std::string::npos) << key;
+  }
 }
 
 TEST(ObsDeterminism, FeedbackIsRecordedAndHarmless) {

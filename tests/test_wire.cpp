@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prp/cipher.hpp"
 #include "support/perm_check.hpp"
 #include "svc/job.hpp"
@@ -273,6 +275,129 @@ TEST(WireRpc, MalformedShuffleGeometryIsABadRequest) {
     EXPECT_NE(std::string(e.what()).find("bad request"), std::string::npos);
   }
   const svc::permutation pi = cl.fetch_permutation(1, 100);
+  EXPECT_TRUE(stats::is_permutation_of_iota(pi));
+}
+
+// --- telemetry over the wire -------------------------------------------------
+
+TEST(WireRpc, TelemetryOpcodesServeBothForms) {
+  obs::set_enabled(true);
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+  (void)cl.fetch_permutation(21, 1000);
+
+  // Form 0: the whole process's Prometheus text exposition, including the
+  // per-tenant series this very request just created.
+  const std::string prom = cl.telemetry(svc::wire_client::telemetry_form::prometheus);
+  EXPECT_NE(prom.find("# TYPE cgp_svc_jobs_done_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("cgp_svc_jobs_done_by_client_total{client_id=\"21\"}"),
+            std::string::npos);
+
+  // Form 1: the sampler's JSON ring (the server owns a running sampler by
+  // default; the pull itself forces a fresh sample, so the ring is never
+  // empty here).
+  const std::string ring = cl.telemetry(svc::wire_client::telemetry_form::json_ring);
+  EXPECT_NE(ring.find("\"series\""), std::string::npos);
+  EXPECT_NE(ring.find("\"samples\""), std::string::npos);
+  EXPECT_NE(ring.find("\"wall_epoch_ns\""), std::string::npos);
+  EXPECT_EQ(std::count(ring.begin(), ring.end(), '{'),
+            std::count(ring.begin(), ring.end(), '}'));
+}
+
+TEST(WireRpc, TelemetryRingServesEmptyWhenSamplerDisabled) {
+  svc::wire_server_options wopt = seeded_options();
+  wopt.telemetry_period_ms = 0;  // no sampler
+  svc::wire_server ws(wopt);
+  EXPECT_EQ(ws.telemetry_sampler(), nullptr);
+  svc::wire_client cl("127.0.0.1", ws.port());
+  const std::string ring = cl.telemetry(svc::wire_client::telemetry_form::json_ring);
+  EXPECT_NE(ring.find("\"series\""), std::string::npos);  // valid, just empty
+}
+
+TEST(WireRpc, SnapshotSeparatesConcurrentTenants) {
+  svc::wire_server ws(seeded_options());
+  // Two tenants on their own connections, concurrently.
+  std::thread a([&] {
+    svc::wire_client cl("127.0.0.1", ws.port());
+    for (int i = 0; i < 4; ++i) (void)cl.fetch_permutation(31, 4096);
+  });
+  std::thread b([&] {
+    svc::wire_client cl("127.0.0.1", ws.port());
+    for (int i = 0; i < 3; ++i) (void)cl.fetch_permutation(32, 4096);
+  });
+  a.join();
+  b.join();
+  const std::string js = svc::wire_client("127.0.0.1", ws.port()).metrics_snapshot();
+  // Each tenant's section carries its own counts and latency percentiles.
+  const std::size_t t31 = js.find("\"31\"");
+  const std::size_t t32 = js.find("\"32\"");
+  ASSERT_NE(t31, std::string::npos);
+  ASSERT_NE(t32, std::string::npos);
+  EXPECT_NE(js.find("\"done\": 4", t31), std::string::npos);
+  EXPECT_NE(js.find("\"done\": 3", t32), std::string::npos);
+  EXPECT_NE(js.find("\"p99_ns\""), std::string::npos);
+}
+
+// --- distributed tracing over the wire ---------------------------------------
+
+TEST(WireRpc, RemoteJobStitchesIntoOneTrace) {
+  obs::set_enabled(true);
+  obs::set_tracing(true);
+  obs::clear_trace();
+  obs::set_current_trace({});
+
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+  (void)cl.fetch_permutation(41, 50'000);
+
+  obs::set_tracing(false);
+
+  // One trace: the client's wire.call span minted a trace_id, the request
+  // carried it, and the server's handling span, the service job, and the
+  // executor all joined it.  (Client and server share this process here;
+  // examples/wire_server.cpp serve/client modes pin the same stitching
+  // across two real processes in CI.)
+  std::uint64_t call_trace = 0;
+  std::uint64_t call_span = 0;
+  for (const obs::trace_event& e : obs::trace_snapshot()) {
+    if (std::string(e.name) == "wire.call") {
+      call_trace = e.trace_id;
+      call_span = e.span_id;
+    }
+  }
+  ASSERT_NE(call_trace, 0u) << "client span must mint a trace";
+
+  bool server_span = false;
+  bool svc_job = false;
+  bool exec_span = false;
+  for (const obs::trace_event& e : obs::trace_snapshot()) {
+    if (e.trace_id != call_trace) continue;
+    const std::string name = e.name;
+    if (name == "wire.permutation") {
+      server_span = true;
+      // The server's handling span parents under the client's call span:
+      // the context crossed the wire.
+      EXPECT_EQ(e.parent_id, call_span);
+    }
+    if (name == "svc.job") svc_job = true;
+    if (name == "fisher-yates" || name == "shuffle" || name == "split" ||
+        name == "fill") {
+      exec_span = true;
+    }
+  }
+  EXPECT_TRUE(server_span) << "wire.permutation missing from the stitched trace";
+  EXPECT_TRUE(svc_job) << "svc.job missing from the stitched trace";
+  EXPECT_TRUE(exec_span) << "executor spans missing from the stitched trace";
+}
+
+TEST(WireRpc, UntracedClientsSendNoTraceAndNothingBreaks) {
+  obs::set_enabled(true);
+  obs::set_tracing(false);
+  obs::set_current_trace({});
+  svc::wire_server ws(seeded_options());
+  svc::wire_client cl("127.0.0.1", ws.port());
+  // flags stay 0 on the wire (old-client behavior); everything still works.
+  const svc::permutation pi = cl.fetch_permutation(1, 10'000);
   EXPECT_TRUE(stats::is_permutation_of_iota(pi));
 }
 
